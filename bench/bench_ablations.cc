@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation study over the design choices DESIGN.md calls out: each
+ * row disables one ingredient of the Full Predication or Cond. Move
+ * pipeline and reports the mean speedup across the suite at 8-issue,
+ * 1-branch, perfect caches.
+ *
+ *  - no-promotion:     predicate promotion off (paper Fig. 2)
+ *  - no-combining:     exit branch combining off (grep discussion)
+ *  - no-height-red:    OR-chain control height reduction off
+ *  - no-or-tree:       partial predication OR-tree rebalancing off
+ *  - with-select:      partial predication uses select fusion (§2.2)
+ *  - no-unrolling:     loop unrolling off (both models)
+ */
+
+#include <iostream>
+
+#include "driver/report.hh"
+#include "support/stats.hh"
+#include "support/string_utils.hh"
+
+using namespace predilp;
+
+namespace
+{
+
+double
+meanSpeedup(const SuiteConfig &config, Model model)
+{
+    std::vector<double> speedups;
+    for (const Workload &w : allWorkloads()) {
+        BenchmarkResult r = evaluateWorkload(w, config);
+        speedups.push_back(r.speedup(model));
+    }
+    return arithmeticMean(speedups);
+}
+
+} // namespace
+
+int
+main()
+{
+    SuiteConfig base;
+    base.machine = issue8Branch1();
+
+    TextTable table;
+    table.setHeader({"Configuration", "Model", "Mean speedup"});
+
+    auto row = [&](const std::string &name, const SuiteConfig &c,
+                   Model m) {
+        table.addRow({name, modelName(m),
+                      formatFixed(meanSpeedup(c, m), 3)});
+        std::cout << "." << std::flush;
+    };
+
+    row("baseline", base, Model::FullPred);
+    row("baseline", base, Model::CondMove);
+
+    {
+        SuiteConfig c = base;
+        c.enablePromotion = false;
+        row("no-promotion", c, Model::FullPred);
+        row("no-promotion", c, Model::CondMove);
+    }
+    {
+        SuiteConfig c = base;
+        c.enableBranchCombining = false;
+        row("no-combining", c, Model::FullPred);
+    }
+    {
+        SuiteConfig c = base;
+        c.enableHeightReduction = false;
+        row("no-height-red", c, Model::FullPred);
+        row("no-height-red", c, Model::CondMove);
+    }
+    {
+        SuiteConfig c = base;
+        c.enableOrTree = false;
+        row("no-or-tree", c, Model::CondMove);
+    }
+    {
+        SuiteConfig c = base;
+        c.useSelect = true;
+        row("with-select", c, Model::CondMove);
+    }
+
+    std::cout << "\nAblations (8-issue, 1-branch, perfect caches)\n";
+    table.print(std::cout);
+    return 0;
+}

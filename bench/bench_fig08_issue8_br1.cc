@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces Figure 8 of the paper: effectiveness of full and
+ * partial predicate support for an 8-issue, 1-branch processor with
+ * perfect caches. Speedups are relative to the 1-issue baseline.
+ */
+
+#include <iostream>
+
+#include "driver/report.hh"
+
+int
+main()
+{
+    using namespace predilp;
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+    config.perfectCaches = true;
+    auto results = evaluateSuite(config);
+    printSpeedupFigure(
+        std::cout,
+        "Figure 8: speedup, 8-issue / 1-branch, perfect caches",
+        results);
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Reproduces Figure 10: 4-issue processor, 1 branch per cycle,
+ * perfect caches. The paper's headline: Cond. Move's extra
+ * instructions saturate the narrow machine and it loses to
+ * Superblock on most benchmarks, while Full Predication still wins.
+ */
+
+#include <iostream>
+
+#include "driver/report.hh"
+
+int
+main()
+{
+    using namespace predilp;
+    SuiteConfig config;
+    config.machine = issue4Branch1();
+    config.perfectCaches = true;
+    auto results = evaluateSuite(config);
+    printSpeedupFigure(
+        std::cout,
+        "Figure 10: speedup, 4-issue / 1-branch, perfect caches",
+        results);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Reproduces Table 3: dynamic branch counts, misprediction counts,
+ * and misprediction rates per model. Expected shape: the predicated
+ * models execute far fewer branches; absolute mispredictions drop,
+ * though the *rate* over surviving branches can rise (the paper's
+ * grep observation on branch combining).
+ */
+
+#include <iostream>
+
+#include "driver/report.hh"
+
+int
+main()
+{
+    using namespace predilp;
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+    config.perfectCaches = true;
+    auto results = evaluateSuite(config);
+    printBranchTable(std::cout, results);
+    return 0;
+}

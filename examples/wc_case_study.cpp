@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The paper's wc case study (§3.3, Figure 5): compile the wc
+ * benchmark for all three processor models, print the scheduled
+ * inner loop for full and partial predication, and report the
+ * per-model cycle counts — the 8-vs-10-cycle schedule comparison and
+ * the dynamic instruction blowup the paper walks through.
+ */
+
+#include <iostream>
+
+#include "driver/pipeline.hh"
+#include "ir/printer.hh"
+#include "workloads/workloads.hh"
+
+using namespace predilp;
+
+namespace
+{
+
+/** Print the hottest block (the formed loop) of main(). */
+void
+printHottestBlock(Program &prog, const std::string &input)
+{
+    ProgramProfile profile(prog);
+    EmuOptions opts;
+    opts.profile = &profile;
+    Emulator emu(prog);
+    emu.run(input, opts);
+
+    Function *main = prog.function("main");
+    const FunctionProfile *fp = profile.find("main");
+    BlockId hottest = main->layout().front();
+    for (BlockId id : main->layout()) {
+        if (fp->blockCount(id) > fp->blockCount(hottest))
+            hottest = id;
+    }
+    PrintOptions popts;
+    popts.showIssueCycles = true;
+    printBlock(std::cout, *main, *main->block(hottest), popts);
+
+    int length = 0;
+    for (const auto &instr : main->block(hottest)->instrs())
+        length = std::max(length, instr.issueCycle() + 1);
+    std::cout << "    ; " << main->block(hottest)->instrs().size()
+              << " instructions in " << length << " cycles\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const Workload *wc = findWorkload("wc");
+    std::string input = wc->makeInput(1);
+
+    SimConfig sim;
+    sim.machine = issue8Branch1();
+
+    std::uint64_t cycles[3];
+    std::uint64_t instrs[3];
+    int index = 0;
+    for (Model model :
+         {Model::Superblock, Model::CondMove, Model::FullPred}) {
+        CompileOptions opts;
+        opts.model = model;
+        opts.machine = sim.machine;
+        opts.profileInput = input;
+        opts.enableUnrolling = false; // show the plain schedule.
+        auto prog = compileForModel(wc->source, opts);
+
+        if (model != Model::Superblock) {
+            std::cout << "=== " << modelName(model)
+                      << ": hottest loop schedule ===\n";
+            printHottestBlock(*prog, input);
+            std::cout << "\n";
+        }
+
+        SimResult result = simulate(*prog, input, sim);
+        cycles[index] = result.cycles;
+        instrs[index] = result.dynInstrs;
+        std::cout << modelName(model) << ": cycles="
+                  << result.cycles << " dynamic instructions="
+                  << result.dynInstrs << " branches="
+                  << result.branches << " mispredicts="
+                  << result.mispredicts << "\n\n";
+        index += 1;
+    }
+
+    std::cout << "Paper's wc story (§3.3): partial predication "
+                 "executes ~2x the instructions of full predication\n"
+              << "and both eliminate most branches. Measured "
+                 "instruction ratio (partial/full): "
+              << static_cast<double>(instrs[1]) /
+                     static_cast<double>(instrs[2])
+              << "\nMeasured cycle ratio (partial/full): "
+              << static_cast<double>(cycles[1]) /
+                     static_cast<double>(cycles[2])
+              << " (paper's loop segment: 10/8 = 1.25)\n";
+    return 0;
+}

@@ -1,0 +1,108 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+
+namespace predilp
+{
+
+CfgInfo::CfgInfo(const Function &fn)
+{
+    auto n = fn.numBlockIds();
+    preds_.resize(n);
+    succs_.resize(n);
+    rpoIndex_.assign(n, -1);
+
+    for (BlockId id : fn.layout()) {
+        succs_[static_cast<std::size_t>(id)] =
+            fn.block(id)->successors();
+    }
+    for (BlockId id : fn.layout()) {
+        for (BlockId succ : succs_[static_cast<std::size_t>(id)])
+            preds_[static_cast<std::size_t>(succ)].push_back(id);
+    }
+    // Dedupe multi-edges in predecessor lists.
+    for (auto &p : preds_) {
+        std::sort(p.begin(), p.end());
+        p.erase(std::unique(p.begin(), p.end()), p.end());
+    }
+
+    // Iterative postorder DFS from the entry.
+    if (fn.layout().empty())
+        return;
+    std::vector<std::uint8_t> state(n, 0);
+    std::vector<std::pair<BlockId, std::size_t>> stack;
+    std::vector<BlockId> postorder;
+    BlockId entry = fn.layout().front();
+    stack.emplace_back(entry, 0);
+    state[static_cast<std::size_t>(entry)] = 1;
+    while (!stack.empty()) {
+        auto &[id, next] = stack.back();
+        const auto &ss = succs_[static_cast<std::size_t>(id)];
+        if (next < ss.size()) {
+            BlockId succ = ss[next++];
+            if (state[static_cast<std::size_t>(succ)] == 0) {
+                state[static_cast<std::size_t>(succ)] = 1;
+                stack.emplace_back(succ, 0);
+            }
+        } else {
+            postorder.push_back(id);
+            stack.pop_back();
+        }
+    }
+    rpo_.assign(postorder.rbegin(), postorder.rend());
+    for (std::size_t i = 0; i < rpo_.size(); ++i)
+        rpoIndex_[static_cast<std::size_t>(rpo_[i])] =
+            static_cast<int>(i);
+}
+
+void
+collectUses(const Instruction &instr, std::vector<Reg> &out)
+{
+    for (const auto &src : instr.srcs()) {
+        if (src.isReg())
+            out.push_back(src.reg());
+    }
+    if (instr.guarded())
+        out.push_back(instr.guard());
+    // OR/AND type predicate defines also *read* their destination
+    // (they may leave it unchanged, i.e. the old value flows through).
+    for (const auto &pd : instr.predDests()) {
+        if (pd.type != PredType::U && pd.type != PredType::UBar)
+            out.push_back(pd.reg);
+    }
+}
+
+void
+collectDefs(const Instruction &instr, const Function &fn,
+            std::vector<Reg> &out)
+{
+    if (instr.dest().valid())
+        out.push_back(instr.dest());
+    for (const auto &pd : instr.predDests())
+        out.push_back(pd.reg);
+    if (instr.isPredAll()) {
+        for (int i = 0; i < fn.numPredRegs(); ++i)
+            out.push_back(predReg(i));
+    }
+}
+
+bool
+defIsKilling(const Instruction &instr)
+{
+    if (instr.guarded() && !instr.isPredDefine())
+        return false;
+    if (instr.info().isCondMove)
+        return false;
+    if (instr.isPredDefine()) {
+        // U/UBar destinations always write (0 when Pin is false), so
+        // they kill even when the define is guarded. OR/AND types may
+        // leave the register unchanged, so they do not kill.
+        for (const auto &pd : instr.predDests()) {
+            if (pd.type != PredType::U && pd.type != PredType::UBar)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace predilp

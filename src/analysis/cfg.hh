@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CFG helper queries: predecessors, reverse postorder, and register
+ * use/def collection. These are recomputed on demand; passes that
+ * mutate the CFG simply rebuild them.
+ */
+
+#ifndef PREDILP_ANALYSIS_CFG_HH
+#define PREDILP_ANALYSIS_CFG_HH
+
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace predilp
+{
+
+/**
+ * Predecessor lists and traversal orders for one function, computed
+ * from the current layout. Invalidated by any CFG mutation.
+ */
+class CfgInfo
+{
+  public:
+    /** Build for the current state of @p fn. */
+    explicit CfgInfo(const Function &fn);
+
+    /** @return predecessors of @p id (blocks with an edge to it). */
+    const std::vector<BlockId> &preds(BlockId id) const
+    {
+        return preds_[static_cast<std::size_t>(id)];
+    }
+
+    /** @return successors of @p id (cached from the block). */
+    const std::vector<BlockId> &succs(BlockId id) const
+    {
+        return succs_[static_cast<std::size_t>(id)];
+    }
+
+    /** Reverse postorder over reachable blocks, entry first. */
+    const std::vector<BlockId> &reversePostorder() const
+    {
+        return rpo_;
+    }
+
+    /** Position of a block in the reverse postorder; -1 if absent. */
+    int rpoIndex(BlockId id) const
+    {
+        return rpoIndex_[static_cast<std::size_t>(id)];
+    }
+
+    /** @return true when the block is reachable from the entry. */
+    bool reachable(BlockId id) const { return rpoIndex(id) >= 0; }
+
+  private:
+    std::vector<std::vector<BlockId>> preds_;
+    std::vector<std::vector<BlockId>> succs_;
+    std::vector<BlockId> rpo_;
+    std::vector<int> rpoIndex_;
+};
+
+/**
+ * Maps the three register classes of a function onto one dense index
+ * space, for bitvector-based dataflow.
+ */
+class RegIndexer
+{
+  public:
+    explicit RegIndexer(const Function &fn)
+        : numInt_(fn.numIntRegs()), numFloat_(fn.numFloatRegs()),
+          numPred_(fn.numPredRegs())
+    {}
+
+    /** Total number of registers across all classes. */
+    std::size_t
+    size() const
+    {
+        return static_cast<std::size_t>(numInt_ + numFloat_ +
+                                        numPred_);
+    }
+
+    /** Dense index of @p reg. */
+    std::size_t
+    index(Reg reg) const
+    {
+        switch (reg.cls()) {
+          case RegClass::Int:
+            return static_cast<std::size_t>(reg.idx());
+          case RegClass::Float:
+            return static_cast<std::size_t>(numInt_ + reg.idx());
+          case RegClass::Pred:
+          default:
+            return static_cast<std::size_t>(numInt_ + numFloat_ +
+                                            reg.idx());
+        }
+    }
+
+    /** Inverse of index(). */
+    Reg
+    reg(std::size_t idx) const
+    {
+        auto i = static_cast<int>(idx);
+        if (i < numInt_)
+            return intReg(i);
+        if (i < numInt_ + numFloat_)
+            return floatReg(i - numInt_);
+        return predReg(i - numInt_ - numFloat_);
+    }
+
+    int numInt() const { return numInt_; }
+    int numFloat() const { return numFloat_; }
+    int numPred() const { return numPred_; }
+
+  private:
+    int numInt_;
+    int numFloat_;
+    int numPred_;
+};
+
+/**
+ * Append every register read by @p instr to @p out: source operands,
+ * the guard predicate, and the Pin of predicate defines.
+ * PredClear/PredSet read nothing.
+ */
+void collectUses(const Instruction &instr, std::vector<Reg> &out);
+
+/**
+ * Append every register written by @p instr to @p out. For
+ * PredClear/PredSet this appends every predicate register of @p fn
+ * (they rewrite the whole predicate file).
+ *
+ * Note: a guarded instruction only *conditionally* writes its dest;
+ * callers doing liveness must treat guarded defs as non-killing.
+ */
+void collectDefs(const Instruction &instr, const Function &fn,
+                 std::vector<Reg> &out);
+
+/**
+ * @return true when the write to @p instr's destinations is
+ * unconditional, i.e. the def kills the previous value on every
+ * execution. False for guarded instructions, conditional moves, and
+ * OR/AND-type predicate defines (which may leave the register
+ * unchanged).
+ */
+bool defIsKilling(const Instruction &instr);
+
+} // namespace predilp
+
+#endif // PREDILP_ANALYSIS_CFG_HH

@@ -1,0 +1,74 @@
+#include "analysis/dominators.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+DominatorTree::DominatorTree(const Function &fn, const CfgInfo &cfg)
+    : cfg_(cfg)
+{
+    idom_.assign(fn.numBlockIds(), invalidBlock);
+    const auto &rpo = cfg.reversePostorder();
+    if (rpo.empty())
+        return;
+
+    BlockId entry = rpo.front();
+    idom_[static_cast<std::size_t>(entry)] = entry;
+
+    auto intersect = [&](BlockId a, BlockId b) {
+        while (a != b) {
+            while (cfg.rpoIndex(a) > cfg.rpoIndex(b))
+                a = idom_[static_cast<std::size_t>(a)];
+            while (cfg.rpoIndex(b) > cfg.rpoIndex(a))
+                b = idom_[static_cast<std::size_t>(b)];
+        }
+        return a;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = 1; i < rpo.size(); ++i) {
+            BlockId b = rpo[i];
+            BlockId newIdom = invalidBlock;
+            for (BlockId pred : cfg.preds(b)) {
+                if (!cfg.reachable(pred))
+                    continue;
+                if (idom_[static_cast<std::size_t>(pred)] ==
+                    invalidBlock) {
+                    continue;
+                }
+                newIdom = newIdom == invalidBlock
+                              ? pred
+                              : intersect(pred, newIdom);
+            }
+            if (newIdom != invalidBlock &&
+                idom_[static_cast<std::size_t>(b)] != newIdom) {
+                idom_[static_cast<std::size_t>(b)] = newIdom;
+                changed = true;
+            }
+        }
+    }
+    // The entry's idom is conventionally itself inside the algorithm;
+    // expose it as invalid ("no immediate dominator").
+    idom_[static_cast<std::size_t>(entry)] = invalidBlock;
+}
+
+bool
+DominatorTree::dominates(BlockId a, BlockId b) const
+{
+    if (!cfg_.reachable(a) || !cfg_.reachable(b))
+        return false;
+    BlockId cur = b;
+    while (true) {
+        if (cur == a)
+            return true;
+        BlockId up = idom_[static_cast<std::size_t>(cur)];
+        if (up == invalidBlock)
+            return false;
+        cur = up;
+    }
+}
+
+} // namespace predilp

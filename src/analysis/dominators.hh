@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Dominator tree computation (Cooper/Harvey/Kennedy iterative
+ * algorithm over the reverse postorder). Used by loop detection,
+ * hyperblock region legality, and superblock trace growing.
+ */
+
+#ifndef PREDILP_ANALYSIS_DOMINATORS_HH
+#define PREDILP_ANALYSIS_DOMINATORS_HH
+
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace predilp
+{
+
+/** Immediate-dominator tree for the reachable blocks of a function. */
+class DominatorTree
+{
+  public:
+    /** Build from an up-to-date @p cfg of @p fn. */
+    DominatorTree(const Function &fn, const CfgInfo &cfg);
+
+    /**
+     * @return the immediate dominator of @p id, or invalidBlock for
+     * the entry and for unreachable blocks.
+     */
+    BlockId idom(BlockId id) const
+    {
+        return idom_[static_cast<std::size_t>(id)];
+    }
+
+    /** @return true when @p a dominates @p b (reflexive). */
+    bool dominates(BlockId a, BlockId b) const;
+
+  private:
+    const CfgInfo &cfg_;
+    std::vector<BlockId> idom_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_ANALYSIS_DOMINATORS_HH

@@ -1,0 +1,123 @@
+#include "analysis/liveness.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/**
+ * Apply the backward dataflow effect of one instruction to @p live:
+ * first union in what is live at any side-exit target (control may
+ * leave the block here — essential for superblocks and hyperblocks,
+ * whose branches sit in the middle of the instruction list), then
+ * remove killed definitions, then add uses.
+ */
+void
+transfer(const Instruction &instr, const Function &fn,
+         const RegIndexer &indexer, BitVector &live,
+         const std::vector<BitVector> &liveInSets,
+         std::vector<Reg> &scratch)
+{
+    if ((instr.isCondBranch() || instr.isJump()) &&
+        instr.target() != invalidBlock) {
+        live.unionWith(
+            liveInSets[static_cast<std::size_t>(instr.target())]);
+    }
+
+    scratch.clear();
+    collectDefs(instr, fn, scratch);
+    if (defIsKilling(instr)) {
+        for (Reg reg : scratch)
+            live.reset(indexer.index(reg));
+    } else {
+        // Non-killing def: the old value may flow through, so the
+        // defined registers stay live (merge semantics read them).
+        for (Reg reg : scratch)
+            live.set(indexer.index(reg));
+    }
+    scratch.clear();
+    collectUses(instr, scratch);
+    for (Reg reg : scratch)
+        live.set(indexer.index(reg));
+}
+
+} // namespace
+
+Liveness::Liveness(const Function &fn, const CfgInfo &cfg)
+    : indexer_(fn)
+{
+    auto n = fn.numBlockIds();
+    liveIn_.assign(n, BitVector(indexer_.size()));
+    liveOut_.assign(n, BitVector(indexer_.size()));
+
+    const auto &rpo = cfg.reversePostorder();
+    std::vector<Reg> scratch;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        // Postorder for fast convergence of the backward problem.
+        for (auto it = rpo.rbegin(); it != rpo.rend(); ++it) {
+            BlockId id = *it;
+            auto idx = static_cast<std::size_t>(id);
+
+            // Seed with the fallthrough path; branch targets are
+            // folded in as the walk passes each branch.
+            BitVector in(indexer_.size());
+            const BasicBlock *bb = fn.block(id);
+            if (bb->fallthrough() != invalidBlock) {
+                in.unionWith(liveIn_[static_cast<std::size_t>(
+                    bb->fallthrough())]);
+            }
+            const auto &instrs = bb->instrs();
+            for (auto rit = instrs.rbegin(); rit != instrs.rend();
+                 ++rit) {
+                transfer(*rit, fn, indexer_, in, liveIn_, scratch);
+            }
+
+            if (in != liveIn_[idx]) {
+                liveIn_[idx] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+
+    // Block-level live-out: union over successor live-ins. Used by
+    // clients that reason about "after the whole block".
+    for (BlockId id : fn.layout()) {
+        auto idx = static_cast<std::size_t>(id);
+        for (BlockId succ : cfg.succs(id)) {
+            liveOut_[idx].unionWith(
+                liveIn_[static_cast<std::size_t>(succ)]);
+        }
+    }
+}
+
+void
+Liveness::backwardStep(const Instruction &instr, const Function &fn,
+                       BitVector &live) const
+{
+    std::vector<Reg> scratch;
+    transfer(instr, fn, indexer_, live, liveIn_, scratch);
+}
+
+BitVector
+Liveness::liveBefore(const Function &fn, BlockId id,
+                     std::size_t pos) const
+{
+    const BasicBlock *bb = fn.block(id);
+    BitVector live(indexer_.size());
+    if (bb->fallthrough() != invalidBlock) {
+        live.unionWith(liveIn_[static_cast<std::size_t>(
+            bb->fallthrough())]);
+    }
+    const auto &instrs = bb->instrs();
+    std::vector<Reg> scratch;
+    for (std::size_t i = instrs.size(); i > pos; --i)
+        transfer(instrs[i - 1], fn, indexer_, live, liveIn_,
+                 scratch);
+    return live;
+}
+
+} // namespace predilp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Backward liveness analysis over all three register classes. Used
+ * by speculative code motion legality (superblock formation and
+ * scheduling), predicate promotion, and dead code elimination.
+ */
+
+#ifndef PREDILP_ANALYSIS_LIVENESS_HH
+#define PREDILP_ANALYSIS_LIVENESS_HH
+
+#include "analysis/cfg.hh"
+#include "support/bit_vector.hh"
+
+namespace predilp
+{
+
+/**
+ * Per-block live-in/live-out register sets. Guarded definitions and
+ * conditional moves are treated as non-killing (the old value may
+ * survive), which keeps the analysis sound on predicated code.
+ */
+class Liveness
+{
+  public:
+    /** Compute for the current state of @p fn. */
+    Liveness(const Function &fn, const CfgInfo &cfg);
+
+    const RegIndexer &indexer() const { return indexer_; }
+
+    const BitVector &liveIn(BlockId id) const
+    {
+        return liveIn_[static_cast<std::size_t>(id)];
+    }
+    const BitVector &liveOut(BlockId id) const
+    {
+        return liveOut_[static_cast<std::size_t>(id)];
+    }
+
+    /** @return true when @p reg is live on entry to @p id. */
+    bool
+    liveAtEntry(Reg reg, BlockId id) const
+    {
+        return liveIn(id).test(indexer_.index(reg));
+    }
+
+    /**
+     * @return the set of registers live immediately *before*
+     * instruction @p pos of block @p id (backward scan folding in
+     * each side exit's live-in as it passes it).
+     */
+    BitVector liveBefore(const Function &fn, BlockId id,
+                         std::size_t pos) const;
+
+    /**
+     * Apply the backward dataflow effect of one instruction to
+     * @p live, including the union with the live-in of its branch
+     * target (side exits). Exposed so dead-code elimination can walk
+     * blocks with the exact same semantics as the analysis.
+     */
+    void backwardStep(const Instruction &instr, const Function &fn,
+                      BitVector &live) const;
+
+  private:
+    RegIndexer indexer_;
+    std::vector<BitVector> liveIn_;
+    std::vector<BitVector> liveOut_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_ANALYSIS_LIVENESS_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Natural-loop detection from dominator-identified back edges.
+ * Hyperblock formation operates on innermost loop bodies first, as in
+ * the hyperblock paper.
+ */
+
+#ifndef PREDILP_ANALYSIS_LOOPS_HH
+#define PREDILP_ANALYSIS_LOOPS_HH
+
+#include <vector>
+
+#include "analysis/dominators.hh"
+
+namespace predilp
+{
+
+/** One natural loop: header plus body (header included). */
+struct Loop
+{
+    BlockId header = invalidBlock;
+    std::vector<BlockId> body;   ///< includes the header.
+    int depth = 1;               ///< nesting depth, 1 = outermost.
+
+    /** @return true when @p id is in the loop body. */
+    bool contains(BlockId id) const;
+};
+
+/** All natural loops of a function. */
+class LoopInfo
+{
+  public:
+    LoopInfo(const Function &fn, const CfgInfo &cfg,
+             const DominatorTree &dom);
+
+    /** Loops sorted innermost-first (deepest nesting first). */
+    const std::vector<Loop> &loops() const { return loops_; }
+
+    /** Nesting depth of @p id; 0 when not in any loop. */
+    int depth(BlockId id) const
+    {
+        return depth_[static_cast<std::size_t>(id)];
+    }
+
+  private:
+    std::vector<Loop> loops_;
+    std::vector<int> depth_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_ANALYSIS_LOOPS_HH

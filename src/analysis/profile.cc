@@ -1,0 +1,49 @@
+#include "analysis/profile.hh"
+
+namespace predilp
+{
+
+double
+FunctionProfile::takenProbability(const Function &fn, BlockId bb,
+                                  int instrId) const
+{
+    (void)fn;
+    std::uint64_t entries = blockCount(bb);
+    if (entries == 0)
+        return 0.0;
+    double p = static_cast<double>(takenCount(instrId)) /
+               static_cast<double>(entries);
+    return p > 1.0 ? 1.0 : p;
+}
+
+void
+FunctionProfile::annotate(Function &fn) const
+{
+    for (BlockId id : fn.layout())
+        fn.block(id)->setWeight(blockCount(id));
+}
+
+ProgramProfile::ProgramProfile(const Program &prog)
+{
+    for (const auto &fn : prog.functions())
+        profiles_.emplace(fn->name(), FunctionProfile(*fn));
+}
+
+const FunctionProfile *
+ProgramProfile::find(const std::string &name) const
+{
+    auto it = profiles_.find(name);
+    return it == profiles_.end() ? nullptr : &it->second;
+}
+
+void
+ProgramProfile::annotate(Program &prog) const
+{
+    for (auto &fn : prog.functions()) {
+        const FunctionProfile *fp = find(fn->name());
+        if (fp != nullptr)
+            fp->annotate(*fn);
+    }
+}
+
+} // namespace predilp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Execution profiles. The paper's compilation techniques (superblock
+ * trace selection, hyperblock block selection) are profile driven;
+ * the emulator fills these structures during a training run.
+ */
+
+#ifndef PREDILP_ANALYSIS_PROFILE_HH
+#define PREDILP_ANALYSIS_PROFILE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/** Profile of one function. */
+class FunctionProfile
+{
+  public:
+    FunctionProfile() = default;
+
+    /** Size the tables for @p fn. */
+    explicit FunctionProfile(const Function &fn)
+        : blockCounts_(fn.numBlockIds(), 0),
+          takenCounts_(static_cast<std::size_t>(fn.instrIdBound()), 0)
+    {}
+
+    /** Times block @p id was entered. */
+    std::uint64_t
+    blockCount(BlockId id) const
+    {
+        auto i = static_cast<std::size_t>(id);
+        return i < blockCounts_.size() ? blockCounts_[i] : 0;
+    }
+
+    /** Times the control transfer with instruction id @p id fired. */
+    std::uint64_t
+    takenCount(int id) const
+    {
+        auto i = static_cast<std::size_t>(id);
+        return i < takenCounts_.size() ? takenCounts_[i] : 0;
+    }
+
+    void
+    addBlockEntry(BlockId id)
+    {
+        blockCounts_[static_cast<std::size_t>(id)] += 1;
+    }
+
+    void
+    addTaken(int instrId)
+    {
+        takenCounts_[static_cast<std::size_t>(instrId)] += 1;
+    }
+
+    /**
+     * Probability that branch @p instrId is taken given its block
+     * executed, approximated as taken / blockCount. For blocks with
+     * earlier side exits this slightly underestimates, which only
+     * makes trace growing more conservative.
+     */
+    double takenProbability(const Function &fn, BlockId bb,
+                            int instrId) const;
+
+    /** Copy counts onto the blocks' weight fields for printing. */
+    void annotate(Function &fn) const;
+
+  private:
+    std::vector<std::uint64_t> blockCounts_;
+    std::vector<std::uint64_t> takenCounts_;
+};
+
+/** Profiles for every function of a program, keyed by name. */
+class ProgramProfile
+{
+  public:
+    /** Size tables for every function of @p prog. */
+    explicit ProgramProfile(const Program &prog);
+
+    ProgramProfile() = default;
+
+    FunctionProfile &forFunction(const std::string &name)
+    {
+        return profiles_[name];
+    }
+    const FunctionProfile *find(const std::string &name) const;
+
+    /** Annotate all functions of @p prog with block weights. */
+    void annotate(Program &prog) const;
+
+  private:
+    std::map<std::string, FunctionProfile> profiles_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_ANALYSIS_PROFILE_HH

@@ -1,0 +1,138 @@
+#include "driver/pipeline.hh"
+
+#include <algorithm>
+
+#include "frontend/irgen.hh"
+#include "ir/verifier.hh"
+#include "opt/passes.hh"
+#include "sched/scheduler.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+std::string
+modelName(Model model)
+{
+    switch (model) {
+      case Model::Superblock:
+        return "Superblock";
+      case Model::CondMove:
+        return "Cond. Move";
+      case Model::FullPred:
+        return "Full Pred.";
+    }
+    return "?";
+}
+
+std::unique_ptr<Program>
+compileForModel(const std::string &source, const CompileOptions &opts)
+{
+    std::unique_ptr<Program> prog = compileSource(source);
+    std::string err = verifyProgram(*prog);
+    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
+
+    inlineFunctions(*prog);
+    optimizeProgram(*prog);
+    licmProgram(*prog);
+    optimizeProgram(*prog);
+
+    // Profile-run the optimized pre-formation code.
+    ProgramProfile profile(*prog);
+    {
+        EmuOptions emuOpts;
+        emuOpts.profile = &profile;
+        emuOpts.maxDynInstrs = opts.maxProfileInstrs;
+        Emulator emu(*prog);
+        emu.run(opts.profileInput, emuOpts);
+    }
+
+    switch (opts.model) {
+      case Model::Superblock:
+        formSuperblocks(*prog, profile, opts.superblock);
+        break;
+      case Model::FullPred:
+      case Model::CondMove: {
+        HyperblockOptions hbOpts = opts.hyperblock;
+        // The paper's concluding remark: "a compiler must be
+        // extremely intelligent when exploiting conditional move".
+        // The cmov model pays fetch slots for both representing the
+        // predicates and executing all included paths, so its
+        // formation tolerates less saturation.
+        if (opts.model == Model::CondMove) {
+            hbOpts.saturationFactor =
+                std::min(hbOpts.saturationFactor, 1.25);
+        }
+        formHyperblocks(*prog, profile, hbOpts);
+        if (opts.enableHeightReduction)
+            reducePredicateHeight(*prog);
+        if (opts.enablePromotion)
+            promotePredicates(*prog);
+        // Branch combining pays off for full predication (parallel
+        // OR defines, one exit slot); under the cmov model the
+        // lowered OR chain plus decode-block bubbles cost more than
+        // the saved slots on this machine, so the "extremely
+        // intelligent" cmov compiler the paper calls for skips it.
+        if (opts.enableBranchCombining &&
+            opts.model == Model::FullPred) {
+            // Re-profile the formed code: exit jumps created by
+            // if-conversion carry fresh instruction ids, so the
+            // pre-formation profile says nothing about them.
+            ProgramProfile formed(*prog);
+            EmuOptions emuOpts;
+            emuOpts.profile = &formed;
+            emuOpts.maxDynInstrs = opts.maxProfileInstrs;
+            Emulator emu(*prog);
+            emu.run(opts.profileInput, emuOpts);
+            combineExitBranches(*prog, formed, opts.branchCombine);
+        }
+        if (opts.model == Model::CondMove)
+            lowerToPartial(*prog, opts.partial);
+        break;
+      }
+    }
+
+    optimizeProgram(*prog);
+    if (opts.enableUnrolling) {
+        // Re-profile the formed code so unrolling sees the final
+        // loop blocks, then unroll hot tight loops in place.
+        ProgramProfile formedProfile(*prog);
+        EmuOptions emuOpts;
+        emuOpts.profile = &formedProfile;
+        emuOpts.maxDynInstrs = opts.maxProfileInstrs;
+        Emulator emu(*prog);
+        emu.run(opts.profileInput, emuOpts);
+        unrollLoops(*prog, formedProfile);
+        optimizeProgram(*prog);
+    }
+    layoutProgram(*prog, &profile);
+    scheduleProgram(*prog, opts.machine, opts.schedulerSpeculation);
+
+    err = verifyProgram(*prog);
+    panicIf(!err.empty(), "pipeline produced invalid IR (",
+            modelName(opts.model), "): ", err);
+    return prog;
+}
+
+SimResult
+runModel(const std::string &source, const std::string &input,
+         const CompileOptions &compileOpts, const SimConfig &simConfig)
+{
+    std::unique_ptr<Program> prog =
+        compileForModel(source, compileOpts);
+    return simulate(*prog, input, simConfig);
+}
+
+RunResult
+runReference(const std::string &source, const std::string &input,
+             std::uint64_t maxDynInstrs)
+{
+    std::unique_ptr<Program> prog = compileSource(source);
+    optimizeProgram(*prog);
+    EmuOptions opts;
+    opts.maxDynInstrs = maxDynInstrs;
+    Emulator emu(*prog);
+    return emu.run(input, opts);
+}
+
+} // namespace predilp

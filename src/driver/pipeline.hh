@@ -1,0 +1,81 @@
+/**
+ * @file
+ * End-to-end compilation pipelines for the three processor models of
+ * the paper (§4.1): Superblock (baseline), Conditional Move (partial
+ * predication), and Full Predication. Shared by the benchmark
+ * harness, the examples, and the integration tests.
+ */
+
+#ifndef PREDILP_DRIVER_PIPELINE_HH
+#define PREDILP_DRIVER_PIPELINE_HH
+
+#include <memory>
+#include <string>
+
+#include "hyperblock/hyperblock.hh"
+#include "partial/partial.hh"
+#include "sim/timing.hh"
+#include "superblock/superblock.hh"
+
+namespace predilp
+{
+
+/** The three compilation/architecture models compared in the paper. */
+enum class Model
+{
+    Superblock,   ///< no predication; superblock + speculation.
+    CondMove,     ///< partial predication via cmov/cmov_com.
+    FullPred,     ///< full predicate register file + defines.
+};
+
+/** @return "Superblock" / "Cond. Move" / "Full Pred.". */
+std::string modelName(Model model);
+
+/** Everything configurable about one compilation. */
+struct CompileOptions
+{
+    Model model = Model::FullPred;
+    MachineConfig machine;
+    SuperblockOptions superblock;
+    HyperblockOptions hyperblock;
+    BranchCombineOptions branchCombine;
+    PartialOptions partial;
+    bool enablePromotion = true;
+    bool enableBranchCombining = true;
+    bool enableHeightReduction = true;
+    bool enableUnrolling = true;
+    /** Allow cross-branch speculation in the scheduler. */
+    bool schedulerSpeculation = true;
+    /** Input used for the profiling run. */
+    std::string profileInput;
+    /** Emulator fuel for profiling runs. */
+    std::uint64_t maxProfileInstrs = 2'000'000'000ull;
+};
+
+/**
+ * Compile ILC source for one model: frontend, classical
+ * optimization, profiling, region formation for the chosen model,
+ * re-optimization, layout, and scheduling. The result verifies
+ * cleanly and is ready for simulation.
+ */
+std::unique_ptr<Program> compileForModel(const std::string &source,
+                                         const CompileOptions &opts);
+
+/** Compile + simulate in one step. */
+SimResult runModel(const std::string &source,
+                   const std::string &input,
+                   const CompileOptions &compileOpts,
+                   const SimConfig &simConfig);
+
+/**
+ * Reference run: frontend + classical optimization only, emulated
+ * functionally. Used as the correctness oracle for every model.
+ */
+RunResult runReference(const std::string &source,
+                       const std::string &input,
+                       std::uint64_t maxDynInstrs =
+                           2'000'000'000ull);
+
+} // namespace predilp
+
+#endif // PREDILP_DRIVER_PIPELINE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Suite evaluation and table rendering for the paper's figures and
+ * tables: run every workload under every processor model, compute
+ * speedups against the 1-issue baseline exactly as §4.1 defines
+ * them, and print rows in the paper's format.
+ */
+
+#ifndef PREDILP_DRIVER_REPORT_HH
+#define PREDILP_DRIVER_REPORT_HH
+
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "driver/pipeline.hh"
+#include "workloads/workloads.hh"
+
+namespace predilp
+{
+
+/** All measurements for one benchmark. */
+struct BenchmarkResult
+{
+    std::string name;
+    /** Cycle count of the 1-issue Superblock baseline processor. */
+    std::uint64_t baseCycles = 0;
+    std::map<Model, SimResult> models;
+
+    /** Speedup of @p model per the paper: base / model cycles. */
+    double
+    speedup(Model model) const
+    {
+        auto it = models.find(model);
+        if (it == models.end() || it->second.cycles == 0)
+            return 0.0;
+        return static_cast<double>(baseCycles) /
+               static_cast<double>(it->second.cycles);
+    }
+};
+
+/** Configuration of one whole-suite evaluation. */
+struct SuiteConfig
+{
+    MachineConfig machine;         ///< the k-issue machine.
+    bool perfectCaches = true;
+    /** Use select instructions in the partial model (ablation). */
+    bool useSelect = false;
+    /** Disable passes for ablations. */
+    bool enablePromotion = true;
+    bool enableBranchCombining = true;
+    bool enableHeightReduction = true;
+    bool enableOrTree = true;
+    /** Input scale multiplier applied to every workload. */
+    int scaleMultiplier = 1;
+};
+
+/** Evaluate one workload under one suite configuration. */
+BenchmarkResult evaluateWorkload(const Workload &workload,
+                                 const SuiteConfig &config);
+
+/** Evaluate the whole suite. */
+std::vector<BenchmarkResult> evaluateSuite(const SuiteConfig &config);
+
+/**
+ * Print a figure-style speedup table (Figures 8-11): one row per
+ * benchmark, columns Superblock / Cond. Move / Full Pred., plus the
+ * arithmetic mean row the paper reports.
+ */
+void printSpeedupFigure(std::ostream &os, const std::string &title,
+                        const std::vector<BenchmarkResult> &results);
+
+/** Print Table 2: dynamic instruction counts with ratios. */
+void printInstructionTable(std::ostream &os,
+                           const std::vector<BenchmarkResult> &results);
+
+/** Print Table 3: branches, mispredictions, misprediction rates. */
+void printBranchTable(std::ostream &os,
+                      const std::vector<BenchmarkResult> &results);
+
+} // namespace predilp
+
+#endif // PREDILP_DRIVER_REPORT_HH

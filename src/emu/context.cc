@@ -1,0 +1,120 @@
+#include "emu/context.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+ExecContext::ExecContext(const Program &prog, std::string input)
+    : input_(std::move(input))
+{
+    // Data segment plus a page of slack so off-by-small-index bugs in
+    // workloads fault loudly rather than silently (the verifier of
+    // last resort is the bounds check in the emulator).
+    memory_.assign(static_cast<std::size_t>(prog.dataSize()) + 4096,
+                   0);
+    for (const auto &g : prog.globals()) {
+        if (!g.initInts.empty()) {
+            std::int64_t addr = g.addr;
+            for (std::int64_t v : g.initInts) {
+                if (g.elemSize == 1) {
+                    storeByte(addr, v);
+                    addr += 1;
+                } else {
+                    storeWord(addr, v);
+                    addr += 8;
+                }
+            }
+        }
+        if (!g.initFloats.empty()) {
+            std::int64_t addr = g.addr;
+            for (double v : g.initFloats) {
+                storeDouble(addr, v);
+                addr += 8;
+            }
+        }
+    }
+}
+
+std::int64_t
+ExecContext::loadWord(std::int64_t addr) const
+{
+    std::int64_t value;
+    std::memcpy(&value, memory_.data() + addr, 8);
+    return value;
+}
+
+void
+ExecContext::storeWord(std::int64_t addr, std::int64_t value)
+{
+    std::memcpy(memory_.data() + addr, &value, 8);
+}
+
+std::int64_t
+ExecContext::loadByteSigned(std::int64_t addr) const
+{
+    return static_cast<std::int8_t>(memory_[
+        static_cast<std::size_t>(addr)]);
+}
+
+std::int64_t
+ExecContext::loadByteUnsigned(std::int64_t addr) const
+{
+    return memory_[static_cast<std::size_t>(addr)];
+}
+
+void
+ExecContext::storeByte(std::int64_t addr, std::int64_t value)
+{
+    memory_[static_cast<std::size_t>(addr)] =
+        static_cast<std::uint8_t>(value & 0xff);
+}
+
+double
+ExecContext::loadDouble(std::int64_t addr) const
+{
+    double value;
+    std::memcpy(&value, memory_.data() + addr, 8);
+    return value;
+}
+
+void
+ExecContext::storeDouble(std::int64_t addr, double value)
+{
+    std::memcpy(memory_.data() + addr, &value, 8);
+}
+
+std::int64_t
+ExecContext::getChar()
+{
+    if (inputPos_ >= input_.size())
+        return -1;
+    return static_cast<std::uint8_t>(input_[inputPos_++]);
+}
+
+std::int64_t
+ExecContext::readBlock(std::int64_t addr, std::int64_t maxLen)
+{
+    std::int64_t count = std::min<std::int64_t>(
+        maxLen, static_cast<std::int64_t>(inputRemaining()));
+    if (count < 0)
+        count = 0;
+    for (std::int64_t i = 0; i < count; ++i) {
+        memory_[static_cast<std::size_t>(addr + i)] =
+            static_cast<std::uint8_t>(input_[inputPos_ + static_cast<
+                std::size_t>(i)]);
+    }
+    inputPos_ += static_cast<std::size_t>(count);
+    return count;
+}
+
+void
+ExecContext::putChar(std::int64_t value)
+{
+    output_.push_back(static_cast<char>(value & 0xff));
+}
+
+} // namespace predilp

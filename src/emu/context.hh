@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Execution context shared by emulator runs: data memory, the input
+ * byte stream consumed by getc, and the output stream produced by
+ * putc. Output equality across processor models is the correctness
+ * oracle of the whole reproduction.
+ */
+
+#ifndef PREDILP_EMU_CONTEXT_HH
+#define PREDILP_EMU_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/** Memory image + I/O streams for one emulation run. */
+class ExecContext
+{
+  public:
+    /**
+     * Create a context for @p prog with @p input as the getc stream.
+     * Memory is sized to the program's data segment plus slack and
+     * initialized from the globals' initializers.
+     */
+    ExecContext(const Program &prog, std::string input);
+
+    /** Raw memory size in bytes. */
+    std::int64_t memSize() const
+    {
+        return static_cast<std::int64_t>(memory_.size());
+    }
+
+    /** @return true when [addr, addr+bytes) is a valid access. */
+    bool
+    validAccess(std::int64_t addr, int bytes) const
+    {
+        return addr >= 0 && addr + bytes <= memSize();
+    }
+
+    std::int64_t loadWord(std::int64_t addr) const;
+    void storeWord(std::int64_t addr, std::int64_t value);
+    std::int64_t loadByteSigned(std::int64_t addr) const;
+    std::int64_t loadByteUnsigned(std::int64_t addr) const;
+    void storeByte(std::int64_t addr, std::int64_t value);
+    double loadDouble(std::int64_t addr) const;
+    void storeDouble(std::int64_t addr, double value);
+
+    /** Next input byte (0..255) or -1 at end of stream. */
+    std::int64_t getChar();
+
+    /**
+     * Bulk input, like a read() syscall: copy up to @p maxLen bytes
+     * of remaining input into memory at @p addr.
+     * @return the number of bytes copied (0 at end of stream).
+     */
+    std::int64_t readBlock(std::int64_t addr, std::int64_t maxLen);
+
+    /** Append the low byte of @p value to the output stream. */
+    void putChar(std::int64_t value);
+
+    /** Output produced so far. */
+    const std::string &output() const { return output_; }
+
+    /** Bytes of input not yet consumed. */
+    std::size_t inputRemaining() const
+    {
+        return input_.size() - inputPos_;
+    }
+
+  private:
+    std::vector<std::uint8_t> memory_;
+    std::string input_;
+    std::size_t inputPos_ = 0;
+    std::string output_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_EMU_CONTEXT_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Abstract syntax tree for ILC. A deliberately small surface: int and
+ * float scalars, global arrays (int/float/byte), functions, and the
+ * usual C control flow and expressions — enough to express the
+ * paper's control-intensive benchmark kernels naturally.
+ */
+
+#ifndef PREDILP_FRONTEND_AST_HH
+#define PREDILP_FRONTEND_AST_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "frontend/token.hh"
+
+namespace predilp
+{
+
+/** Source-level types. */
+enum class Ty : std::uint8_t { Int, Float, Byte, Void };
+
+/** Expression node. */
+struct Expr
+{
+    enum class Kind : std::uint8_t
+    {
+        IntLit,   ///< intValue.
+        FloatLit, ///< floatValue.
+        Var,      ///< name.
+        Index,    ///< name[kids[0]] — global array element.
+        Call,     ///< name(kids...) — function or builtin.
+        Unary,    ///< op kids[0] (-, !, ~).
+        Binary,   ///< kids[0] op kids[1].
+        Assign,   ///< kids[0] op= kids[1]; op in {=, +=, -=}.
+        Ternary,  ///< kids[0] ? kids[1] : kids[2].
+    };
+
+    Kind kind;
+    int line = 0;
+    Tok op = Tok::End;             ///< operator for Unary/Binary/Assign.
+    std::int64_t intValue = 0;
+    double floatValue = 0.0;
+    std::string name;
+    std::vector<std::unique_ptr<Expr>> kids;
+
+    Expr(Kind k, int ln) : kind(k), line(ln) {}
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/** Statement node. */
+struct Stmt
+{
+    enum class Kind : std::uint8_t
+    {
+        Block,    ///< body holds the statements.
+        VarDecl,  ///< name : declTy, optional init in expr.
+        If,       ///< expr, body[0] = then, body[1] = else (opt).
+        While,    ///< expr, body[0].
+        DoWhile,  ///< body[0], expr.
+        For,      ///< init (body[0]), expr cond, step, body[1].
+        Return,   ///< optional expr.
+        Break,
+        Continue,
+        ExprStmt, ///< expr.
+        Empty,
+    };
+
+    Kind kind;
+    int line = 0;
+    Ty declTy = Ty::Int;
+    std::string name;
+    ExprPtr expr;              ///< condition / value / expression.
+    ExprPtr step;              ///< for-loop step expression.
+    std::vector<std::unique_ptr<Stmt>> body;
+
+    Stmt(Kind k, int ln) : kind(k), line(ln) {}
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/** One function parameter. */
+struct Param
+{
+    std::string name;
+    Ty type = Ty::Int;
+};
+
+/** Function definition. */
+struct FuncDecl
+{
+    std::string name;
+    Ty retType = Ty::Void;
+    std::vector<Param> params;
+    StmtPtr body;
+    int line = 0;
+};
+
+/** Global variable or array definition. */
+struct GlobalDecl
+{
+    std::string name;
+    Ty elemType = Ty::Int;
+    /** Element count; 1 with isArray=false means scalar. */
+    std::int64_t count = 1;
+    bool isArray = false;
+    std::vector<std::int64_t> initInts;
+    std::vector<double> initFloats;
+    int line = 0;
+};
+
+/** A parsed translation unit. */
+struct Unit
+{
+    std::vector<GlobalDecl> globals;
+    std::vector<FuncDecl> functions;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_FRONTEND_AST_HH

@@ -1,0 +1,1007 @@
+#include "frontend/irgen.hh"
+
+#include <map>
+#include <vector>
+
+#include "frontend/parser.hh"
+#include "ir/builder.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/** A typed rvalue: an operand plus its source type (Int or Float). */
+struct Value
+{
+    Operand op;
+    Ty type = Ty::Int;
+};
+
+/** A local scalar variable bound to a virtual register. */
+struct LocalVar
+{
+    Reg reg;
+    Ty type = Ty::Int;
+};
+
+/** break/continue targets of the innermost enclosing loop. */
+struct LoopTargets
+{
+    BlockId breakTarget;
+    BlockId continueTarget;
+};
+
+class IRGen
+{
+  public:
+    explicit IRGen(const Unit &unit) : unit_(unit) {}
+
+    std::unique_ptr<Program>
+    run()
+    {
+        prog_ = std::make_unique<Program>();
+
+        for (const auto &g : unit_.globals)
+            declareGlobal(g);
+        for (const auto &fn : unit_.functions)
+            declareFunction(fn);
+        for (const auto &fn : unit_.functions)
+            generateFunction(fn);
+        return std::move(prog_);
+    }
+
+  private:
+    // --- declarations ---
+
+    void
+    declareGlobal(const GlobalDecl &g)
+    {
+        if (signatures_.count(g.name) != 0 ||
+            globalTypes_.count(g.name) != 0) {
+            fatal("line ", g.line, ": duplicate global name ",
+                  g.name);
+        }
+        int elemSize = g.elemType == Ty::Byte ? 1 : 8;
+        std::int64_t size = g.count * elemSize;
+        prog_->allocGlobal(g.name, size, elemSize,
+                           g.elemType == Ty::Float);
+        Global *global = prog_->global(g.name);
+        global->initInts = g.initInts;
+        global->initFloats = g.initFloats;
+        globalTypes_[g.name] = g.elemType;
+        globalIsArray_[g.name] = g.isArray;
+    }
+
+    void
+    declareFunction(const FuncDecl &decl)
+    {
+        if (signatures_.count(decl.name) != 0 ||
+            globalTypes_.count(decl.name) != 0) {
+            fatal("line ", decl.line, ": duplicate name ", decl.name);
+        }
+        if (decl.name == "getc" || decl.name == "putc")
+            fatal("line ", decl.line, ": ", decl.name,
+                  " is a builtin");
+        signatures_[decl.name] = &decl;
+        Function *fn = prog_->newFunction(decl.name);
+        switch (decl.retType) {
+          case Ty::Int:
+            fn->setRetKind(RetKind::Int);
+            break;
+          case Ty::Float:
+            fn->setRetKind(RetKind::Float);
+            break;
+          case Ty::Void:
+            fn->setRetKind(RetKind::None);
+            break;
+          case Ty::Byte:
+            fatal("line ", decl.line, ": byte return unsupported");
+        }
+        for (const auto &param : decl.params) {
+            Reg reg = param.type == Ty::Float ? fn->newFloatReg()
+                                              : fn->newIntReg();
+            fn->addParam(reg);
+        }
+    }
+
+    // --- function bodies ---
+
+    void
+    generateFunction(const FuncDecl &decl)
+    {
+        fn_ = prog_->function(decl.name);
+        decl_ = &decl;
+        builder_ = std::make_unique<IRBuilder>(fn_);
+        scopes_.clear();
+        loops_.clear();
+
+        builder_->startBlock("entry");
+        pushScope();
+        for (std::size_t i = 0; i < decl.params.size(); ++i) {
+            defineLocal(decl.params[i].name, decl.params[i].type,
+                        fn_->params()[i], decl.line);
+        }
+        genStmt(*decl.body);
+        popScope();
+
+        if (!blockTerminated())
+            emitDefaultReturn();
+        fn_->pruneUnreachable();
+    }
+
+    void
+    emitDefaultReturn()
+    {
+        switch (decl_->retType) {
+          case Ty::Int:
+            builder_->ret(Operand::imm(0));
+            break;
+          case Ty::Float:
+            builder_->ret(Operand::fimm(0.0));
+            break;
+          default:
+            builder_->ret();
+            break;
+        }
+    }
+
+    bool
+    blockTerminated()
+    {
+        return builder_->blockPtr()->endsInUnconditionalTransfer();
+    }
+
+    // --- scopes ---
+
+    void pushScope() { scopes_.emplace_back(); }
+    void popScope() { scopes_.pop_back(); }
+
+    void
+    defineLocal(const std::string &name, Ty type, Reg reg, int line)
+    {
+        if (type != Ty::Int && type != Ty::Float)
+            fatal("line ", line, ": locals must be int or float");
+        if (scopes_.back().count(name) != 0)
+            fatal("line ", line, ": redefinition of ", name);
+        scopes_.back()[name] = LocalVar{reg, type};
+    }
+
+    const LocalVar *
+    findLocal(const std::string &name) const
+    {
+        for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+            auto found = it->find(name);
+            if (found != it->end())
+                return &found->second;
+        }
+        return nullptr;
+    }
+
+    // --- type plumbing ---
+
+    Operand
+    toFloat(const Value &v)
+    {
+        if (v.type == Ty::Float)
+            return v.op;
+        if (v.op.isImm())
+            return Operand::fimm(
+                static_cast<double>(v.op.immValue()));
+        Reg dest = fn_->newFloatReg();
+        builder_->emit(Opcode::CvtIf, dest, v.op);
+        return Operand(dest);
+    }
+
+    Operand
+    toInt(const Value &v, int line)
+    {
+        if (v.type != Ty::Float)
+            return v.op;
+        if (v.op.isFImm())
+            return Operand::imm(static_cast<std::int64_t>(
+                v.op.fimmValue()));
+        Reg dest = fn_->newIntReg();
+        builder_->emit(Opcode::CvtFi, dest, v.op);
+        (void)line;
+        return Operand(dest);
+    }
+
+    /** Coerce @p v to @p type, emitting a conversion if needed. */
+    Operand
+    coerce(const Value &v, Ty type, int line)
+    {
+        if (type == Ty::Float)
+            return toFloat(v);
+        return toInt(v, line);
+    }
+
+    // --- condition generation ---
+
+    static Opcode
+    tokToBranch(Tok op)
+    {
+        switch (op) {
+          case Tok::Eq: return Opcode::Beq;
+          case Tok::Ne: return Opcode::Bne;
+          case Tok::Lt: return Opcode::Blt;
+          case Tok::Le: return Opcode::Ble;
+          case Tok::Gt: return Opcode::Bgt;
+          case Tok::Ge: return Opcode::Bge;
+          default: panic("tokToBranch: not a comparison");
+        }
+    }
+
+    static Opcode
+    tokToFCmp(Tok op)
+    {
+        switch (op) {
+          case Tok::Eq: return Opcode::FCmpEq;
+          case Tok::Ne: return Opcode::FCmpNe;
+          case Tok::Lt: return Opcode::FCmpLt;
+          case Tok::Le: return Opcode::FCmpLe;
+          case Tok::Gt: return Opcode::FCmpGt;
+          case Tok::Ge: return Opcode::FCmpGe;
+          default: panic("tokToFCmp: not a comparison");
+        }
+    }
+
+    static bool
+    isComparison(Tok op)
+    {
+        return op == Tok::Eq || op == Tok::Ne || op == Tok::Lt ||
+               op == Tok::Le || op == Tok::Gt || op == Tok::Ge;
+    }
+
+    /**
+     * Emit control flow so execution reaches @p tBlk when @p expr is
+     * true and @p fBlk otherwise. Leaves no open block.
+     */
+    void
+    genCond(const Expr &expr, BlockId tBlk, BlockId fBlk)
+    {
+        if (expr.kind == Expr::Kind::Binary &&
+            isComparison(expr.op)) {
+            Value lhs = genExpr(*expr.kids[0]);
+            Value rhs = genExpr(*expr.kids[1]);
+            if (lhs.type == Ty::Float || rhs.type == Ty::Float) {
+                Operand a = toFloat(lhs);
+                Operand b = toFloat(rhs);
+                Reg cmp = fn_->newIntReg();
+                builder_->emit(tokToFCmp(expr.op), cmp, a, b);
+                builder_->branch(Opcode::Bne, Operand(cmp),
+                                 Operand::imm(0), tBlk);
+            } else {
+                builder_->branch(tokToBranch(expr.op), lhs.op,
+                                 rhs.op, tBlk);
+            }
+            builder_->jump(fBlk);
+            return;
+        }
+        if (expr.kind == Expr::Kind::Binary &&
+            expr.op == Tok::AmpAmp) {
+            BasicBlock *mid = fn_->newBlock();
+            genCond(*expr.kids[0], mid->id(), fBlk);
+            builder_->setBlock(mid);
+            genCond(*expr.kids[1], tBlk, fBlk);
+            return;
+        }
+        if (expr.kind == Expr::Kind::Binary &&
+            expr.op == Tok::PipePipe) {
+            BasicBlock *mid = fn_->newBlock();
+            genCond(*expr.kids[0], tBlk, mid->id());
+            builder_->setBlock(mid);
+            genCond(*expr.kids[1], tBlk, fBlk);
+            return;
+        }
+        if (expr.kind == Expr::Kind::Unary && expr.op == Tok::Not) {
+            genCond(*expr.kids[0], fBlk, tBlk);
+            return;
+        }
+        if (expr.kind == Expr::Kind::IntLit) {
+            builder_->jump(expr.intValue != 0 ? tBlk : fBlk);
+            return;
+        }
+        Value v = genExpr(expr);
+        Operand iv = toInt(v, expr.line);
+        builder_->branch(Opcode::Bne, iv, Operand::imm(0), tBlk);
+        builder_->jump(fBlk);
+    }
+
+    // --- expressions ---
+
+    Value
+    genExpr(const Expr &expr)
+    {
+        switch (expr.kind) {
+          case Expr::Kind::IntLit:
+            return Value{Operand::imm(expr.intValue), Ty::Int};
+          case Expr::Kind::FloatLit:
+            return Value{Operand::fimm(expr.floatValue), Ty::Float};
+          case Expr::Kind::Var:
+            return genVarRead(expr);
+          case Expr::Kind::Index:
+            return genIndexRead(expr);
+          case Expr::Kind::Call:
+            return genCall(expr, false);
+          case Expr::Kind::Unary:
+            return genUnary(expr);
+          case Expr::Kind::Binary:
+            return genBinary(expr);
+          case Expr::Kind::Assign:
+            return genAssign(expr);
+          case Expr::Kind::Ternary:
+            return genTernary(expr);
+        }
+        panic("genExpr: bad expression kind");
+    }
+
+    Value
+    genVarRead(const Expr &expr)
+    {
+        if (const LocalVar *local = findLocal(expr.name))
+            return Value{Operand(local->reg), local->type};
+
+        auto gt = globalTypes_.find(expr.name);
+        if (gt == globalTypes_.end())
+            fatal("line ", expr.line, ": unknown variable ",
+                  expr.name);
+        if (globalIsArray_.at(expr.name))
+            fatal("line ", expr.line, ": array ", expr.name,
+                  " used without index");
+        const Global *g = prog_->global(expr.name);
+        if (gt->second == Ty::Float) {
+            Reg dest = fn_->newFloatReg();
+            builder_->load(Opcode::FLd, dest, Operand::imm(g->addr),
+                           Operand::imm(0));
+            return Value{Operand(dest), Ty::Float};
+        }
+        Reg dest = fn_->newIntReg();
+        builder_->load(Opcode::Ld, dest, Operand::imm(g->addr),
+                       Operand::imm(0));
+        return Value{Operand(dest), Ty::Int};
+    }
+
+    /**
+     * Compute the (base, offset) address pair of array element
+     * @p name [ @p index ]. Constant indices fold into the offset.
+     */
+    std::pair<Operand, Operand>
+    genElementAddress(const std::string &name, const Expr &index,
+                      int line, Ty *elemTypeOut)
+    {
+        auto gt = globalTypes_.find(name);
+        if (gt == globalTypes_.end())
+            fatal("line ", line, ": unknown array ", name);
+        const Global *g = prog_->global(name);
+        Ty elemType = gt->second;
+        *elemTypeOut = elemType;
+        int shift = elemType == Ty::Byte ? 0 : 3;
+
+        Value idx = genExpr(index);
+        Operand idxOp = toInt(idx, line);
+        if (idxOp.isImm()) {
+            return {Operand::imm(g->addr),
+                    Operand::imm(idxOp.immValue() << shift)};
+        }
+        if (shift == 0)
+            return {Operand::imm(g->addr), idxOp};
+        Reg off = fn_->newIntReg();
+        builder_->emit(Opcode::Shl, off, idxOp,
+                       Operand::imm(shift));
+        return {Operand::imm(g->addr), Operand(off)};
+    }
+
+    Value
+    genIndexRead(const Expr &expr)
+    {
+        Ty elemType = Ty::Int;
+        auto [base, off] = genElementAddress(expr.name,
+                                             *expr.kids[0],
+                                             expr.line, &elemType);
+        if (elemType == Ty::Float) {
+            Reg dest = fn_->newFloatReg();
+            builder_->load(Opcode::FLd, dest, base, off);
+            return Value{Operand(dest), Ty::Float};
+        }
+        Reg dest = fn_->newIntReg();
+        builder_->load(elemType == Ty::Byte ? Opcode::LdBu
+                                            : Opcode::Ld,
+                       dest, base, off);
+        return Value{Operand(dest), Ty::Int};
+    }
+
+    Value
+    genCall(const Expr &expr, bool voidContext)
+    {
+        if (expr.name == "getc") {
+            if (!expr.kids.empty())
+                fatal("line ", expr.line, ": getc takes no args");
+            Reg dest = fn_->newIntReg();
+            builder_->getc(dest);
+            return Value{Operand(dest), Ty::Int};
+        }
+        if (expr.name == "putc") {
+            if (expr.kids.size() != 1)
+                fatal("line ", expr.line, ": putc takes one arg");
+            Value v = genExpr(*expr.kids[0]);
+            builder_->putc(toInt(v, expr.line));
+            return Value{Operand::imm(0), Ty::Int};
+        }
+        if (expr.name == "readblock") {
+            // readblock(array, offset, maxlen): bulk input into a
+            // global byte array, like a read() syscall. Returns the
+            // byte count.
+            if (expr.kids.size() != 3 ||
+                expr.kids[0]->kind != Expr::Kind::Var) {
+                fatal("line ", expr.line,
+                      ": readblock(array, offset, maxlen) expects "
+                      "a global array name first");
+            }
+            const std::string &arrayName = expr.kids[0]->name;
+            auto gt = globalTypes_.find(arrayName);
+            if (gt == globalTypes_.end() ||
+                !globalIsArray_.at(arrayName) ||
+                gt->second != Ty::Byte) {
+                fatal("line ", expr.line, ": readblock target ",
+                      arrayName, " must be a global byte array");
+            }
+            const Global *g = prog_->global(arrayName);
+            Value off = genExpr(*expr.kids[1]);
+            Value len = genExpr(*expr.kids[2]);
+            Reg dest = fn_->newIntReg();
+            Instruction instr(Opcode::ReadBlock);
+            instr.setDest(dest);
+            instr.addSrc(Operand::imm(g->addr));
+            instr.addSrc(toInt(off, expr.line));
+            instr.addSrc(toInt(len, expr.line));
+            builder_->append(std::move(instr));
+            return Value{Operand(dest), Ty::Int};
+        }
+
+        auto sig = signatures_.find(expr.name);
+        if (sig == signatures_.end())
+            fatal("line ", expr.line, ": unknown function ",
+                  expr.name);
+        const FuncDecl *callee = sig->second;
+        if (callee->params.size() != expr.kids.size()) {
+            fatal("line ", expr.line, ": ", expr.name, " expects ",
+                  callee->params.size(), " arguments, got ",
+                  expr.kids.size());
+        }
+        std::vector<Operand> args;
+        for (std::size_t i = 0; i < expr.kids.size(); ++i) {
+            Value v = genExpr(*expr.kids[i]);
+            args.push_back(
+                coerce(v, callee->params[i].type, expr.line));
+        }
+        Reg dest;
+        Ty retType = callee->retType;
+        if (retType == Ty::Int) {
+            dest = fn_->newIntReg();
+        } else if (retType == Ty::Float) {
+            dest = fn_->newFloatReg();
+        } else if (!voidContext) {
+            fatal("line ", expr.line, ": void function ", expr.name,
+                  " used in an expression");
+        }
+        builder_->call(expr.name, dest, std::move(args));
+        return Value{dest.valid() ? Operand(dest) : Operand::imm(0),
+                     retType == Ty::Float ? Ty::Float : Ty::Int};
+    }
+
+    Value
+    genUnary(const Expr &expr)
+    {
+        if (expr.op == Tok::Not) {
+            Value v = genExpr(*expr.kids[0]);
+            Reg dest = fn_->newIntReg();
+            if (v.type == Ty::Float) {
+                builder_->emit(Opcode::FCmpEq, dest, v.op,
+                               Operand::fimm(0.0));
+            } else {
+                builder_->emit(Opcode::CmpEq, dest, v.op,
+                               Operand::imm(0));
+            }
+            return Value{Operand(dest), Ty::Int};
+        }
+        Value v = genExpr(*expr.kids[0]);
+        if (expr.op == Tok::Tilde) {
+            Operand iv = toInt(v, expr.line);
+            if (iv.isImm())
+                return Value{Operand::imm(~iv.immValue()), Ty::Int};
+            Reg dest = fn_->newIntReg();
+            builder_->emit(Opcode::Xor, dest, iv, Operand::imm(-1));
+            return Value{Operand(dest), Ty::Int};
+        }
+        // unary minus
+        if (v.type == Ty::Float) {
+            if (v.op.isFImm())
+                return Value{Operand::fimm(-v.op.fimmValue()),
+                             Ty::Float};
+            Reg dest = fn_->newFloatReg();
+            builder_->emit(Opcode::FSub, dest, Operand::fimm(0.0),
+                           v.op);
+            return Value{Operand(dest), Ty::Float};
+        }
+        if (v.op.isImm())
+            return Value{Operand::imm(-v.op.immValue()), Ty::Int};
+        Reg dest = fn_->newIntReg();
+        builder_->emit(Opcode::Sub, dest, Operand::imm(0), v.op);
+        return Value{Operand(dest), Ty::Int};
+    }
+
+    static Opcode
+    tokToIntOp(Tok op, int line)
+    {
+        switch (op) {
+          case Tok::Plus: return Opcode::Add;
+          case Tok::Minus: return Opcode::Sub;
+          case Tok::Star: return Opcode::Mul;
+          case Tok::Slash: return Opcode::Div;
+          case Tok::Percent: return Opcode::Rem;
+          case Tok::Amp: return Opcode::And;
+          case Tok::Pipe: return Opcode::Or;
+          case Tok::Caret: return Opcode::Xor;
+          case Tok::Shl: return Opcode::Shl;
+          case Tok::Shr: return Opcode::Sra;
+          default:
+            fatal("line ", line, ": bad integer operator");
+        }
+    }
+
+    static Opcode
+    tokToCmp(Tok op)
+    {
+        switch (op) {
+          case Tok::Eq: return Opcode::CmpEq;
+          case Tok::Ne: return Opcode::CmpNe;
+          case Tok::Lt: return Opcode::CmpLt;
+          case Tok::Le: return Opcode::CmpLe;
+          case Tok::Gt: return Opcode::CmpGt;
+          case Tok::Ge: return Opcode::CmpGe;
+          default: panic("tokToCmp: not a comparison");
+        }
+    }
+
+    Value
+    genBinary(const Expr &expr)
+    {
+        // Logical operators get short-circuit control flow even in
+        // value contexts.
+        if (expr.op == Tok::AmpAmp || expr.op == Tok::PipePipe)
+            return materializeCond(expr);
+
+        Value lhs = genExpr(*expr.kids[0]);
+        Value rhs = genExpr(*expr.kids[1]);
+
+        if (isComparison(expr.op)) {
+            Reg dest = fn_->newIntReg();
+            if (lhs.type == Ty::Float || rhs.type == Ty::Float) {
+                builder_->emit(tokToFCmp(expr.op), dest,
+                               toFloat(lhs), toFloat(rhs));
+            } else {
+                builder_->emit(tokToCmp(expr.op), dest, lhs.op,
+                               rhs.op);
+            }
+            return Value{Operand(dest), Ty::Int};
+        }
+
+        bool isFloatOp = lhs.type == Ty::Float ||
+                         rhs.type == Ty::Float;
+        if (isFloatOp) {
+            Opcode op;
+            switch (expr.op) {
+              case Tok::Plus: op = Opcode::FAdd; break;
+              case Tok::Minus: op = Opcode::FSub; break;
+              case Tok::Star: op = Opcode::FMul; break;
+              case Tok::Slash: op = Opcode::FDiv; break;
+              default:
+                fatal("line ", expr.line,
+                      ": operator not defined on float");
+            }
+            Reg dest = fn_->newFloatReg();
+            builder_->emit(op, dest, toFloat(lhs), toFloat(rhs));
+            return Value{Operand(dest), Ty::Float};
+        }
+
+        Reg dest = fn_->newIntReg();
+        builder_->emit(tokToIntOp(expr.op, expr.line), dest, lhs.op,
+                       rhs.op);
+        return Value{Operand(dest), Ty::Int};
+    }
+
+    /** Evaluate a boolean expression to 0/1 via control flow. */
+    Value
+    materializeCond(const Expr &expr)
+    {
+        Reg dest = fn_->newIntReg();
+        BasicBlock *tBlk = fn_->newBlock();
+        BasicBlock *fBlk = fn_->newBlock();
+        BasicBlock *join = fn_->newBlock();
+        genCond(expr, tBlk->id(), fBlk->id());
+        builder_->setBlock(tBlk);
+        builder_->mov(dest, Operand::imm(1));
+        builder_->jump(join->id());
+        builder_->setBlock(fBlk);
+        builder_->mov(dest, Operand::imm(0));
+        builder_->jump(join->id());
+        builder_->setBlock(join);
+        return Value{Operand(dest), Ty::Int};
+    }
+
+    Value
+    genTernary(const Expr &expr)
+    {
+        // Determine the result type by generating the arms in
+        // separate blocks; the result register class must be chosen
+        // first, so probe the arms' types syntactically: generate
+        // the then-arm, observe its type, and coerce both arms.
+        BasicBlock *tBlk = fn_->newBlock();
+        BasicBlock *fBlk = fn_->newBlock();
+        BasicBlock *join = fn_->newBlock();
+        genCond(*expr.kids[0], tBlk->id(), fBlk->id());
+
+        builder_->setBlock(tBlk);
+        Value tv = genExpr(*expr.kids[1]);
+        BasicBlock *tEnd = builder_->blockPtr();
+
+        builder_->setBlock(fBlk);
+        Value fv = genExpr(*expr.kids[2]);
+        BasicBlock *fEnd = builder_->blockPtr();
+
+        Ty type = (tv.type == Ty::Float || fv.type == Ty::Float)
+                      ? Ty::Float
+                      : Ty::Int;
+        Reg dest = type == Ty::Float ? fn_->newFloatReg()
+                                     : fn_->newIntReg();
+
+        builder_->setBlock(tEnd);
+        if (type == Ty::Float)
+            builder_->fmov(dest, toFloat(tv));
+        else
+            builder_->mov(dest, tv.op);
+        builder_->jump(join->id());
+
+        builder_->setBlock(fEnd);
+        if (type == Ty::Float)
+            builder_->fmov(dest, toFloat(fv));
+        else
+            builder_->mov(dest, fv.op);
+        builder_->jump(join->id());
+
+        builder_->setBlock(join);
+        return Value{Operand(dest), type};
+    }
+
+    Value
+    genAssign(const Expr &expr)
+    {
+        const Expr &target = *expr.kids[0];
+        const Expr &rhs = *expr.kids[1];
+
+        if (target.kind == Expr::Kind::Var) {
+            if (const LocalVar *local = findLocal(target.name))
+                return assignLocal(*local, expr, rhs);
+            return assignGlobalScalar(target, expr, rhs);
+        }
+        return assignElement(target, expr, rhs);
+    }
+
+    Value
+    assignLocal(const LocalVar &local, const Expr &expr,
+                const Expr &rhs)
+    {
+        Value value = genExpr(rhs);
+        Operand coerced = coerce(value, local.type, expr.line);
+        if (expr.op == Tok::Assign) {
+            if (local.type == Ty::Float)
+                builder_->fmov(local.reg, coerced);
+            else
+                builder_->mov(local.reg, coerced);
+        } else {
+            bool add = expr.op == Tok::PlusAssign;
+            if (local.type == Ty::Float) {
+                builder_->emit(add ? Opcode::FAdd : Opcode::FSub,
+                               local.reg, Operand(local.reg),
+                               coerced);
+            } else {
+                builder_->emit(add ? Opcode::Add : Opcode::Sub,
+                               local.reg, Operand(local.reg),
+                               coerced);
+            }
+        }
+        return Value{Operand(local.reg), local.type};
+    }
+
+    Value
+    assignGlobalScalar(const Expr &target, const Expr &expr,
+                       const Expr &rhs)
+    {
+        auto gt = globalTypes_.find(target.name);
+        if (gt == globalTypes_.end())
+            fatal("line ", target.line, ": unknown variable ",
+                  target.name);
+        if (globalIsArray_.at(target.name))
+            fatal("line ", target.line, ": array ", target.name,
+                  " assigned without index");
+        const Global *g = prog_->global(target.name);
+        Ty type = gt->second;
+
+        Value value = genExpr(rhs);
+        Operand coerced = coerce(value, type, expr.line);
+
+        if (expr.op != Tok::Assign) {
+            // Read-modify-write for += / -=.
+            bool add = expr.op == Tok::PlusAssign;
+            if (type == Ty::Float) {
+                Reg old = fn_->newFloatReg();
+                builder_->load(Opcode::FLd, old,
+                               Operand::imm(g->addr),
+                               Operand::imm(0));
+                Reg sum = fn_->newFloatReg();
+                builder_->emit(add ? Opcode::FAdd : Opcode::FSub,
+                               sum, Operand(old), coerced);
+                coerced = Operand(sum);
+            } else {
+                Reg old = fn_->newIntReg();
+                builder_->load(Opcode::Ld, old,
+                               Operand::imm(g->addr),
+                               Operand::imm(0));
+                Reg sum = fn_->newIntReg();
+                builder_->emit(add ? Opcode::Add : Opcode::Sub, sum,
+                               Operand(old), coerced);
+                coerced = Operand(sum);
+            }
+        }
+        builder_->store(type == Ty::Float ? Opcode::FSt : Opcode::St,
+                        Operand::imm(g->addr), Operand::imm(0),
+                        coerced);
+        return Value{coerced, type == Ty::Float ? Ty::Float : Ty::Int};
+    }
+
+    Value
+    assignElement(const Expr &target, const Expr &expr,
+                  const Expr &rhs)
+    {
+        Ty elemType = Ty::Int;
+        auto [base, off] = genElementAddress(
+            target.name, *target.kids[0], target.line, &elemType);
+        Ty valueType = elemType == Ty::Float ? Ty::Float : Ty::Int;
+
+        Value value = genExpr(rhs);
+        Operand coerced = coerce(value, valueType, expr.line);
+
+        if (expr.op != Tok::Assign) {
+            bool add = expr.op == Tok::PlusAssign;
+            if (elemType == Ty::Float) {
+                Reg old = fn_->newFloatReg();
+                builder_->load(Opcode::FLd, old, base, off);
+                Reg sum = fn_->newFloatReg();
+                builder_->emit(add ? Opcode::FAdd : Opcode::FSub,
+                               sum, Operand(old), coerced);
+                coerced = Operand(sum);
+            } else {
+                Reg old = fn_->newIntReg();
+                builder_->load(elemType == Ty::Byte ? Opcode::LdBu
+                                                    : Opcode::Ld,
+                               old, base, off);
+                Reg sum = fn_->newIntReg();
+                builder_->emit(add ? Opcode::Add : Opcode::Sub, sum,
+                               Operand(old), coerced);
+                coerced = Operand(sum);
+            }
+        }
+
+        Opcode storeOp = elemType == Ty::Float
+                             ? Opcode::FSt
+                             : (elemType == Ty::Byte ? Opcode::StB
+                                                     : Opcode::St);
+        builder_->store(storeOp, base, off, coerced);
+        return Value{coerced, valueType};
+    }
+
+    // --- statements ---
+
+    void
+    genStmt(const Stmt &stmt)
+    {
+        switch (stmt.kind) {
+          case Stmt::Kind::Block: {
+            pushScope();
+            for (const auto &child : stmt.body) {
+                if (blockTerminated()) {
+                    // Dead code after return/break: park it in an
+                    // unreachable block so structure stays valid.
+                    builder_->startBlock();
+                }
+                genStmt(*child);
+            }
+            popScope();
+            return;
+          }
+          case Stmt::Kind::VarDecl: {
+            Reg reg = stmt.declTy == Ty::Float ? fn_->newFloatReg()
+                                               : fn_->newIntReg();
+            defineLocal(stmt.name, stmt.declTy, reg, stmt.line);
+            if (stmt.expr != nullptr) {
+                Value v = genExpr(*stmt.expr);
+                Operand coerced = coerce(v, stmt.declTy, stmt.line);
+                if (stmt.declTy == Ty::Float)
+                    builder_->fmov(reg, coerced);
+                else
+                    builder_->mov(reg, coerced);
+            } else {
+                if (stmt.declTy == Ty::Float)
+                    builder_->fmov(reg, Operand::fimm(0.0));
+                else
+                    builder_->mov(reg, Operand::imm(0));
+            }
+            return;
+          }
+          case Stmt::Kind::If: {
+            BasicBlock *thenBlk = fn_->newBlock();
+            BasicBlock *join = fn_->newBlock();
+            BasicBlock *elseBlk =
+                stmt.body.size() > 1 ? fn_->newBlock() : join;
+            genCond(*stmt.expr, thenBlk->id(), elseBlk->id());
+
+            builder_->setBlock(thenBlk);
+            genStmt(*stmt.body[0]);
+            if (!blockTerminated())
+                builder_->jump(join->id());
+
+            if (stmt.body.size() > 1) {
+                builder_->setBlock(elseBlk);
+                genStmt(*stmt.body[1]);
+                if (!blockTerminated())
+                    builder_->jump(join->id());
+            }
+            builder_->setBlock(join);
+            return;
+          }
+          case Stmt::Kind::While: {
+            BasicBlock *head = fn_->newBlock();
+            BasicBlock *body = fn_->newBlock();
+            BasicBlock *exit = fn_->newBlock();
+            builder_->jump(head->id());
+            builder_->setBlock(head);
+            genCond(*stmt.expr, body->id(), exit->id());
+
+            loops_.push_back(LoopTargets{exit->id(), head->id()});
+            builder_->setBlock(body);
+            genStmt(*stmt.body[0]);
+            if (!blockTerminated())
+                builder_->jump(head->id());
+            loops_.pop_back();
+
+            builder_->setBlock(exit);
+            return;
+          }
+          case Stmt::Kind::DoWhile: {
+            BasicBlock *body = fn_->newBlock();
+            BasicBlock *latch = fn_->newBlock();
+            BasicBlock *exit = fn_->newBlock();
+            builder_->jump(body->id());
+
+            loops_.push_back(LoopTargets{exit->id(), latch->id()});
+            builder_->setBlock(body);
+            genStmt(*stmt.body[0]);
+            if (!blockTerminated())
+                builder_->jump(latch->id());
+            loops_.pop_back();
+
+            builder_->setBlock(latch);
+            genCond(*stmt.expr, body->id(), exit->id());
+            builder_->setBlock(exit);
+            return;
+          }
+          case Stmt::Kind::For: {
+            pushScope();
+            // The init clause's declarations live in the for's own
+            // scope (visible to cond/step/body), so emit its children
+            // directly instead of opening a nested block scope.
+            for (const auto &child : stmt.body[0]->body)
+                genStmt(*child);
+            BasicBlock *head = fn_->newBlock();
+            BasicBlock *body = fn_->newBlock();
+            BasicBlock *step = fn_->newBlock();
+            BasicBlock *exit = fn_->newBlock();
+            builder_->jump(head->id());
+
+            builder_->setBlock(head);
+            if (stmt.expr != nullptr)
+                genCond(*stmt.expr, body->id(), exit->id());
+            else
+                builder_->jump(body->id());
+
+            loops_.push_back(LoopTargets{exit->id(), step->id()});
+            builder_->setBlock(body);
+            genStmt(*stmt.body[1]);
+            if (!blockTerminated())
+                builder_->jump(step->id());
+            loops_.pop_back();
+
+            builder_->setBlock(step);
+            if (stmt.step != nullptr)
+                genExpr(*stmt.step);
+            builder_->jump(head->id());
+
+            builder_->setBlock(exit);
+            popScope();
+            return;
+          }
+          case Stmt::Kind::Return: {
+            if (stmt.expr != nullptr) {
+                if (decl_->retType == Ty::Void) {
+                    fatal("line ", stmt.line,
+                          ": void function returns a value");
+                }
+                Value v = genExpr(*stmt.expr);
+                builder_->ret(
+                    coerce(v, decl_->retType, stmt.line));
+            } else {
+                if (decl_->retType != Ty::Void) {
+                    fatal("line ", stmt.line,
+                          ": non-void function returns nothing");
+                }
+                builder_->ret();
+            }
+            return;
+          }
+          case Stmt::Kind::Break: {
+            if (loops_.empty())
+                fatal("line ", stmt.line, ": break outside a loop");
+            builder_->jump(loops_.back().breakTarget);
+            return;
+          }
+          case Stmt::Kind::Continue: {
+            if (loops_.empty())
+                fatal("line ", stmt.line,
+                      ": continue outside a loop");
+            builder_->jump(loops_.back().continueTarget);
+            return;
+          }
+          case Stmt::Kind::ExprStmt: {
+            if (stmt.expr->kind == Expr::Kind::Call)
+                genCall(*stmt.expr, true);
+            else
+                genExpr(*stmt.expr);
+            return;
+          }
+          case Stmt::Kind::Empty:
+            return;
+        }
+        panic("genStmt: bad statement kind");
+    }
+
+    const Unit &unit_;
+    std::unique_ptr<Program> prog_;
+    Function *fn_ = nullptr;
+    const FuncDecl *decl_ = nullptr;
+    std::unique_ptr<IRBuilder> builder_;
+    std::map<std::string, const FuncDecl *> signatures_;
+    std::map<std::string, Ty> globalTypes_;
+    std::map<std::string, bool> globalIsArray_;
+    std::vector<std::map<std::string, LocalVar>> scopes_;
+    std::vector<LoopTargets> loops_;
+};
+
+} // namespace
+
+std::unique_ptr<Program>
+generateIR(const Unit &unit)
+{
+    return IRGen(unit).run();
+}
+
+std::unique_ptr<Program>
+compileSource(const std::string &source)
+{
+    Unit unit = parseUnit(source);
+    return generateIR(unit);
+}
+
+} // namespace predilp

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * IR generation from the ILC AST. Produces a Program whose control
+ * flow is fully explicit (every block ends in a jump, branch+jump, or
+ * return); later layout passes convert jumps to fallthroughs.
+ */
+
+#ifndef PREDILP_FRONTEND_IRGEN_HH
+#define PREDILP_FRONTEND_IRGEN_HH
+
+#include <memory>
+#include <string>
+
+#include "frontend/ast.hh"
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/** Lower a parsed unit to IR. @throws FatalError on semantic errors. */
+std::unique_ptr<Program> generateIR(const Unit &unit);
+
+/** Convenience: parse and lower ILC source text. */
+std::unique_ptr<Program> compileSource(const std::string &source);
+
+} // namespace predilp
+
+#endif // PREDILP_FRONTEND_IRGEN_HH

@@ -1,0 +1,351 @@
+#include "frontend/lexer.hh"
+
+#include <cctype>
+#include <map>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+const std::map<std::string, Tok> keywords = {
+    {"int", Tok::KwInt},         {"float", Tok::KwFloat},
+    {"byte", Tok::KwByte},       {"void", Tok::KwVoid},
+    {"if", Tok::KwIf},           {"else", Tok::KwElse},
+    {"while", Tok::KwWhile},     {"for", Tok::KwFor},
+    {"do", Tok::KwDo},           {"break", Tok::KwBreak},
+    {"continue", Tok::KwContinue}, {"return", Tok::KwReturn},
+};
+
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source) : src_(source) {}
+
+    std::vector<Token>
+    run()
+    {
+        std::vector<Token> tokens;
+        while (true) {
+            skipWhitespaceAndComments();
+            Token tok = next();
+            tokens.push_back(tok);
+            if (tok.kind == Tok::End)
+                break;
+        }
+        return tokens;
+    }
+
+  private:
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+
+    char
+    advance()
+    {
+        char c = peek();
+        pos_ += 1;
+        if (c == '\n')
+            line_ += 1;
+        return c;
+    }
+
+    bool
+    match(char expected)
+    {
+        if (peek() != expected)
+            return false;
+        advance();
+        return true;
+    }
+
+    void
+    skipWhitespaceAndComments()
+    {
+        while (true) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (peek() != '\n' && peek() != '\0')
+                    advance();
+            } else if (c == '/' && peek(1) == '*') {
+                advance();
+                advance();
+                while (!(peek() == '*' && peek(1) == '/')) {
+                    if (peek() == '\0')
+                        fatal("line ", line_,
+                              ": unterminated block comment");
+                    advance();
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token
+    make(Tok kind)
+    {
+        Token tok;
+        tok.kind = kind;
+        tok.line = line_;
+        return tok;
+    }
+
+    std::int64_t
+    readEscape()
+    {
+        char c = advance();
+        switch (c) {
+          case 'n': return '\n';
+          case 't': return '\t';
+          case 'r': return '\r';
+          case '0': return '\0';
+          case '\\': return '\\';
+          case '\'': return '\'';
+          case '"': return '"';
+          default:
+            fatal("line ", line_, ": bad escape sequence \\", c);
+        }
+    }
+
+    Token
+    next()
+    {
+        if (pos_ >= src_.size())
+            return make(Tok::End);
+
+        int startLine = line_;
+        char c = advance();
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string ident(1, c);
+            while (std::isalnum(static_cast<unsigned char>(peek())) ||
+                   peek() == '_') {
+                ident.push_back(advance());
+            }
+            Token tok = make(Tok::Ident);
+            tok.line = startLine;
+            auto it = keywords.find(ident);
+            if (it != keywords.end()) {
+                tok.kind = it->second;
+            } else {
+                tok.text = std::move(ident);
+            }
+            return tok;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)))
+            return number(c, startLine);
+
+        if (c == '\'') {
+            std::int64_t value =
+                peek() == '\\' ? (advance(), readEscape())
+                               : advance();
+            if (!match('\''))
+                fatal("line ", startLine,
+                      ": unterminated char literal");
+            Token tok = make(Tok::IntLit);
+            tok.line = startLine;
+            tok.intValue = value;
+            return tok;
+        }
+
+        if (c == '"') {
+            Token tok = make(Tok::StrLit);
+            tok.line = startLine;
+            while (peek() != '"') {
+                if (peek() == '\0')
+                    fatal("line ", startLine,
+                          ": unterminated string literal");
+                char ch = advance();
+                tok.text.push_back(
+                    ch == '\\' ? static_cast<char>(readEscape()) : ch);
+            }
+            advance();
+            return tok;
+        }
+
+        Token tok = make(Tok::End);
+        tok.line = startLine;
+        switch (c) {
+          case '(': tok.kind = Tok::LParen; break;
+          case ')': tok.kind = Tok::RParen; break;
+          case '{': tok.kind = Tok::LBrace; break;
+          case '}': tok.kind = Tok::RBrace; break;
+          case '[': tok.kind = Tok::LBracket; break;
+          case ']': tok.kind = Tok::RBracket; break;
+          case ',': tok.kind = Tok::Comma; break;
+          case ';': tok.kind = Tok::Semi; break;
+          case ':': tok.kind = Tok::Colon; break;
+          case '?': tok.kind = Tok::Question; break;
+          case '~': tok.kind = Tok::Tilde; break;
+          case '^': tok.kind = Tok::Caret; break;
+          case '%': tok.kind = Tok::Percent; break;
+          case '*': tok.kind = Tok::Star; break;
+          case '/': tok.kind = Tok::Slash; break;
+          case '+':
+            tok.kind = match('=') ? Tok::PlusAssign : Tok::Plus;
+            break;
+          case '-':
+            tok.kind = match('=') ? Tok::MinusAssign : Tok::Minus;
+            break;
+          case '&':
+            tok.kind = match('&') ? Tok::AmpAmp : Tok::Amp;
+            break;
+          case '|':
+            tok.kind = match('|') ? Tok::PipePipe : Tok::Pipe;
+            break;
+          case '=':
+            tok.kind = match('=') ? Tok::Eq : Tok::Assign;
+            break;
+          case '!':
+            tok.kind = match('=') ? Tok::Ne : Tok::Not;
+            break;
+          case '<':
+            if (match('<'))
+                tok.kind = Tok::Shl;
+            else
+                tok.kind = match('=') ? Tok::Le : Tok::Lt;
+            break;
+          case '>':
+            if (match('>'))
+                tok.kind = Tok::Shr;
+            else
+                tok.kind = match('=') ? Tok::Ge : Tok::Gt;
+            break;
+          default:
+            fatal("line ", startLine, ": unexpected character '", c,
+                  "'");
+        }
+        return tok;
+    }
+
+    Token
+    number(char first, int startLine)
+    {
+        std::string digits(1, first);
+        bool isFloat = false;
+
+        if (first == '0' && (peek() == 'x' || peek() == 'X')) {
+            advance();
+            std::string hex;
+            while (std::isxdigit(static_cast<unsigned char>(peek())))
+                hex.push_back(advance());
+            if (hex.empty())
+                fatal("line ", startLine, ": bad hex literal");
+            Token tok = make(Tok::IntLit);
+            tok.line = startLine;
+            tok.intValue = static_cast<std::int64_t>(
+                std::stoull(hex, nullptr, 16));
+            return tok;
+        }
+
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            digits.push_back(advance());
+        if (peek() == '.' &&
+            std::isdigit(static_cast<unsigned char>(peek(1)))) {
+            isFloat = true;
+            digits.push_back(advance());
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                digits.push_back(advance());
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            isFloat = true;
+            digits.push_back(advance());
+            if (peek() == '+' || peek() == '-')
+                digits.push_back(advance());
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                digits.push_back(advance());
+        }
+
+        Token tok = make(isFloat ? Tok::FloatLit : Tok::IntLit);
+        tok.line = startLine;
+        if (isFloat)
+            tok.floatValue = std::stod(digits);
+        else
+            tok.intValue = static_cast<std::int64_t>(
+                std::stoull(digits));
+        return tok;
+    }
+
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+};
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    return Lexer(source).run();
+}
+
+std::string
+tokName(Tok kind)
+{
+    switch (kind) {
+      case Tok::End: return "<eof>";
+      case Tok::Ident: return "identifier";
+      case Tok::IntLit: return "integer literal";
+      case Tok::FloatLit: return "float literal";
+      case Tok::StrLit: return "string literal";
+      case Tok::KwInt: return "'int'";
+      case Tok::KwFloat: return "'float'";
+      case Tok::KwByte: return "'byte'";
+      case Tok::KwVoid: return "'void'";
+      case Tok::KwIf: return "'if'";
+      case Tok::KwElse: return "'else'";
+      case Tok::KwWhile: return "'while'";
+      case Tok::KwFor: return "'for'";
+      case Tok::KwDo: return "'do'";
+      case Tok::KwBreak: return "'break'";
+      case Tok::KwContinue: return "'continue'";
+      case Tok::KwReturn: return "'return'";
+      case Tok::LParen: return "'('";
+      case Tok::RParen: return "')'";
+      case Tok::LBrace: return "'{'";
+      case Tok::RBrace: return "'}'";
+      case Tok::LBracket: return "'['";
+      case Tok::RBracket: return "']'";
+      case Tok::Comma: return "','";
+      case Tok::Semi: return "';'";
+      case Tok::Colon: return "':'";
+      case Tok::Question: return "'?'";
+      case Tok::Assign: return "'='";
+      case Tok::PlusAssign: return "'+='";
+      case Tok::MinusAssign: return "'-='";
+      case Tok::Plus: return "'+'";
+      case Tok::Minus: return "'-'";
+      case Tok::Star: return "'*'";
+      case Tok::Slash: return "'/'";
+      case Tok::Percent: return "'%'";
+      case Tok::Amp: return "'&'";
+      case Tok::Pipe: return "'|'";
+      case Tok::Caret: return "'^'";
+      case Tok::Tilde: return "'~'";
+      case Tok::Not: return "'!'";
+      case Tok::AmpAmp: return "'&&'";
+      case Tok::PipePipe: return "'||'";
+      case Tok::Shl: return "'<<'";
+      case Tok::Shr: return "'>>'";
+      case Tok::Eq: return "'=='";
+      case Tok::Ne: return "'!='";
+      case Tok::Lt: return "'<'";
+      case Tok::Le: return "'<='";
+      case Tok::Gt: return "'>'";
+      case Tok::Ge: return "'>='";
+    }
+    return "<bad token>";
+}
+
+} // namespace predilp

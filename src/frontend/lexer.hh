@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Hand-written lexer for ILC.
+ */
+
+#ifndef PREDILP_FRONTEND_LEXER_HH
+#define PREDILP_FRONTEND_LEXER_HH
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.hh"
+
+namespace predilp
+{
+
+/**
+ * Tokenize @p source. Supports //-comments, C-style block comments,
+ * decimal and hex integer literals, float literals, char literals
+ * with the usual escapes, and string literals (for byte-array
+ * initializers).
+ *
+ * @throws FatalError on malformed input, with a line number.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace predilp
+
+#endif // PREDILP_FRONTEND_LEXER_HH

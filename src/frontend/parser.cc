@@ -1,0 +1,543 @@
+#include "frontend/parser.hh"
+
+#include "frontend/lexer.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {}
+
+    Unit
+    run()
+    {
+        Unit unit;
+        while (!at(Tok::End))
+            topLevel(unit);
+        return unit;
+    }
+
+  private:
+    const Token &peek(std::size_t ahead = 0) const
+    {
+        std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+
+    bool at(Tok kind) const { return peek().kind == kind; }
+
+    Token
+    advance()
+    {
+        Token tok = peek();
+        if (pos_ + 1 < tokens_.size())
+            pos_ += 1;
+        return tok;
+    }
+
+    bool
+    match(Tok kind)
+    {
+        if (!at(kind))
+            return false;
+        advance();
+        return true;
+    }
+
+    Token
+    expect(Tok kind, const char *where)
+    {
+        if (!at(kind)) {
+            fatal("line ", peek().line, ": expected ", tokName(kind),
+                  " ", where, ", got ", tokName(peek().kind));
+        }
+        return advance();
+    }
+
+    bool
+    atType() const
+    {
+        return at(Tok::KwInt) || at(Tok::KwFloat) || at(Tok::KwByte) ||
+               at(Tok::KwVoid);
+    }
+
+    Ty
+    parseType()
+    {
+        if (match(Tok::KwInt))
+            return Ty::Int;
+        if (match(Tok::KwFloat))
+            return Ty::Float;
+        if (match(Tok::KwByte))
+            return Ty::Byte;
+        if (match(Tok::KwVoid))
+            return Ty::Void;
+        fatal("line ", peek().line, ": expected a type, got ",
+              tokName(peek().kind));
+    }
+
+    void
+    topLevel(Unit &unit)
+    {
+        int line = peek().line;
+        Ty type = parseType();
+        Token name = expect(Tok::Ident, "in declaration");
+
+        if (at(Tok::LParen)) {
+            unit.functions.push_back(
+                parseFunction(type, name.text, line));
+        } else {
+            parseGlobal(unit, type, name.text, line);
+        }
+    }
+
+    FuncDecl
+    parseFunction(Ty retType, std::string name, int line)
+    {
+        FuncDecl fn;
+        fn.name = std::move(name);
+        fn.retType = retType;
+        fn.line = line;
+        panicIf(retType == Ty::Byte, "byte return type unsupported");
+
+        expect(Tok::LParen, "after function name");
+        if (!at(Tok::RParen)) {
+            do {
+                Param param;
+                Ty pt = parseType();
+                if (pt != Ty::Int && pt != Ty::Float) {
+                    fatal("line ", peek().line,
+                          ": parameters must be int or float");
+                }
+                param.type = pt;
+                param.name =
+                    expect(Tok::Ident, "in parameter list").text;
+                fn.params.push_back(std::move(param));
+            } while (match(Tok::Comma));
+        }
+        expect(Tok::RParen, "after parameters");
+        fn.body = parseBlock();
+        return fn;
+    }
+
+    void
+    parseGlobal(Unit &unit, Ty type, std::string name, int line)
+    {
+        GlobalDecl g;
+        g.name = std::move(name);
+        g.elemType = type;
+        g.line = line;
+        if (type == Ty::Void)
+            fatal("line ", line, ": void globals are not allowed");
+
+        if (match(Tok::LBracket)) {
+            g.isArray = true;
+            if (!at(Tok::RBracket)) {
+                g.count = expect(Tok::IntLit,
+                                 "as array size").intValue;
+            } else {
+                g.count = -1; // size from initializer.
+            }
+            expect(Tok::RBracket, "after array size");
+        } else if (type == Ty::Byte) {
+            fatal("line ", line, ": byte is only valid for arrays");
+        }
+
+        if (match(Tok::Assign))
+            parseGlobalInit(g);
+        if (g.count < 0) {
+            std::int64_t n = g.elemType == Ty::Float
+                                 ? static_cast<std::int64_t>(
+                                       g.initFloats.size())
+                                 : static_cast<std::int64_t>(
+                                       g.initInts.size());
+            if (n == 0)
+                fatal("line ", line, ": array ", g.name,
+                      " has neither size nor initializer");
+            g.count = n;
+        }
+        unit.globals.push_back(std::move(g));
+        expect(Tok::Semi, "after global declaration");
+    }
+
+    void
+    parseGlobalInit(GlobalDecl &g)
+    {
+        if (at(Tok::StrLit)) {
+            Token lit = advance();
+            if (g.elemType != Ty::Byte || !g.isArray) {
+                fatal("line ", lit.line,
+                      ": string initializer requires a byte array");
+            }
+            for (char c : lit.text)
+                g.initInts.push_back(
+                    static_cast<unsigned char>(c));
+            g.initInts.push_back(0); // NUL terminator.
+            return;
+        }
+        if (match(Tok::LBrace)) {
+            do {
+                readConstInto(g);
+            } while (match(Tok::Comma));
+            expect(Tok::RBrace, "after initializer list");
+            return;
+        }
+        readConstInto(g);
+    }
+
+    void
+    readConstInto(GlobalDecl &g)
+    {
+        bool neg = match(Tok::Minus);
+        if (at(Tok::FloatLit)) {
+            Token lit = advance();
+            if (g.elemType != Ty::Float)
+                fatal("line ", lit.line,
+                      ": float initializer for non-float global");
+            g.initFloats.push_back(neg ? -lit.floatValue
+                                       : lit.floatValue);
+            return;
+        }
+        Token lit = expect(Tok::IntLit, "in initializer");
+        if (g.elemType == Ty::Float) {
+            g.initFloats.push_back(static_cast<double>(
+                neg ? -lit.intValue : lit.intValue));
+        } else {
+            g.initInts.push_back(neg ? -lit.intValue : lit.intValue);
+        }
+    }
+
+    // --- statements ---
+
+    StmtPtr
+    parseBlock()
+    {
+        int line = peek().line;
+        expect(Tok::LBrace, "to open block");
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::Block, line);
+        while (!at(Tok::RBrace)) {
+            if (at(Tok::End))
+                fatal("line ", line, ": unterminated block");
+            parseStmtInto(stmt->body);
+        }
+        expect(Tok::RBrace, "to close block");
+        return stmt;
+    }
+
+    /**
+     * Parse one statement; may append several (multi-declarator
+     * variable declarations expand to one VarDecl each).
+     */
+    void
+    parseStmtInto(std::vector<StmtPtr> &out)
+    {
+        if (at(Tok::KwInt) || at(Tok::KwFloat)) {
+            parseVarDecl(out);
+            return;
+        }
+        out.push_back(parseStmt());
+    }
+
+    void
+    parseVarDecl(std::vector<StmtPtr> &out)
+    {
+        int line = peek().line;
+        Ty type = parseType();
+        do {
+            Token name = expect(Tok::Ident, "in declaration");
+            auto stmt =
+                std::make_unique<Stmt>(Stmt::Kind::VarDecl, line);
+            stmt->declTy = type;
+            stmt->name = name.text;
+            if (match(Tok::Assign))
+                stmt->expr = parseExpr();
+            out.push_back(std::move(stmt));
+        } while (match(Tok::Comma));
+        expect(Tok::Semi, "after variable declaration");
+    }
+
+    StmtPtr
+    parseStmt()
+    {
+        int line = peek().line;
+        if (at(Tok::LBrace))
+            return parseBlock();
+        if (match(Tok::Semi))
+            return std::make_unique<Stmt>(Stmt::Kind::Empty, line);
+
+        if (match(Tok::KwIf)) {
+            auto stmt = std::make_unique<Stmt>(Stmt::Kind::If, line);
+            expect(Tok::LParen, "after 'if'");
+            stmt->expr = parseExpr();
+            expect(Tok::RParen, "after condition");
+            stmt->body.push_back(parseStmt());
+            if (match(Tok::KwElse))
+                stmt->body.push_back(parseStmt());
+            return stmt;
+        }
+        if (match(Tok::KwWhile)) {
+            auto stmt =
+                std::make_unique<Stmt>(Stmt::Kind::While, line);
+            expect(Tok::LParen, "after 'while'");
+            stmt->expr = parseExpr();
+            expect(Tok::RParen, "after condition");
+            stmt->body.push_back(parseStmt());
+            return stmt;
+        }
+        if (match(Tok::KwDo)) {
+            auto stmt =
+                std::make_unique<Stmt>(Stmt::Kind::DoWhile, line);
+            stmt->body.push_back(parseStmt());
+            expect(Tok::KwWhile, "after do-body");
+            expect(Tok::LParen, "after 'while'");
+            stmt->expr = parseExpr();
+            expect(Tok::RParen, "after condition");
+            expect(Tok::Semi, "after do-while");
+            return stmt;
+        }
+        if (match(Tok::KwFor)) {
+            auto stmt = std::make_unique<Stmt>(Stmt::Kind::For, line);
+            expect(Tok::LParen, "after 'for'");
+            // init clause
+            std::vector<StmtPtr> init;
+            if (at(Tok::KwInt) || at(Tok::KwFloat)) {
+                parseVarDecl(init); // consumes the ';'.
+            } else if (!at(Tok::Semi)) {
+                auto es = std::make_unique<Stmt>(
+                    Stmt::Kind::ExprStmt, line);
+                es->expr = parseExpr();
+                init.push_back(std::move(es));
+                expect(Tok::Semi, "after for-init");
+            } else {
+                expect(Tok::Semi, "after for-init");
+            }
+            // Wrap multi-decl init into a block statement.
+            auto initBlock =
+                std::make_unique<Stmt>(Stmt::Kind::Block, line);
+            initBlock->body = std::move(init);
+            stmt->body.push_back(std::move(initBlock));
+
+            if (!at(Tok::Semi))
+                stmt->expr = parseExpr();
+            expect(Tok::Semi, "after for-condition");
+            if (!at(Tok::RParen))
+                stmt->step = parseExpr();
+            expect(Tok::RParen, "after for-step");
+            stmt->body.push_back(parseStmt());
+            return stmt;
+        }
+        if (match(Tok::KwReturn)) {
+            auto stmt =
+                std::make_unique<Stmt>(Stmt::Kind::Return, line);
+            if (!at(Tok::Semi))
+                stmt->expr = parseExpr();
+            expect(Tok::Semi, "after return");
+            return stmt;
+        }
+        if (match(Tok::KwBreak)) {
+            expect(Tok::Semi, "after break");
+            return std::make_unique<Stmt>(Stmt::Kind::Break, line);
+        }
+        if (match(Tok::KwContinue)) {
+            expect(Tok::Semi, "after continue");
+            return std::make_unique<Stmt>(Stmt::Kind::Continue, line);
+        }
+
+        auto stmt = std::make_unique<Stmt>(Stmt::Kind::ExprStmt, line);
+        stmt->expr = parseExpr();
+        expect(Tok::Semi, "after expression");
+        return stmt;
+    }
+
+    // --- expressions (precedence climbing) ---
+
+    ExprPtr
+    parseExpr()
+    {
+        return parseAssign();
+    }
+
+    ExprPtr
+    parseAssign()
+    {
+        ExprPtr lhs = parseTernary();
+        if (at(Tok::Assign) || at(Tok::PlusAssign) ||
+            at(Tok::MinusAssign)) {
+            Token op = advance();
+            if (lhs->kind != Expr::Kind::Var &&
+                lhs->kind != Expr::Kind::Index) {
+                fatal("line ", op.line,
+                      ": assignment target must be a variable or "
+                      "array element");
+            }
+            auto node =
+                std::make_unique<Expr>(Expr::Kind::Assign, op.line);
+            node->op = op.kind;
+            node->kids.push_back(std::move(lhs));
+            node->kids.push_back(parseAssign());
+            return node;
+        }
+        return lhs;
+    }
+
+    ExprPtr
+    parseTernary()
+    {
+        ExprPtr cond = parseBinary(0);
+        if (!at(Tok::Question))
+            return cond;
+        Token q = advance();
+        auto node =
+            std::make_unique<Expr>(Expr::Kind::Ternary, q.line);
+        node->kids.push_back(std::move(cond));
+        node->kids.push_back(parseExpr());
+        expect(Tok::Colon, "in ternary expression");
+        node->kids.push_back(parseTernary());
+        return node;
+    }
+
+    /** Binary operator precedence; higher binds tighter. */
+    static int
+    precedence(Tok kind)
+    {
+        switch (kind) {
+          case Tok::PipePipe: return 1;
+          case Tok::AmpAmp: return 2;
+          case Tok::Pipe: return 3;
+          case Tok::Caret: return 4;
+          case Tok::Amp: return 5;
+          case Tok::Eq: case Tok::Ne: return 6;
+          case Tok::Lt: case Tok::Le:
+          case Tok::Gt: case Tok::Ge: return 7;
+          case Tok::Shl: case Tok::Shr: return 8;
+          case Tok::Plus: case Tok::Minus: return 9;
+          case Tok::Star: case Tok::Slash:
+          case Tok::Percent: return 10;
+          default: return -1;
+        }
+    }
+
+    ExprPtr
+    parseBinary(int minPrec)
+    {
+        ExprPtr lhs = parseUnary();
+        while (true) {
+            int prec = precedence(peek().kind);
+            if (prec < 0 || prec < minPrec)
+                return lhs;
+            Token op = advance();
+            ExprPtr rhs = parseBinary(prec + 1);
+            auto node =
+                std::make_unique<Expr>(Expr::Kind::Binary, op.line);
+            node->op = op.kind;
+            node->kids.push_back(std::move(lhs));
+            node->kids.push_back(std::move(rhs));
+            lhs = std::move(node);
+        }
+    }
+
+    ExprPtr
+    parseUnary()
+    {
+        if (at(Tok::Minus) || at(Tok::Not) || at(Tok::Tilde)) {
+            Token op = advance();
+            auto node =
+                std::make_unique<Expr>(Expr::Kind::Unary, op.line);
+            node->op = op.kind;
+            node->kids.push_back(parseUnary());
+            return node;
+        }
+        return parsePostfix();
+    }
+
+    ExprPtr
+    parsePostfix()
+    {
+        ExprPtr base = parsePrimary();
+        while (true) {
+            if (at(Tok::LBracket)) {
+                Token tok = advance();
+                if (base->kind != Expr::Kind::Var) {
+                    fatal("line ", tok.line,
+                          ": only named arrays can be indexed");
+                }
+                auto node = std::make_unique<Expr>(
+                    Expr::Kind::Index, tok.line);
+                node->name = base->name;
+                node->kids.push_back(parseExpr());
+                expect(Tok::RBracket, "after index");
+                base = std::move(node);
+            } else if (at(Tok::LParen)) {
+                Token tok = advance();
+                if (base->kind != Expr::Kind::Var) {
+                    fatal("line ", tok.line,
+                          ": call target must be a function name");
+                }
+                auto node = std::make_unique<Expr>(
+                    Expr::Kind::Call, tok.line);
+                node->name = base->name;
+                if (!at(Tok::RParen)) {
+                    do {
+                        node->kids.push_back(parseExpr());
+                    } while (match(Tok::Comma));
+                }
+                expect(Tok::RParen, "after call arguments");
+                base = std::move(node);
+            } else {
+                return base;
+            }
+        }
+    }
+
+    ExprPtr
+    parsePrimary()
+    {
+        Token tok = peek();
+        if (match(Tok::IntLit)) {
+            auto node =
+                std::make_unique<Expr>(Expr::Kind::IntLit, tok.line);
+            node->intValue = tok.intValue;
+            return node;
+        }
+        if (match(Tok::FloatLit)) {
+            auto node = std::make_unique<Expr>(Expr::Kind::FloatLit,
+                                               tok.line);
+            node->floatValue = tok.floatValue;
+            return node;
+        }
+        if (match(Tok::Ident)) {
+            auto node =
+                std::make_unique<Expr>(Expr::Kind::Var, tok.line);
+            node->name = tok.text;
+            return node;
+        }
+        if (match(Tok::LParen)) {
+            ExprPtr inner = parseExpr();
+            expect(Tok::RParen, "after parenthesized expression");
+            return inner;
+        }
+        fatal("line ", tok.line, ": expected an expression, got ",
+              tokName(tok.kind));
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Unit
+parseUnit(const std::string &source)
+{
+    return Parser(lex(source)).run();
+}
+
+} // namespace predilp

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Recursive-descent parser for ILC.
+ */
+
+#ifndef PREDILP_FRONTEND_PARSER_HH
+#define PREDILP_FRONTEND_PARSER_HH
+
+#include <string>
+
+#include "frontend/ast.hh"
+
+namespace predilp
+{
+
+/**
+ * Parse ILC source text into an AST.
+ * @throws FatalError with a line number on syntax errors.
+ */
+Unit parseUnit(const std::string &source);
+
+} // namespace predilp
+
+#endif // PREDILP_FRONTEND_PARSER_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Tokens of the ILC language — the small C-like language the
+ * benchmark workloads are written in.
+ */
+
+#ifndef PREDILP_FRONTEND_TOKEN_HH
+#define PREDILP_FRONTEND_TOKEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace predilp
+{
+
+/** Token kinds of ILC. */
+enum class Tok : std::uint8_t
+{
+    End,
+    Ident,
+    IntLit,
+    FloatLit,
+    StrLit,
+
+    // keywords
+    KwInt, KwFloat, KwByte, KwVoid,
+    KwIf, KwElse, KwWhile, KwFor, KwDo,
+    KwBreak, KwContinue, KwReturn,
+
+    // punctuation / operators
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Comma, Semi, Colon, Question,
+    Assign, PlusAssign, MinusAssign,
+    Plus, Minus, Star, Slash, Percent,
+    Amp, Pipe, Caret, Tilde, Not,
+    AmpAmp, PipePipe,
+    Shl, Shr,
+    Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+/** One lexed token with its source position. */
+struct Token
+{
+    Tok kind = Tok::End;
+    std::string text;          ///< identifier / string spelling.
+    std::int64_t intValue = 0; ///< for IntLit (and char literals).
+    double floatValue = 0.0;   ///< for FloatLit.
+    int line = 0;              ///< 1-based source line.
+};
+
+/** @return a printable name for diagnostics. */
+std::string tokName(Tok kind);
+
+} // namespace predilp
+
+#endif // PREDILP_FRONTEND_TOKEN_HH

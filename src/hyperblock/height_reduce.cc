@@ -1,0 +1,296 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "hyperblock/hyperblock.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/**
+ * The short-circuit chain produced by if-converting "c1 || c2 || c3"
+ * (paper Figure 1):
+ *
+ *   pred_cc1 { pX<OR>, q1<U!> } a1,b1 (q0)
+ *   pred_cc2 { pX<OR>, q2<U!> } a2,b2 (q1)
+ *   pred_cc3 { pX<OR>, q3<U!> } a3,b3 (q2)
+ *
+ * Each define's Pin is the previous continuation predicate, so the
+ * defines are strictly sequential. When the middle continuations
+ * (q1, q2) have no other consumers and pX is written only by this
+ * chain, the boolean identity
+ *
+ *   q0&c1 | (q0&!c1)&c2 | ... == q0 & (c1|c2|...)
+ *
+ * lets every OR contribution run under q0 directly, in a single
+ * cycle (wired-OR), with the final continuation recomputed as
+ * q3 = q0 & !pX. This is the control height reduction the paper
+ * attributes to AND/OR-type predicates (§2.1, ref [16]).
+ */
+struct Chain
+{
+    std::vector<std::size_t> positions; ///< define positions.
+    Reg orReg;                          ///< pX.
+    Reg finalCont;                      ///< qk (kept).
+    Reg pin;                            ///< q0 (may be invalid).
+};
+
+/** @return the single Or-type dest of @p instr, or invalid. */
+Reg
+orDest(const Instruction &instr)
+{
+    Reg result;
+    for (const auto &pd : instr.predDests()) {
+        if (pd.type == PredType::Or) {
+            if (result.valid())
+                return Reg(); // two OR dests: not the pattern.
+            result = pd.reg;
+        }
+    }
+    return result;
+}
+
+/** @return the single UBar-type dest of @p instr, or invalid. */
+Reg
+ubarDest(const Instruction &instr)
+{
+    Reg result;
+    for (const auto &pd : instr.predDests()) {
+        if (pd.type == PredType::UBar) {
+            if (result.valid())
+                return Reg();
+            result = pd.reg;
+        }
+    }
+    return result;
+}
+
+class HeightReducer
+{
+  public:
+    explicit HeightReducer(Function &fn) : fn_(fn) {}
+
+    int
+    run()
+    {
+        int reduced = 0;
+        for (BlockId id : fn_.layout()) {
+            if (fn_.block(id)->kind() != BlockKind::Hyperblock)
+                continue;
+            // Re-scan after each rewrite; positions shift.
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                countUses();
+                Chain chain;
+                if (findChain(*fn_.block(id), chain)) {
+                    apply(*fn_.block(id), chain);
+                    reduced += 1;
+                    changed = true;
+                }
+            }
+        }
+        return reduced;
+    }
+
+  private:
+    /** Count reads of each predicate register across the function
+     * (as guard/Pin or as a value operand) and writes. */
+    void
+    countUses()
+    {
+        predReads_.clear();
+        predWrites_.clear();
+        std::vector<Reg> scratch;
+        for (BlockId id : fn_.layout()) {
+            for (const auto &instr : fn_.block(id)->instrs()) {
+                scratch.clear();
+                collectUses(instr, scratch);
+                for (Reg reg : scratch) {
+                    if (reg.cls() == RegClass::Pred)
+                        predReads_[reg] += 1;
+                }
+                for (const auto &pd : instr.predDests())
+                    predWrites_[pd.reg] += 1;
+                if (instr.isPredAll()) {
+                    // Whole-file writes do not count: they are the
+                    // chain's initialization.
+                }
+            }
+        }
+    }
+
+    bool
+    findChain(const BasicBlock &bb, Chain &chain)
+    {
+        const auto &instrs = bb.instrs();
+        for (std::size_t start = 0; start < instrs.size(); ++start) {
+            const Instruction &d1 = instrs[start];
+            if (!d1.isPredDefine() || d1.predDests().size() != 2)
+                continue;
+            Reg pX = orDest(d1);
+            Reg cont = ubarDest(d1);
+            if (!pX.valid() || !cont.valid())
+                continue;
+
+            Chain candidate;
+            candidate.positions.push_back(start);
+            candidate.orReg = pX;
+            candidate.pin = d1.guard();
+
+            // Follow the Pin links.
+            Reg link = cont;
+            std::size_t from = start;
+            bool terminal = false;
+            while (!terminal) {
+                // The continuation must be consumed by exactly one
+                // instruction: the next define in the chain. Note
+                // OR-dests count as reads too, which is fine — a
+                // continuation moonlighting as an accumulator
+                // disqualifies the chain.
+                if (predReads_[link] != 1 ||
+                    predWrites_[link] != 1) {
+                    break;
+                }
+                std::size_t next = from + 1;
+                bool found = false;
+                for (; next < instrs.size(); ++next) {
+                    const Instruction &dn = instrs[next];
+                    if (dn.isPredDefine() && dn.guard() == link &&
+                        orDest(dn) == pX &&
+                        ubarDest(dn).valid() &&
+                        dn.predDests().size() == 2) {
+                        found = true;
+                        break;
+                    }
+                    // Terminal link: a single-dest OR contribution
+                    // with no continuation (the last "|| ck" term).
+                    if (dn.isPredDefine() && dn.guard() == link &&
+                        orDest(dn) == pX &&
+                        dn.predDests().size() == 1) {
+                        found = true;
+                        terminal = true;
+                        break;
+                    }
+                    // Any other read of link ends the chain (the
+                    // single read was not a chain define).
+                    std::vector<Reg> uses;
+                    collectUses(dn, uses);
+                    bool reads = dn.guard() == link;
+                    for (Reg reg : uses) {
+                        if (reg == link)
+                            reads = true;
+                    }
+                    if (reads)
+                        break;
+                }
+                if (!found)
+                    break;
+                candidate.positions.push_back(next);
+                if (!terminal)
+                    link = ubarDest(instrs[next]);
+                from = next;
+            }
+
+            if (candidate.positions.size() < 2)
+                continue;
+            // A terminal chain fully consumed its continuations; an
+            // open chain leaves the last one for real consumers.
+            candidate.finalCont = terminal ? Reg() : link;
+
+            // pX must be written only by the chain defines (plus
+            // pred_clear initialization).
+            if (predWrites_[pX] !=
+                static_cast<int>(candidate.positions.size())) {
+                continue;
+            }
+            // pX must not be read before the last chain define
+            // (its intermediate value would change meaning).
+            bool earlyRead = false;
+            std::size_t last = candidate.positions.back();
+            for (std::size_t i = 0; i < last; ++i) {
+                bool inChain = false;
+                for (std::size_t pos : candidate.positions) {
+                    if (pos == i)
+                        inChain = true;
+                }
+                if (inChain)
+                    continue;
+                std::vector<Reg> uses;
+                collectUses(instrs[i], uses);
+                bool reads = instrs[i].guard() == pX;
+                for (Reg reg : uses) {
+                    if (reg == pX)
+                        reads = true;
+                }
+                if (reads) {
+                    earlyRead = true;
+                    break;
+                }
+            }
+            if (earlyRead)
+                continue;
+
+            chain = std::move(candidate);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    apply(BasicBlock &bb, const Chain &chain)
+    {
+        auto &instrs = bb.instrs();
+
+        // Rewrite every chain define: keep only the OR dest, run it
+        // under the chain's entry Pin.
+        for (std::size_t pos : chain.positions) {
+            Instruction &def = instrs[pos];
+            def.predDests().clear();
+            def.addPredDest(chain.orReg, PredType::Or);
+            def.setGuard(chain.pin);
+        }
+
+        // Recompute the surviving final continuation from pX:
+        // qk = Pin & (pX == 0). Terminal chains have none.
+        if (chain.finalCont.valid()) {
+            Instruction cont = fn_.makeInstr(Opcode::PredEq);
+            cont.addPredDest(chain.finalCont, PredType::U);
+            cont.addSrc(Operand(chain.orReg));
+            cont.addSrc(Operand::imm(0));
+            cont.setGuard(chain.pin);
+            instrs.insert(instrs.begin() +
+                              static_cast<std::ptrdiff_t>(
+                                  chain.positions.back() + 1),
+                          std::move(cont));
+        }
+    }
+
+    Function &fn_;
+    std::map<Reg, int> predReads_;
+    std::map<Reg, int> predWrites_;
+};
+
+} // namespace
+
+int
+reducePredicateHeight(Function &fn)
+{
+    return HeightReducer(fn).run();
+}
+
+int
+reducePredicateHeight(Program &prog)
+{
+    int reduced = 0;
+    for (auto &fn : prog.functions())
+        reduced += reducePredicateHeight(*fn);
+    return reduced;
+}
+
+} // namespace predilp

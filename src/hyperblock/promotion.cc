@@ -1,0 +1,134 @@
+#include <map>
+#include <vector>
+
+#include "analysis/liveness.hh"
+#include "hyperblock/hyperblock.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/** @return true when @p instr may be stripped of its guard. */
+bool
+promotable(const Instruction &instr)
+{
+    const auto &info = instr.info();
+    if (!instr.guarded() || instr.isPredDefine())
+        return false;
+    if (!instr.dest().valid() || !instr.predDests().empty())
+        return false;
+    if (info.sideEffect || instr.isStore() ||
+        instr.isControlTransfer() || instr.isCall()) {
+        return false;
+    }
+    // Conditional moves merge with the previous destination value;
+    // removing their guard is not promotion, it is a different
+    // instruction.
+    if (info.isCondMove)
+        return false;
+    return true;
+}
+
+/** Whole-function register def/use occurrence maps. */
+struct RegOccurrences
+{
+    /** (block, index) pairs where the register is defined / used. */
+    std::map<Reg, std::vector<std::pair<BlockId, std::size_t>>> defs;
+    std::map<Reg, std::vector<std::pair<BlockId, std::size_t>>> uses;
+};
+
+RegOccurrences
+collectOccurrences(const Function &fn)
+{
+    RegOccurrences occ;
+    std::vector<Reg> scratch;
+    for (BlockId id : fn.layout()) {
+        const auto &instrs = fn.block(id)->instrs();
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            scratch.clear();
+            collectDefs(instrs[i], fn, scratch);
+            for (Reg reg : scratch)
+                occ.defs[reg].emplace_back(id, i);
+            scratch.clear();
+            collectUses(instrs[i], scratch);
+            for (Reg reg : scratch)
+                occ.uses[reg].emplace_back(id, i);
+        }
+    }
+    return occ;
+}
+
+int
+promoteBlock(Function &fn, BlockId id, const RegOccurrences &occ)
+{
+    BasicBlock *bb = fn.block(id);
+    auto &instrs = bb->instrs();
+
+    int promoted = 0;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+        Instruction &instr = instrs[i];
+        if (!promotable(instr))
+            continue;
+        Reg dest = instr.dest();
+        Reg guard = instr.guard();
+
+        // The value must be a hyperblock-local temporary: one def
+        // (this one) and every use inside this block, after the
+        // def, under the same guard. Then the speculative value
+        // written when the guard is false is never observed — the
+        // consumers are squashed exactly when the def was (paper
+        // Figure 2's temp1/temp2 case).
+        auto defsIt = occ.defs.find(dest);
+        if (defsIt == occ.defs.end() || defsIt->second.size() != 1)
+            continue;
+
+        bool usesOk = true;
+        auto usesIt = occ.uses.find(dest);
+        if (usesIt != occ.uses.end()) {
+            for (const auto &[useBlock, useIndex] :
+                 usesIt->second) {
+                if (useBlock != id || useIndex <= i) {
+                    usesOk = false;
+                    break;
+                }
+                if (instrs[useIndex].guard() != guard) {
+                    usesOk = false;
+                    break;
+                }
+            }
+        }
+        if (!usesOk)
+            continue;
+
+        instr.clearGuard();
+        if (instr.info().canTrap)
+            instr.setSpeculative(true);
+        promoted += 1;
+    }
+    return promoted;
+}
+
+} // namespace
+
+int
+promotePredicates(Function &fn)
+{
+    RegOccurrences occ = collectOccurrences(fn);
+    int promoted = 0;
+    for (BlockId id : fn.layout())
+        promoted += promoteBlock(fn, id, occ);
+    return promoted;
+}
+
+int
+promotePredicates(Program &prog)
+{
+    int promoted = 0;
+    for (auto &fn : prog.functions())
+        promoted += promotePredicates(*fn);
+    return promoted;
+}
+
+} // namespace predilp

@@ -1,0 +1,36 @@
+#include "ir/block.hh"
+
+namespace predilp
+{
+
+std::vector<BlockId>
+BasicBlock::successors() const
+{
+    std::vector<BlockId> succs;
+    for (const auto &instr : instrs_) {
+        if ((instr.isCondBranch() || instr.isJump()) &&
+            instr.target() != invalidBlock) {
+            succs.push_back(instr.target());
+            // An unguarded jump terminates the walk: nothing after it
+            // executes.
+            if (instr.isJump() && !instr.guarded())
+                return succs;
+        }
+        if (instr.isRet() && !instr.guarded())
+            return succs;
+    }
+    if (fallthrough_ != invalidBlock)
+        succs.push_back(fallthrough_);
+    return succs;
+}
+
+bool
+BasicBlock::endsInUnconditionalTransfer() const
+{
+    if (instrs_.empty())
+        return false;
+    const auto &last = instrs_.back();
+    return (last.isJump() || last.isRet()) && !last.guarded();
+}
+
+} // namespace predilp

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Basic blocks. After hyperblock or superblock formation a "block" may
+ * contain branches in the middle (side exits); the invariant is only
+ * that control enters at the top.
+ */
+
+#ifndef PREDILP_IR_BLOCK_HH
+#define PREDILP_IR_BLOCK_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/instr.hh"
+
+namespace predilp
+{
+
+/** The role a block plays after region formation, for reporting. */
+enum class BlockKind : std::uint8_t
+{
+    Plain,      ///< ordinary basic block.
+    Superblock, ///< trace-formed block with side exits.
+    Hyperblock, ///< if-converted block with predicated instructions.
+};
+
+/**
+ * A basic block: a label, an instruction list, and an explicit
+ * fallthrough successor. Control flow out of the block is the ordered
+ * list of branch targets appearing in the instruction list, followed
+ * by the fallthrough edge (when the block does not end in an
+ * unconditional transfer).
+ */
+class BasicBlock
+{
+  public:
+    BasicBlock(BlockId id, std::string name)
+        : id_(id), name_(std::move(name))
+    {}
+
+    BlockId id() const { return id_; }
+
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    BlockKind kind() const { return kind_; }
+    void setKind(BlockKind kind) { kind_ = kind; }
+
+    /** Instruction list (mutable access for transforms). */
+    std::vector<Instruction> &instrs() { return instrs_; }
+    const std::vector<Instruction> &instrs() const { return instrs_; }
+
+    /**
+     * Fallthrough successor: the block control reaches when no branch
+     * in this block is taken. invalidBlock when the block ends in an
+     * unconditional jump or return.
+     */
+    BlockId fallthrough() const { return fallthrough_; }
+    void setFallthrough(BlockId id) { fallthrough_ = id; }
+
+    /** Profile weight: number of times the block entry executed. */
+    std::uint64_t weight() const { return weight_; }
+    void setWeight(std::uint64_t weight) { weight_ = weight; }
+
+    /**
+     * @return all successor block ids in control-flow priority order:
+     * in-instruction branch targets first (program order), then the
+     * fallthrough.
+     */
+    std::vector<BlockId> successors() const;
+
+    /**
+     * @return true when the block's last instruction unconditionally
+     * leaves the block (unguarded jump or return).
+     */
+    bool endsInUnconditionalTransfer() const;
+
+  private:
+    BlockId id_;
+    std::string name_;
+    BlockKind kind_ = BlockKind::Plain;
+    std::vector<Instruction> instrs_;
+    BlockId fallthrough_ = invalidBlock;
+    std::uint64_t weight_ = 0;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_BLOCK_HH

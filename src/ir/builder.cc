@@ -1,0 +1,190 @@
+#include "ir/builder.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+BasicBlock *
+IRBuilder::startBlock(const std::string &name)
+{
+    bb_ = fn_->newBlock(name);
+    return bb_;
+}
+
+Instruction &
+IRBuilder::append(Instruction instr)
+{
+    panicIf(bb_ == nullptr, "IRBuilder has no current block");
+    if (instr.id() < 0)
+        instr.setId(fn_->nextInstrId());
+    bb_->instrs().push_back(std::move(instr));
+    return bb_->instrs().back();
+}
+
+Instruction &
+IRBuilder::emit(Opcode op, Reg dest, Operand a, Operand b)
+{
+    Instruction instr(op);
+    instr.setDest(dest);
+    instr.addSrc(a);
+    instr.addSrc(b);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::emit(Opcode op, Reg dest, Operand a)
+{
+    Instruction instr(op);
+    instr.setDest(dest);
+    instr.addSrc(a);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::mov(Reg dest, Operand a)
+{
+    return emit(Opcode::Mov, dest, a);
+}
+
+Instruction &
+IRBuilder::fmov(Reg dest, Operand a)
+{
+    return emit(Opcode::FMov, dest, a);
+}
+
+Instruction &
+IRBuilder::load(Opcode op, Reg dest, Operand base, Operand off)
+{
+    panicIf(!opcodeInfo(op).isLoad, "load() with non-load opcode");
+    Instruction instr(op);
+    instr.setDest(dest);
+    instr.addSrc(base);
+    instr.addSrc(off);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::store(Opcode op, Operand base, Operand off, Operand value)
+{
+    panicIf(!opcodeInfo(op).isStore, "store() with non-store opcode");
+    Instruction instr(op);
+    instr.addSrc(base);
+    instr.addSrc(off);
+    instr.addSrc(value);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::branch(Opcode op, Operand a, Operand b, BlockId target)
+{
+    panicIf(!opcodeInfo(op).isCondBranch,
+            "branch() with non-branch opcode");
+    Instruction instr(op);
+    instr.addSrc(a);
+    instr.addSrc(b);
+    instr.setTarget(target);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::jump(BlockId target)
+{
+    Instruction instr(Opcode::Jump);
+    instr.setTarget(target);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::call(const std::string &callee, Reg dest,
+                std::vector<Operand> args)
+{
+    Instruction instr(Opcode::Call);
+    instr.setCallee(callee);
+    instr.setDest(dest);
+    for (auto &arg : args)
+        instr.addSrc(arg);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::ret(Operand value)
+{
+    Instruction instr(Opcode::Ret);
+    if (!value.isNone())
+        instr.addSrc(value);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::predDefine(Opcode op, PredDest d1, Operand a, Operand b,
+                      Reg guard)
+{
+    panicIf(!opcodeInfo(op).isPredDefine,
+            "predDefine() with non-define opcode");
+    Instruction instr(op);
+    instr.addPredDest(d1.reg, d1.type);
+    instr.addSrc(a);
+    instr.addSrc(b);
+    instr.setGuard(guard);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::predDefine2(Opcode op, PredDest d1, PredDest d2, Operand a,
+                       Operand b, Reg guard)
+{
+    Instruction &instr = predDefine(op, d1, a, b, guard);
+    instr.addPredDest(d2.reg, d2.type);
+    return instr;
+}
+
+Instruction &
+IRBuilder::predAll(Opcode op)
+{
+    panicIf(!opcodeInfo(op).isPredAll,
+            "predAll() with wrong opcode");
+    return append(Instruction(op));
+}
+
+Instruction &
+IRBuilder::cmov(Opcode op, Reg dest, Operand src, Operand cond)
+{
+    panicIf(!opcodeInfo(op).isCondMove, "cmov() with wrong opcode");
+    Instruction instr(op);
+    instr.setDest(dest);
+    instr.addSrc(src);
+    instr.addSrc(cond);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::select(Opcode op, Reg dest, Operand a, Operand b,
+                  Operand cond)
+{
+    panicIf(!opcodeInfo(op).isSelect, "select() with wrong opcode");
+    Instruction instr(op);
+    instr.setDest(dest);
+    instr.addSrc(a);
+    instr.addSrc(b);
+    instr.addSrc(cond);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::getc(Reg dest)
+{
+    Instruction instr(Opcode::GetC);
+    instr.setDest(dest);
+    return append(std::move(instr));
+}
+
+Instruction &
+IRBuilder::putc(Operand src)
+{
+    Instruction instr(Opcode::PutC);
+    instr.addSrc(src);
+    return append(std::move(instr));
+}
+
+} // namespace predilp

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * IRBuilder: convenience layer for constructing instructions inside a
+ * function, used by the ILC frontend, the transformation passes, and
+ * the tests.
+ */
+
+#ifndef PREDILP_IR_BUILDER_HH
+#define PREDILP_IR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace predilp
+{
+
+/**
+ * Appends instructions to a current block of a function. All emit
+ * methods return a reference to the appended instruction, valid until
+ * the next mutation of the block.
+ */
+class IRBuilder
+{
+  public:
+    explicit IRBuilder(Function *fn) : fn_(fn) {}
+
+    Function *function() { return fn_; }
+
+    /** Set the insertion block. */
+    void setBlock(BasicBlock *bb) { bb_ = bb; }
+    BasicBlock *blockPtr() { return bb_; }
+
+    /** Create a new block and make it current. */
+    BasicBlock *startBlock(const std::string &name = "");
+
+    // --- generic emission ---
+
+    /** Append a fully formed instruction (assigns an id). */
+    Instruction &append(Instruction instr);
+
+    /** dest = op(a, b) */
+    Instruction &emit(Opcode op, Reg dest, Operand a, Operand b);
+
+    /** dest = op(a) */
+    Instruction &emit(Opcode op, Reg dest, Operand a);
+
+    /** dest = a (integer move / load-immediate). */
+    Instruction &mov(Reg dest, Operand a);
+
+    /** dest = a (float move). */
+    Instruction &fmov(Reg dest, Operand a);
+
+    // --- memory ---
+
+    /** dest = load(base + off) with the given load opcode. */
+    Instruction &load(Opcode op, Reg dest, Operand base, Operand off);
+
+    /** store(base + off) = value with the given store opcode. */
+    Instruction &store(Opcode op, Operand base, Operand off,
+                       Operand value);
+
+    // --- control ---
+
+    /** Conditional branch to @p target when op(a, b) holds. */
+    Instruction &branch(Opcode op, Operand a, Operand b,
+                        BlockId target);
+
+    /** Unconditional jump to @p target. */
+    Instruction &jump(BlockId target);
+
+    /** Call @p callee with @p args; dest invalid for void calls. */
+    Instruction &call(const std::string &callee, Reg dest,
+                      std::vector<Operand> args);
+
+    /** Return, with optional value. */
+    Instruction &ret(Operand value = Operand());
+
+    // --- predication ---
+
+    /**
+     * Predicate define: pred_<cmp> d1<t1> [, d2<t2>], a, b (guard).
+     */
+    Instruction &predDefine(Opcode op, PredDest d1, Operand a,
+                            Operand b, Reg guard = Reg());
+    Instruction &predDefine2(Opcode op, PredDest d1, PredDest d2,
+                             Operand a, Operand b, Reg guard = Reg());
+
+    /** pred_clear / pred_set. */
+    Instruction &predAll(Opcode op);
+
+    /** cmov/cmov_com: if (cond) dest = src. */
+    Instruction &cmov(Opcode op, Reg dest, Operand src, Operand cond);
+
+    /** select: dest = cond ? a : b. */
+    Instruction &select(Opcode op, Reg dest, Operand a, Operand b,
+                        Operand cond);
+
+    // --- I/O ---
+
+    Instruction &getc(Reg dest);
+    Instruction &putc(Operand src);
+
+  private:
+    Function *fn_;
+    BasicBlock *bb_ = nullptr;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_BUILDER_HH

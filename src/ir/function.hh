@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Function: a CFG of basic blocks plus virtual-register counters.
+ */
+
+#ifndef PREDILP_IR_FUNCTION_HH
+#define PREDILP_IR_FUNCTION_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/block.hh"
+
+namespace predilp
+{
+
+/** Return-value classes for functions. */
+enum class RetKind : std::uint8_t { None, Int, Float };
+
+/**
+ * A function: an entry block, a set of blocks with a layout order,
+ * and per-class virtual register counters. Blocks carry stable ids;
+ * the layout vector determines code placement (and therefore
+ * instruction addresses in the timing simulator).
+ */
+class Function
+{
+  public:
+    explicit Function(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    RetKind retKind() const { return retKind_; }
+    void setRetKind(RetKind kind) { retKind_ = kind; }
+
+    /** Formal parameters, in order. */
+    const std::vector<Reg> &params() const { return params_; }
+    void addParam(Reg reg) { params_.push_back(reg); }
+
+    // --- blocks ---
+
+    /** Create a new block appended to the layout. */
+    BasicBlock *newBlock(const std::string &name = "");
+
+    /** @return the block with the given id (panics when absent). */
+    BasicBlock *block(BlockId id);
+    const BasicBlock *block(BlockId id) const;
+
+    /** @return the entry block (first in layout). */
+    BasicBlock *entry();
+    const BasicBlock *entry() const;
+
+    /** Layout order of block ids; code addresses follow this order. */
+    const std::vector<BlockId> &layout() const { return layout_; }
+    std::vector<BlockId> &layout() { return layout_; }
+
+    /** Number of block ids ever created (ids are < this bound). */
+    std::size_t numBlockIds() const { return blocks_.size(); }
+
+    /**
+     * Remove blocks unreachable from the entry from the layout.
+     * Storage is retained so ids stay valid.
+     */
+    void pruneUnreachable();
+
+    // --- virtual registers ---
+
+    Reg newIntReg() { return intReg(numIntRegs_++); }
+    Reg newFloatReg() { return floatReg(numFloatRegs_++); }
+    Reg newPredReg() { return predReg(numPredRegs_++); }
+
+    int numIntRegs() const { return numIntRegs_; }
+    int numFloatRegs() const { return numFloatRegs_; }
+    int numPredRegs() const { return numPredRegs_; }
+
+    /** Reserve ids below @p n for pre-existing integer registers. */
+    void reserveIntRegs(int n) { numIntRegs_ = std::max(numIntRegs_, n); }
+
+    // --- instruction ids ---
+
+    /** Assign a fresh within-function instruction id. */
+    int nextInstrId() { return nextInstrId_++; }
+
+    /** Upper bound on instruction ids in this function. */
+    int instrIdBound() const { return nextInstrId_; }
+
+    /** Create an instruction with a fresh id. */
+    Instruction makeInstr(Opcode op);
+
+    /**
+     * Total number of instructions currently in reachable blocks.
+     */
+    std::size_t instructionCount() const;
+
+  private:
+    std::string name_;
+    RetKind retKind_ = RetKind::None;
+    std::vector<Reg> params_;
+    std::vector<std::unique_ptr<BasicBlock>> blocks_;
+    std::vector<BlockId> layout_;
+    int numIntRegs_ = 0;
+    int numFloatRegs_ = 0;
+    int numPredRegs_ = 0;
+    int nextInstrId_ = 0;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_FUNCTION_HH

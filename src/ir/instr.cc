@@ -1,0 +1,47 @@
+#include "ir/instr.hh"
+
+#include <sstream>
+
+namespace predilp
+{
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream os;
+    os << opcodeName(op_);
+    if (speculative_)
+        os << ".s";
+
+    bool first = true;
+    auto sep = [&]() {
+        os << (first ? " " : ", ");
+        first = false;
+    };
+
+    if (dest_.valid()) {
+        sep();
+        os << dest_.toString();
+    }
+    for (const auto &pd : predDests_) {
+        sep();
+        os << pd.reg.toString() << "<" << predTypeName(pd.type) << ">";
+    }
+    for (const auto &src : srcs_) {
+        sep();
+        os << src.toString();
+    }
+    if (target_ != invalidBlock) {
+        sep();
+        os << "B" << target_;
+    }
+    if (!callee_.empty()) {
+        sep();
+        os << "@" << callee_;
+    }
+    if (guard_.valid())
+        os << " (" << guard_.toString() << ")";
+    return os.str();
+}
+
+} // namespace predilp

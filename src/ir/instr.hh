@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The Instruction class: one operation of the PredILP ISA, carrying
+ * the optional guard predicate of the full-predication model and the
+ * speculative (non-excepting) flag used by the superblock and partial
+ * predication models.
+ */
+
+#ifndef PREDILP_IR_INSTR_HH
+#define PREDILP_IR_INSTR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/opcode.hh"
+#include "ir/operand.hh"
+#include "ir/pred.hh"
+#include "ir/reg.hh"
+
+namespace predilp
+{
+
+/** Identifier of a basic block within its function. */
+using BlockId = int;
+
+/** Sentinel for "no block". */
+constexpr BlockId invalidBlock = -1;
+
+/**
+ * One instruction. Instructions are stored by value inside basic
+ * blocks; the id is unique within the function and survives motion
+ * between blocks, which lets profiles and schedules refer to
+ * instructions stably.
+ */
+class Instruction
+{
+  public:
+    Instruction() = default;
+
+    /** Construct an instruction with the given opcode. */
+    explicit Instruction(Opcode op) : op_(op) {}
+
+    Opcode op() const { return op_; }
+    void setOp(Opcode op) { op_ = op; }
+
+    const OpcodeInfo &info() const { return opcodeInfo(op_); }
+
+    /** Unique id within the function (assigned by the function). */
+    int id() const { return id_; }
+    void setId(int id) { id_ = id; }
+
+    // --- destination ---
+
+    /** @return the destination register, invalid when none. */
+    Reg dest() const { return dest_; }
+    void setDest(Reg dest) { dest_ = dest; }
+
+    // --- predicate define destinations ---
+
+    /** Destinations of a predicate define (up to two, per Playdoh). */
+    const std::vector<PredDest> &predDests() const { return predDests_; }
+    std::vector<PredDest> &predDests() { return predDests_; }
+    void addPredDest(Reg reg, PredType type)
+    {
+        predDests_.push_back(PredDest{reg, type});
+    }
+
+    // --- sources ---
+
+    const std::vector<Operand> &srcs() const { return srcs_; }
+    std::vector<Operand> &srcs() { return srcs_; }
+    void addSrc(Operand operand) { srcs_.push_back(operand); }
+    const Operand &src(std::size_t i) const { return srcs_[i]; }
+    void setSrc(std::size_t i, Operand operand) { srcs_[i] = operand; }
+
+    // --- guard predicate (full predication) ---
+
+    /** @return the guard register; invalid when unguarded. */
+    Reg guard() const { return guard_; }
+    void setGuard(Reg guard) { guard_ = guard; }
+    bool guarded() const { return guard_.valid(); }
+    void clearGuard() { guard_ = Reg(); }
+
+    // --- control-transfer fields ---
+
+    /** Branch/jump target block. */
+    BlockId target() const { return target_; }
+    void setTarget(BlockId target) { target_ = target; }
+
+    /** Callee function name for Call. */
+    const std::string &callee() const { return callee_; }
+    void setCallee(std::string callee) { callee_ = std::move(callee); }
+
+    // --- speculation ---
+
+    /**
+     * @return true when this is the non-excepting (silent) form:
+     * faults are suppressed and a garbage-but-defined value is
+     * produced instead (paper §3.2, §4.1).
+     */
+    bool speculative() const { return speculative_; }
+    void setSpeculative(bool spec) { speculative_ = spec; }
+
+    // --- schedule attribute ---
+
+    /** Issue cycle within the owning block, -1 when unscheduled. */
+    int issueCycle() const { return issueCycle_; }
+    void setIssueCycle(int cycle) { issueCycle_ = cycle; }
+
+    // --- classification helpers ---
+
+    bool isCondBranch() const { return info().isCondBranch; }
+    bool isJump() const { return op_ == Opcode::Jump; }
+    bool isCall() const { return op_ == Opcode::Call; }
+    bool isRet() const { return op_ == Opcode::Ret; }
+    bool isLoad() const { return info().isLoad; }
+    bool isStore() const { return info().isStore; }
+    bool isMemory() const { return isLoad() || isStore(); }
+    bool isPredDefine() const { return info().isPredDefine; }
+    bool isPredAll() const { return info().isPredAll; }
+
+    /** @return true for any instruction that may transfer control. */
+    bool
+    isControlTransfer() const
+    {
+        return isCondBranch() || isJump() || isRet();
+    }
+
+    /**
+     * @return true when the instruction writes a register (int,
+     * float, or predicate).
+     */
+    bool
+    definesSomething() const
+    {
+        return dest_.valid() || !predDests_.empty();
+    }
+
+    /**
+     * @return true when this form of the instruction may raise a
+     * program-terminating exception (used by speculation legality).
+     */
+    bool
+    mayTrap() const
+    {
+        return info().canTrap && !speculative_;
+    }
+
+    /** One-line disassembly (no block-name resolution). */
+    std::string toString() const;
+
+  private:
+    Opcode op_ = Opcode::Nop;
+    int id_ = -1;
+    Reg dest_;
+    std::vector<PredDest> predDests_;
+    std::vector<Operand> srcs_;
+    Reg guard_;
+    BlockId target_ = invalidBlock;
+    std::string callee_;
+    bool speculative_ = false;
+    int issueCycle_ = -1;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_INSTR_HH

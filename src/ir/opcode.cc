@@ -1,0 +1,339 @@
+#include "ir/opcode.hh"
+
+#include <array>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+// Shorthand builders for the opcode table. Fields default to the
+// common case (plain ALU op with an integer destination).
+struct InfoBuilder
+{
+    OpcodeInfo info;
+
+    explicit InfoBuilder(const char *name,
+                         LatencyClass lat = LatencyClass::IntAlu)
+    {
+        info = OpcodeInfo{};
+        info.name = name;
+        info.latency = lat;
+        info.hasIntDest = true;
+    }
+
+    InfoBuilder &noDest() { info.hasIntDest = false; return *this; }
+    InfoBuilder &
+    floatDest()
+    {
+        info.hasIntDest = false;
+        info.hasFloatDest = true;
+        return *this;
+    }
+    InfoBuilder &condBranch()
+    {
+        info.isCondBranch = true;
+        info.hasIntDest = false;
+        info.latency = LatencyClass::Branch;
+        return *this;
+    }
+    InfoBuilder &trap() { info.canTrap = true; return *this; }
+    InfoBuilder &load() { info.isLoad = true; return *this; }
+    InfoBuilder &store()
+    {
+        info.isStore = true;
+        info.hasIntDest = false;
+        return *this;
+    }
+    InfoBuilder &predDefine()
+    {
+        info.isPredDefine = true;
+        info.hasIntDest = false;
+        info.latency = LatencyClass::PredDefine;
+        return *this;
+    }
+    InfoBuilder &predAll()
+    {
+        info.isPredAll = true;
+        info.hasIntDest = false;
+        info.latency = LatencyClass::PredDefine;
+        return *this;
+    }
+    InfoBuilder &condMove() { info.isCondMove = true; return *this; }
+    InfoBuilder &select() { info.isSelect = true; return *this; }
+    InfoBuilder &effect() { info.sideEffect = true; return *this; }
+};
+
+const std::array<OpcodeInfo, static_cast<std::size_t>(Opcode::Nop) + 1>
+buildTable()
+{
+    using L = LatencyClass;
+    std::array<OpcodeInfo,
+               static_cast<std::size_t>(Opcode::Nop) + 1> table{};
+    auto put = [&](Opcode op, const InfoBuilder &b) {
+        table[static_cast<std::size_t>(op)] = b.info;
+    };
+
+    put(Opcode::Add, InfoBuilder("add"));
+    put(Opcode::Sub, InfoBuilder("sub"));
+    put(Opcode::Mul, InfoBuilder("mul", L::IntMul));
+    put(Opcode::Div, InfoBuilder("div", L::IntDiv).trap());
+    put(Opcode::Rem, InfoBuilder("rem", L::IntDiv).trap());
+    put(Opcode::And, InfoBuilder("and"));
+    put(Opcode::Or, InfoBuilder("or"));
+    put(Opcode::Xor, InfoBuilder("xor"));
+    put(Opcode::AndNot, InfoBuilder("and_not"));
+    put(Opcode::OrNot, InfoBuilder("or_not"));
+    put(Opcode::Shl, InfoBuilder("shl"));
+    put(Opcode::Shr, InfoBuilder("shr"));
+    put(Opcode::Sra, InfoBuilder("sra"));
+    put(Opcode::Mov, InfoBuilder("mov"));
+
+    put(Opcode::CmpEq, InfoBuilder("eq"));
+    put(Opcode::CmpNe, InfoBuilder("ne"));
+    put(Opcode::CmpLt, InfoBuilder("lt"));
+    put(Opcode::CmpLe, InfoBuilder("le"));
+    put(Opcode::CmpGt, InfoBuilder("gt"));
+    put(Opcode::CmpGe, InfoBuilder("ge"));
+    put(Opcode::CmpLtu, InfoBuilder("ltu"));
+
+    put(Opcode::FAdd, InfoBuilder("add_f", L::FpAlu).floatDest());
+    put(Opcode::FSub, InfoBuilder("sub_f", L::FpAlu).floatDest());
+    put(Opcode::FMul, InfoBuilder("mul_f", L::FpAlu).floatDest());
+    put(Opcode::FDiv,
+        InfoBuilder("div_f", L::FpDiv).floatDest().trap());
+    put(Opcode::FMov, InfoBuilder("mov_f", L::FpAlu).floatDest());
+    put(Opcode::CvtIf, InfoBuilder("cvt_if", L::FpAlu).floatDest());
+    put(Opcode::CvtFi, InfoBuilder("cvt_fi", L::FpAlu));
+
+    put(Opcode::FCmpEq, InfoBuilder("eq_f", L::FpAlu));
+    put(Opcode::FCmpNe, InfoBuilder("ne_f", L::FpAlu));
+    put(Opcode::FCmpLt, InfoBuilder("lt_f", L::FpAlu));
+    put(Opcode::FCmpLe, InfoBuilder("le_f", L::FpAlu));
+    put(Opcode::FCmpGt, InfoBuilder("gt_f", L::FpAlu));
+    put(Opcode::FCmpGe, InfoBuilder("ge_f", L::FpAlu));
+
+    put(Opcode::Ld, InfoBuilder("ld", L::Load).load().trap());
+    put(Opcode::LdB, InfoBuilder("ld_b", L::Load).load().trap());
+    put(Opcode::LdBu, InfoBuilder("ld_bu", L::Load).load().trap());
+    put(Opcode::St,
+        InfoBuilder("st", L::Store).store().trap().effect());
+    put(Opcode::StB,
+        InfoBuilder("st_b", L::Store).store().trap().effect());
+    put(Opcode::FLd,
+        InfoBuilder("ld_f", L::Load).load().floatDest().trap());
+    put(Opcode::FSt,
+        InfoBuilder("st_f", L::Store).store().trap().effect());
+
+    put(Opcode::Beq, InfoBuilder("beq").condBranch());
+    put(Opcode::Bne, InfoBuilder("bne").condBranch());
+    put(Opcode::Blt, InfoBuilder("blt").condBranch());
+    put(Opcode::Ble, InfoBuilder("ble").condBranch());
+    put(Opcode::Bgt, InfoBuilder("bgt").condBranch());
+    put(Opcode::Bge, InfoBuilder("bge").condBranch());
+
+    {
+        InfoBuilder b("jump", L::Branch);
+        b.noDest().effect();
+        b.info.isJump = true;
+        put(Opcode::Jump, b);
+    }
+    {
+        InfoBuilder b("jsr", L::Branch);
+        b.effect();
+        b.info.isCall = true;
+        // A call may or may not define a register; the instruction's
+        // dest field decides. hasIntDest stays true so the printer
+        // shows it when present.
+        put(Opcode::Call, b);
+    }
+    {
+        InfoBuilder b("ret", L::Branch);
+        b.noDest().effect();
+        b.info.isRet = true;
+        put(Opcode::Ret, b);
+    }
+
+    put(Opcode::GetC, InfoBuilder("getc", L::Load).effect());
+    put(Opcode::PutC, InfoBuilder("putc", L::Store).noDest().effect());
+    put(Opcode::ReadBlock,
+        InfoBuilder("readblock", L::Load).effect().trap());
+
+    put(Opcode::PredClear, InfoBuilder("pred_clear").predAll());
+    put(Opcode::PredSet, InfoBuilder("pred_set").predAll());
+    put(Opcode::PredEq, InfoBuilder("pred_eq").predDefine());
+    put(Opcode::PredNe, InfoBuilder("pred_ne").predDefine());
+    put(Opcode::PredLt, InfoBuilder("pred_lt").predDefine());
+    put(Opcode::PredLe, InfoBuilder("pred_le").predDefine());
+    put(Opcode::PredGt, InfoBuilder("pred_gt").predDefine());
+    put(Opcode::PredGe, InfoBuilder("pred_ge").predDefine());
+    put(Opcode::PredLtu, InfoBuilder("pred_ltu").predDefine());
+
+    put(Opcode::CMov, InfoBuilder("cmov").condMove());
+    put(Opcode::CMovCom, InfoBuilder("cmov_com").condMove());
+    put(Opcode::Select, InfoBuilder("select").select());
+    put(Opcode::FCMov,
+        InfoBuilder("cmov_f", L::FpAlu).condMove().floatDest());
+    put(Opcode::FCMovCom,
+        InfoBuilder("cmov_com_f", L::FpAlu).condMove().floatDest());
+    put(Opcode::FSelect,
+        InfoBuilder("select_f", L::FpAlu).select().floatDest());
+
+    put(Opcode::Nop, InfoBuilder("nop").noDest());
+    return table;
+}
+
+const auto opcodeTable = buildTable();
+
+} // namespace
+
+const OpcodeInfo &
+opcodeInfo(Opcode op)
+{
+    return opcodeTable[static_cast<std::size_t>(op)];
+}
+
+bool
+isControl(Opcode op)
+{
+    const auto &info = opcodeInfo(op);
+    return info.isCondBranch || info.isJump || info.isCall || info.isRet;
+}
+
+bool
+isBranchResource(Opcode op)
+{
+    return isControl(op);
+}
+
+bool
+evalIntCondition(Opcode op, std::int64_t a, std::int64_t b)
+{
+    switch (op) {
+      case Opcode::Beq: case Opcode::CmpEq: case Opcode::PredEq:
+        return a == b;
+      case Opcode::Bne: case Opcode::CmpNe: case Opcode::PredNe:
+        return a != b;
+      case Opcode::Blt: case Opcode::CmpLt: case Opcode::PredLt:
+        return a < b;
+      case Opcode::Ble: case Opcode::CmpLe: case Opcode::PredLe:
+        return a <= b;
+      case Opcode::Bgt: case Opcode::CmpGt: case Opcode::PredGt:
+        return a > b;
+      case Opcode::Bge: case Opcode::CmpGe: case Opcode::PredGe:
+        return a >= b;
+      case Opcode::CmpLtu: case Opcode::PredLtu:
+        return static_cast<std::uint64_t>(a) <
+               static_cast<std::uint64_t>(b);
+      default:
+        panic("evalIntCondition: not a condition opcode: ",
+              opcodeName(op));
+    }
+}
+
+bool
+evalFloatCondition(Opcode op, double a, double b)
+{
+    switch (op) {
+      case Opcode::FCmpEq: return a == b;
+      case Opcode::FCmpNe: return a != b;
+      case Opcode::FCmpLt: return a < b;
+      case Opcode::FCmpLe: return a <= b;
+      case Opcode::FCmpGt: return a > b;
+      case Opcode::FCmpGe: return a >= b;
+      default:
+        panic("evalFloatCondition: not a float condition: ",
+              opcodeName(op));
+    }
+}
+
+Opcode
+branchToCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: return Opcode::CmpEq;
+      case Opcode::Bne: return Opcode::CmpNe;
+      case Opcode::Blt: return Opcode::CmpLt;
+      case Opcode::Ble: return Opcode::CmpLe;
+      case Opcode::Bgt: return Opcode::CmpGt;
+      case Opcode::Bge: return Opcode::CmpGe;
+      default:
+        panic("branchToCompare: not a conditional branch: ",
+              opcodeName(op));
+    }
+}
+
+Opcode
+branchToPredDefine(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: return Opcode::PredEq;
+      case Opcode::Bne: return Opcode::PredNe;
+      case Opcode::Blt: return Opcode::PredLt;
+      case Opcode::Ble: return Opcode::PredLe;
+      case Opcode::Bgt: return Opcode::PredGt;
+      case Opcode::Bge: return Opcode::PredGe;
+      default:
+        panic("branchToPredDefine: not a conditional branch: ",
+              opcodeName(op));
+    }
+}
+
+Opcode
+predDefineToCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::PredEq: return Opcode::CmpEq;
+      case Opcode::PredNe: return Opcode::CmpNe;
+      case Opcode::PredLt: return Opcode::CmpLt;
+      case Opcode::PredLe: return Opcode::CmpLe;
+      case Opcode::PredGt: return Opcode::CmpGt;
+      case Opcode::PredGe: return Opcode::CmpGe;
+      case Opcode::PredLtu: return Opcode::CmpLtu;
+      default:
+        panic("predDefineToCompare: not a predicate define: ",
+              opcodeName(op));
+    }
+}
+
+Opcode
+invertCompare(Opcode op)
+{
+    switch (op) {
+      case Opcode::CmpEq: return Opcode::CmpNe;
+      case Opcode::CmpNe: return Opcode::CmpEq;
+      case Opcode::CmpLt: return Opcode::CmpGe;
+      case Opcode::CmpLe: return Opcode::CmpGt;
+      case Opcode::CmpGt: return Opcode::CmpLe;
+      case Opcode::CmpGe: return Opcode::CmpLt;
+      case Opcode::FCmpEq: return Opcode::FCmpNe;
+      case Opcode::FCmpNe: return Opcode::FCmpEq;
+      case Opcode::FCmpLt: return Opcode::FCmpGe;
+      case Opcode::FCmpLe: return Opcode::FCmpGt;
+      case Opcode::FCmpGt: return Opcode::FCmpLe;
+      case Opcode::FCmpGe: return Opcode::FCmpLt;
+      default:
+        panic("invertCompare: cannot invert ", opcodeName(op));
+    }
+}
+
+Opcode
+invertBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Beq: return Opcode::Bne;
+      case Opcode::Bne: return Opcode::Beq;
+      case Opcode::Blt: return Opcode::Bge;
+      case Opcode::Ble: return Opcode::Bgt;
+      case Opcode::Bgt: return Opcode::Ble;
+      case Opcode::Bge: return Opcode::Blt;
+      default:
+        panic("invertBranch: not a conditional branch: ",
+              opcodeName(op));
+    }
+}
+
+} // namespace predilp

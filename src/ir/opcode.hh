@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Opcodes of the generic load/store ILP ISA modeled after the paper's
+ * baseline architecture (§2), including the full-predication
+ * extensions (predicate defines, pred_clear/pred_set) and the partial
+ * predication extensions (cmov/cmov_com/select).
+ */
+
+#ifndef PREDILP_IR_OPCODE_HH
+#define PREDILP_IR_OPCODE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace predilp
+{
+
+/** All instruction opcodes of the PredILP ISA. */
+enum class Opcode : std::uint8_t
+{
+    // --- integer arithmetic and logic ---
+    Add, Sub, Mul, Div, Rem,
+    And, Or, Xor,
+    AndNot,         ///< dest = src1 & ~src2 (paper §3.2 "and_not").
+    OrNot,          ///< dest = src1 | ~src2 (paper §3.2 "or_not").
+    Shl, Shr, Sra,
+    Mov,            ///< dest = src1 (register or immediate).
+
+    // --- integer comparisons (dest is an int register, 0/1) ---
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe, CmpLtu,
+
+    // --- floating point ---
+    FAdd, FSub, FMul, FDiv, FMov,
+    CvtIf,          ///< int -> float conversion.
+    CvtFi,          ///< float -> int conversion (truncating).
+
+    // --- floating point comparisons (dest is an int register) ---
+    FCmpEq, FCmpNe, FCmpLt, FCmpLe, FCmpGt, FCmpGe,
+
+    // --- memory (base register + immediate-or-register offset) ---
+    Ld,             ///< load 64-bit word.
+    LdB,            ///< load sign-extended byte.
+    LdBu,           ///< load zero-extended byte.
+    St,             ///< store 64-bit word.
+    StB,            ///< store low byte.
+    FLd,            ///< load double.
+    FSt,            ///< store double.
+
+    // --- control transfer ---
+    Beq, Bne, Blt, Ble, Bgt, Bge, ///< conditional branches.
+    Jump,           ///< unconditional (possibly predicated) jump.
+    Call,           ///< subroutine call with explicit operand list.
+    Ret,            ///< return, optional value operand.
+
+    // --- I/O intrinsics (workload input/output streams) ---
+    GetC,           ///< dest = next input byte, or -1 at end.
+    PutC,           ///< append low byte of src to the output stream.
+    ReadBlock,      ///< dest = bytes copied from input to memory
+                    ///< [src0+src1, +src2) — a read() syscall.
+
+    // --- full predication extensions (§2.1) ---
+    PredClear,      ///< set the entire predicate file to 0.
+    PredSet,        ///< set the entire predicate file to 1.
+    PredEq, PredNe, PredLt, PredLe, PredGt, PredGe, PredLtu,
+
+    // --- partial predication extensions (§2.2) ---
+    CMov,           ///< if (cond) dest = src.
+    CMovCom,        ///< if (!cond) dest = src.
+    Select,         ///< dest = cond ? src1 : src2.
+    FCMov, FCMovCom, FSelect,
+
+    Nop,
+};
+
+/** Coarse latency classes; the machine model maps these to cycles. */
+enum class LatencyClass : std::uint8_t
+{
+    IntAlu,     ///< 1 cycle.
+    IntMul,     ///< 3 cycles.
+    IntDiv,     ///< 10 cycles.
+    FpAlu,      ///< 2 cycles.
+    FpDiv,      ///< 8 cycles.
+    Load,       ///< 2 cycles on a cache hit.
+    Store,      ///< 1 cycle.
+    Branch,     ///< 1 cycle.
+    PredDefine, ///< 1 cycle.
+};
+
+/** Static properties of an opcode. */
+struct OpcodeInfo
+{
+    const char *name;       ///< mnemonic used by the printer.
+    LatencyClass latency;   ///< latency class for scheduling/timing.
+    bool isCondBranch;      ///< conditional branch (two srcs + target).
+    bool isJump;            ///< unconditional jump.
+    bool isCall;
+    bool isRet;
+    bool isLoad;
+    bool isStore;
+    bool isPredDefine;      ///< PredEq..PredLtu.
+    bool isPredAll;         ///< PredClear / PredSet.
+    bool isCondMove;        ///< CMov / CMovCom / FCMov / FCMovCom.
+    bool isSelect;          ///< Select / FSelect.
+    bool hasIntDest;        ///< writes an integer register.
+    bool hasFloatDest;      ///< writes a float register.
+    bool canTrap;           ///< excepting in its normal form (div, mem).
+    bool sideEffect;        ///< I/O or other non-register effect.
+};
+
+/** @return the static property record for @p op. */
+const OpcodeInfo &opcodeInfo(Opcode op);
+
+/** @return the mnemonic for @p op. */
+inline const char *opcodeName(Opcode op) { return opcodeInfo(op).name; }
+
+/** @return true for any control-transfer opcode. */
+bool isControl(Opcode op);
+
+/** @return true when @p op is a branch counted against branch slots. */
+bool isBranchResource(Opcode op);
+
+/**
+ * For a conditional branch or compare or predicate define, evaluate
+ * the comparison it encodes on two integer values.
+ */
+bool evalIntCondition(Opcode op, std::int64_t a, std::int64_t b);
+
+/** Evaluate the comparison of an FCmp* opcode. */
+bool evalFloatCondition(Opcode op, double a, double b);
+
+/**
+ * Map a conditional branch opcode to the integer compare opcode with
+ * the same condition (Beq -> CmpEq, ...).
+ */
+Opcode branchToCompare(Opcode op);
+
+/** Map a conditional branch to the predicate define with the same
+ * condition (Beq -> PredEq, ...). */
+Opcode branchToPredDefine(Opcode op);
+
+/** Map a predicate define to the integer compare opcode with the same
+ * condition (PredEq -> CmpEq, ...). */
+Opcode predDefineToCompare(Opcode op);
+
+/** Map a compare opcode to the compare of the negated condition
+ * (CmpEq -> CmpNe, CmpLt -> CmpGe, ...). */
+Opcode invertCompare(Opcode op);
+
+/** Map a conditional branch to the branch of the negated condition. */
+Opcode invertBranch(Opcode op);
+
+} // namespace predilp
+
+#endif // PREDILP_IR_OPCODE_HH

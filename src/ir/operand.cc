@@ -1,0 +1,27 @@
+#include "ir/operand.hh"
+
+#include <sstream>
+
+namespace predilp
+{
+
+std::string
+Operand::toString() const
+{
+    switch (kind_) {
+      case Kind::None:
+        return "<none>";
+      case Kind::Register:
+        return reg_.toString();
+      case Kind::Imm:
+        return std::to_string(imm_);
+      case Kind::FImm: {
+        std::ostringstream os;
+        os << fimm_;
+        return os.str();
+      }
+    }
+    return "<bad>";
+}
+
+} // namespace predilp

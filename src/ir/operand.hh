@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Instruction source operands: registers, integer immediates, or
+ * floating-point immediates.
+ */
+
+#ifndef PREDILP_IR_OPERAND_HH
+#define PREDILP_IR_OPERAND_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/reg.hh"
+
+namespace predilp
+{
+
+/**
+ * A source operand. Value type. Branch targets and call targets are
+ * not operands; they are dedicated instruction fields so that CFG
+ * edits never have to rewrite operand lists.
+ */
+class Operand
+{
+  public:
+    /** Operand kinds. */
+    enum class Kind : std::uint8_t { None, Register, Imm, FImm };
+
+    /** Construct the empty operand. */
+    Operand() = default;
+
+    /** Construct a register operand. */
+    Operand(Reg reg) : kind_(Kind::Register), reg_(reg) {}
+
+    /** Construct an integer immediate operand. */
+    static Operand
+    imm(std::int64_t value)
+    {
+        Operand o;
+        o.kind_ = Kind::Imm;
+        o.imm_ = value;
+        return o;
+    }
+
+    /** Construct a floating-point immediate operand. */
+    static Operand
+    fimm(double value)
+    {
+        Operand o;
+        o.kind_ = Kind::FImm;
+        o.fimm_ = value;
+        return o;
+    }
+
+    Kind kind() const { return kind_; }
+    bool isReg() const { return kind_ == Kind::Register; }
+    bool isImm() const { return kind_ == Kind::Imm; }
+    bool isFImm() const { return kind_ == Kind::FImm; }
+    bool isNone() const { return kind_ == Kind::None; }
+
+    /** @return the register; only valid when isReg(). */
+    Reg reg() const { return reg_; }
+
+    /** @return the integer immediate; only valid when isImm(). */
+    std::int64_t immValue() const { return imm_; }
+
+    /** @return the float immediate; only valid when isFImm(). */
+    double fimmValue() const { return fimm_; }
+
+    bool
+    operator==(const Operand &other) const
+    {
+        if (kind_ != other.kind_)
+            return false;
+        switch (kind_) {
+          case Kind::None: return true;
+          case Kind::Register: return reg_ == other.reg_;
+          case Kind::Imm: return imm_ == other.imm_;
+          case Kind::FImm: return fimm_ == other.fimm_;
+        }
+        return false;
+    }
+
+    bool operator!=(const Operand &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Render for the IR printer. */
+    std::string toString() const;
+
+  private:
+    Kind kind_ = Kind::None;
+    Reg reg_;
+    std::int64_t imm_ = 0;
+    double fimm_ = 0.0;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_OPERAND_HH

@@ -1,0 +1,48 @@
+#include "ir/pred.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+bool
+applyPredType(PredType type, bool pin, bool cmp, bool old)
+{
+    switch (type) {
+      case PredType::U:
+        return pin ? cmp : false;
+      case PredType::UBar:
+        return pin ? !cmp : false;
+      case PredType::Or:
+        return (pin && cmp) ? true : old;
+      case PredType::OrBar:
+        return (pin && !cmp) ? true : old;
+      case PredType::And:
+        return (pin && !cmp) ? false : old;
+      case PredType::AndBar:
+        return (pin && cmp) ? false : old;
+    }
+    panic("unknown PredType");
+}
+
+std::string
+predTypeName(PredType type)
+{
+    switch (type) {
+      case PredType::U:
+        return "U";
+      case PredType::UBar:
+        return "U!";
+      case PredType::Or:
+        return "OR";
+      case PredType::OrBar:
+        return "OR!";
+      case PredType::And:
+        return "AND";
+      case PredType::AndBar:
+        return "AND!";
+    }
+    panic("unknown PredType");
+}
+
+} // namespace predilp

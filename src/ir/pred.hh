@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Predicate destination types of the HPL-Playdoh-style predicate
+ * define instructions (ISCA'95 §2.1, Table 1): unconditional, OR, and
+ * AND types plus their complements.
+ */
+
+#ifndef PREDILP_IR_PRED_HH
+#define PREDILP_IR_PRED_HH
+
+#include <cstdint>
+#include <string>
+
+#include "ir/reg.hh"
+
+namespace predilp
+{
+
+/**
+ * The six useful predicate define types from Table 1 of the paper.
+ * (The full space has 3^4 = 81 types; these are the ones the paper and
+ * the Playdoh specification single out.)
+ */
+enum class PredType : std::uint8_t
+{
+    U,      ///< unconditional: Pout = Pin ? cmp : 0.
+    UBar,   ///< complement unconditional: Pout = Pin ? !cmp : 0.
+    Or,     ///< OR type: Pout = (Pin && cmp) ? 1 : unchanged.
+    OrBar,  ///< complement OR: Pout = (Pin && !cmp) ? 1 : unchanged.
+    And,    ///< AND type: Pout = (Pin && !cmp) ? 0 : unchanged.
+    AndBar, ///< complement AND: Pout = (Pin && cmp) ? 0 : unchanged.
+};
+
+/**
+ * Evaluate one destination of a predicate define instruction per
+ * Table 1 of the paper.
+ *
+ * @param type the predicate type of the destination.
+ * @param pin the input (guarding) predicate value.
+ * @param cmp the result of the comparison.
+ * @param old the previous contents of the destination register.
+ * @return the new contents of the destination register.
+ */
+bool applyPredType(PredType type, bool pin, bool cmp, bool old);
+
+/** @return "U", "U!", "OR", "OR!", "AND", or "AND!". */
+std::string predTypeName(PredType type);
+
+/**
+ * One destination of a predicate define instruction: the predicate
+ * register written and the type controlling how it is written.
+ */
+struct PredDest
+{
+    Reg reg;        ///< destination predicate register.
+    PredType type = PredType::U; ///< write semantics.
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_PRED_HH

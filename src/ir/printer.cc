@@ -1,0 +1,74 @@
+#include "ir/printer.hh"
+
+#include <sstream>
+
+namespace predilp
+{
+
+std::string
+formatInstr(const Instruction &instr, const PrintOptions &opts)
+{
+    std::ostringstream os;
+    if (opts.showIds)
+        os << "#" << instr.id() << " ";
+    if (opts.showIssueCycles) {
+        if (instr.issueCycle() >= 0)
+            os << "[" << instr.issueCycle() << "] ";
+        else
+            os << "[-] ";
+    }
+    os << instr.toString();
+    return os.str();
+}
+
+void
+printBlock(std::ostream &os, const Function &fn, const BasicBlock &bb,
+           const PrintOptions &opts)
+{
+    os << bb.name() << ":";
+    switch (bb.kind()) {
+      case BlockKind::Superblock:
+        os << "  ; superblock";
+        break;
+      case BlockKind::Hyperblock:
+        os << "  ; hyperblock";
+        break;
+      case BlockKind::Plain:
+        break;
+    }
+    if (opts.showWeights)
+        os << "  ; weight=" << bb.weight();
+    os << "\n";
+    for (const auto &instr : bb.instrs())
+        os << "    " << formatInstr(instr, opts) << "\n";
+    if (bb.fallthrough() != invalidBlock) {
+        os << "    ; falls through to "
+           << fn.block(bb.fallthrough())->name() << "\n";
+    }
+}
+
+void
+printFunction(std::ostream &os, const Function &fn,
+              const PrintOptions &opts)
+{
+    os << "function " << fn.name() << "(";
+    for (std::size_t i = 0; i < fn.params().size(); ++i) {
+        if (i > 0)
+            os << ", ";
+        os << fn.params()[i].toString();
+    }
+    os << ")\n";
+    for (BlockId id : fn.layout())
+        printBlock(os, fn, *fn.block(id), opts);
+    os << "\n";
+}
+
+void
+printProgram(std::ostream &os, const Program &prog,
+             const PrintOptions &opts)
+{
+    for (const auto &fn : prog.functions())
+        printFunction(os, *fn, opts);
+}
+
+} // namespace predilp

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Human-readable IR dumping, in the style of the paper's assembly
+ * listings (Figures 1, 5, 6). Optionally annotates instructions with
+ * their scheduled issue cycles.
+ */
+
+#ifndef PREDILP_IR_PRINTER_HH
+#define PREDILP_IR_PRINTER_HH
+
+#include <ostream>
+#include <string>
+
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/** Options controlling IR dumps. */
+struct PrintOptions
+{
+    bool showIssueCycles = false; ///< print "[c]" per instruction.
+    bool showWeights = false;     ///< print block profile weights.
+    bool showIds = false;         ///< print instruction ids.
+};
+
+/** Print one instruction (one line, no trailing newline). */
+std::string formatInstr(const Instruction &instr,
+                        const PrintOptions &opts = {});
+
+/** Print a block with its label and fallthrough annotation. */
+void printBlock(std::ostream &os, const Function &fn,
+                const BasicBlock &bb, const PrintOptions &opts = {});
+
+/** Print a whole function in layout order. */
+void printFunction(std::ostream &os, const Function &fn,
+                   const PrintOptions &opts = {});
+
+/** Print every function of a program. */
+void printProgram(std::ostream &os, const Program &prog,
+                  const PrintOptions &opts = {});
+
+} // namespace predilp
+
+#endif // PREDILP_IR_PRINTER_HH

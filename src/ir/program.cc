@@ -1,0 +1,69 @@
+#include "ir/program.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+Program::Program() = default;
+
+Function *
+Program::newFunction(const std::string &name)
+{
+    panicIf(functionIndex_.count(name) != 0,
+            "duplicate function ", name);
+    functionIndex_[name] = functions_.size();
+    functions_.push_back(std::make_unique<Function>(name));
+    return functions_.back().get();
+}
+
+Function *
+Program::function(const std::string &name)
+{
+    auto it = functionIndex_.find(name);
+    return it == functionIndex_.end() ? nullptr
+                                      : functions_[it->second].get();
+}
+
+const Function *
+Program::function(const std::string &name) const
+{
+    auto it = functionIndex_.find(name);
+    return it == functionIndex_.end() ? nullptr
+                                      : functions_[it->second].get();
+}
+
+Function *
+Program::main()
+{
+    Function *fn = function("main");
+    panicIf(fn == nullptr, "program has no main function");
+    return fn;
+}
+
+std::int64_t
+Program::allocGlobal(const std::string &name, std::int64_t sizeBytes,
+                     int elemSize, bool isFloat)
+{
+    panicIf(globalIndex_.count(name) != 0, "duplicate global ", name);
+    std::int64_t addr = (dataSize_ + 7) & ~std::int64_t{7};
+    Global g;
+    g.name = name;
+    g.addr = addr;
+    g.sizeBytes = sizeBytes;
+    g.elemSize = elemSize;
+    g.isFloat = isFloat;
+    globalIndex_[name] = globals_.size();
+    globals_.push_back(std::move(g));
+    dataSize_ = addr + sizeBytes;
+    return addr;
+}
+
+Global *
+Program::global(const std::string &name)
+{
+    auto it = globalIndex_.find(name);
+    return it == globalIndex_.end() ? nullptr : &globals_[it->second];
+}
+
+} // namespace predilp

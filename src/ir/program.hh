@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Program: a set of functions plus a global data segment. The data
+ * segment reserves a small region at its base containing the
+ * $safe_addr scratch word used by the partial-predication store
+ * conversion (paper §3.2, Figure 3).
+ */
+
+#ifndef PREDILP_IR_PROGRAM_HH
+#define PREDILP_IR_PROGRAM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.hh"
+
+namespace predilp
+{
+
+/** One global array (or scalar) in the data segment. */
+struct Global
+{
+    std::string name;
+    std::int64_t addr = 0;       ///< byte address in data segment.
+    std::int64_t sizeBytes = 0;  ///< total size.
+    int elemSize = 8;            ///< 1 (byte), or 8 (word / double).
+    bool isFloat = false;        ///< element type is double.
+    /** Optional initializers, applied element-wise from addr. */
+    std::vector<std::int64_t> initInts;
+    std::vector<double> initFloats;
+};
+
+/**
+ * A whole program: functions (with "main" as entry), globals, and the
+ * data-segment layout.
+ */
+class Program
+{
+  public:
+    /**
+     * Address of the reserved safe scratch location ($safe_addr).
+     * Speculative stores squashed by a false predicate are redirected
+     * here; the word is otherwise unused.
+     */
+    static constexpr std::int64_t safeAddr = 8;
+
+    Program();
+
+    /** Create a function; name must be unique. */
+    Function *newFunction(const std::string &name);
+
+    /** @return the function with @p name, or nullptr. */
+    Function *function(const std::string &name);
+    const Function *function(const std::string &name) const;
+
+    /** @return the program entry function ("main"); panics if none. */
+    Function *main();
+
+    /** All functions in creation order. */
+    const std::vector<std::unique_ptr<Function>> &functions() const
+    {
+        return functions_;
+    }
+    std::vector<std::unique_ptr<Function>> &functions()
+    {
+        return functions_;
+    }
+
+    /**
+     * Allocate a global of @p sizeBytes bytes, 8-byte aligned.
+     * @return its base address.
+     */
+    std::int64_t allocGlobal(const std::string &name,
+                             std::int64_t sizeBytes, int elemSize,
+                             bool isFloat);
+
+    /** @return the global named @p name, or nullptr. */
+    Global *global(const std::string &name);
+
+    /** All globals. */
+    const std::vector<Global> &globals() const { return globals_; }
+    std::vector<Global> &globals() { return globals_; }
+
+    /** Size of the static data segment in bytes. */
+    std::int64_t dataSize() const { return dataSize_; }
+
+  private:
+    std::vector<std::unique_ptr<Function>> functions_;
+    std::map<std::string, std::size_t> functionIndex_;
+    std::vector<Global> globals_;
+    std::map<std::string, std::size_t> globalIndex_;
+    std::int64_t dataSize_ = 64; // first 64 bytes reserved.
+};
+
+} // namespace predilp
+
+#endif // PREDILP_IR_PROGRAM_HH

@@ -1,0 +1,26 @@
+#include "ir/reg.hh"
+
+namespace predilp
+{
+
+std::string
+Reg::toString() const
+{
+    if (!valid())
+        return "-";
+    char prefix = 'r';
+    switch (cls_) {
+      case RegClass::Int:
+        prefix = 'r';
+        break;
+      case RegClass::Float:
+        prefix = 'f';
+        break;
+      case RegClass::Pred:
+        prefix = 'p';
+        break;
+    }
+    return prefix + std::to_string(idx_);
+}
+
+} // namespace predilp

@@ -1,0 +1,231 @@
+#include "ir/verifier.hh"
+
+#include <set>
+#include <sstream>
+
+namespace predilp
+{
+
+namespace
+{
+
+class Verifier
+{
+  public:
+    Verifier(const Function &fn, const Program *prog)
+        : fn_(fn), prog_(prog)
+    {}
+
+    std::string
+    run()
+    {
+        inLayout_.assign(fn_.numBlockIds(), false);
+        for (BlockId id : fn_.layout())
+            inLayout_[static_cast<std::size_t>(id)] = true;
+
+        for (BlockId id : fn_.layout()) {
+            const BasicBlock *bb = fn_.block(id);
+            checkBlock(*bb);
+            if (!error_.empty())
+                return error_;
+        }
+        return error_;
+    }
+
+  private:
+    template <typename... Args>
+    void
+    fail(const BasicBlock &bb, const Instruction *instr,
+         Args &&...args)
+    {
+        if (!error_.empty())
+            return;
+        std::ostringstream os;
+        os << fn_.name() << "/" << bb.name() << ": ";
+        if (instr != nullptr)
+            os << "'" << instr->toString() << "': ";
+        (os << ... << std::forward<Args>(args));
+        error_ = os.str();
+    }
+
+    bool
+    validTarget(BlockId id) const
+    {
+        return id >= 0 &&
+               static_cast<std::size_t>(id) < fn_.numBlockIds() &&
+               inLayout_[static_cast<std::size_t>(id)];
+    }
+
+    void
+    checkReg(const BasicBlock &bb, const Instruction &instr, Reg reg,
+             const char *role)
+    {
+        if (!reg.valid()) {
+            fail(bb, &instr, role, " register is invalid");
+            return;
+        }
+        int bound = 0;
+        switch (reg.cls()) {
+          case RegClass::Int:
+            bound = fn_.numIntRegs();
+            break;
+          case RegClass::Float:
+            bound = fn_.numFloatRegs();
+            break;
+          case RegClass::Pred:
+            bound = fn_.numPredRegs();
+            break;
+        }
+        if (reg.idx() >= bound) {
+            fail(bb, &instr, role, " register ", reg.toString(),
+                 " out of range (", bound, ")");
+        }
+    }
+
+    void
+    checkSrcCount(const BasicBlock &bb, const Instruction &instr,
+                  std::size_t expected)
+    {
+        if (instr.srcs().size() != expected) {
+            fail(bb, &instr, "expected ", expected, " sources, got ",
+                 instr.srcs().size());
+        }
+    }
+
+    void
+    checkBlock(const BasicBlock &bb)
+    {
+        for (const auto &instr : bb.instrs()) {
+            if (!error_.empty())
+                return;
+            if (!ids_.insert(instr.id()).second)
+                fail(bb, &instr, "duplicate instruction id");
+            checkInstr(bb, instr);
+        }
+
+        if (!bb.endsInUnconditionalTransfer()) {
+            if (bb.fallthrough() == invalidBlock) {
+                fail(bb, nullptr,
+                     "block neither transfers nor falls through");
+            } else if (!validTarget(bb.fallthrough())) {
+                fail(bb, nullptr, "fallthrough target ",
+                     bb.fallthrough(), " not in layout");
+            }
+        }
+    }
+
+    void
+    checkInstr(const BasicBlock &bb, const Instruction &instr)
+    {
+        const auto &info = instr.info();
+
+        if (instr.guarded() &&
+            instr.guard().cls() != RegClass::Pred) {
+            fail(bb, &instr, "guard is not a predicate register");
+        }
+        if (instr.guarded())
+            checkReg(bb, instr, instr.guard(), "guard");
+
+        if (instr.isPredDefine()) {
+            if (instr.predDests().empty() ||
+                instr.predDests().size() > 2) {
+                fail(bb, &instr,
+                     "predicate define needs 1 or 2 dests");
+            }
+            for (const auto &pd : instr.predDests()) {
+                if (pd.reg.cls() != RegClass::Pred) {
+                    fail(bb, &instr,
+                         "predicate dest is not a pred register");
+                }
+                checkReg(bb, instr, pd.reg, "pred dest");
+            }
+            checkSrcCount(bb, instr, 2);
+        } else if (!instr.predDests().empty()) {
+            fail(bb, &instr,
+                 "non-define carries predicate destinations");
+        }
+
+        if (info.isCondBranch) {
+            checkSrcCount(bb, instr, 2);
+            if (!validTarget(instr.target()))
+                fail(bb, &instr, "branch target not in layout");
+        } else if (instr.isJump()) {
+            if (!validTarget(instr.target()))
+                fail(bb, &instr, "jump target not in layout");
+        } else if (instr.isCall()) {
+            if (prog_ != nullptr) {
+                const Function *callee =
+                    prog_->function(instr.callee());
+                if (callee == nullptr) {
+                    fail(bb, &instr, "unknown callee ",
+                         instr.callee());
+                } else if (callee->params().size() !=
+                           instr.srcs().size()) {
+                    fail(bb, &instr, "call arity mismatch: ",
+                         instr.srcs().size(), " args vs ",
+                         callee->params().size(), " params");
+                }
+            }
+        } else if (instr.isRet()) {
+            if (instr.srcs().size() > 1)
+                fail(bb, &instr, "ret takes at most one value");
+        } else if (info.isCondMove) {
+            checkSrcCount(bb, instr, 2);
+        } else if (info.isSelect) {
+            checkSrcCount(bb, instr, 3);
+        } else if (instr.isStore()) {
+            checkSrcCount(bb, instr, 3);
+        } else if (instr.isLoad()) {
+            checkSrcCount(bb, instr, 2);
+        } else if (instr.op() == Opcode::Mov ||
+                   instr.op() == Opcode::FMov ||
+                   instr.op() == Opcode::CvtIf ||
+                   instr.op() == Opcode::CvtFi) {
+            checkSrcCount(bb, instr, 1);
+        }
+
+        if (instr.dest().valid())
+            checkReg(bb, instr, instr.dest(), "dest");
+        if (info.hasFloatDest && instr.dest().valid() &&
+            instr.dest().cls() != RegClass::Float) {
+            fail(bb, &instr, "dest should be a float register");
+        }
+        if (info.hasIntDest && instr.dest().valid() &&
+            !instr.isCall() &&
+            instr.dest().cls() != RegClass::Int) {
+            fail(bb, &instr, "dest should be an int register");
+        }
+
+        for (const auto &src : instr.srcs()) {
+            if (src.isReg())
+                checkReg(bb, instr, src.reg(), "source");
+        }
+    }
+
+    const Function &fn_;
+    const Program *prog_;
+    std::vector<bool> inLayout_;
+    std::set<int> ids_;
+    std::string error_;
+};
+
+} // namespace
+
+std::string
+verifyFunction(const Function &fn, const Program *prog)
+{
+    return Verifier(fn, prog).run();
+}
+
+std::string
+verifyProgram(const Program &prog)
+{
+    for (const auto &fn : prog.functions()) {
+        std::string err = verifyFunction(*fn, &prog);
+        if (!err.empty())
+            return err;
+    }
+    return "";
+}
+
+} // namespace predilp

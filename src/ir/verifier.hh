@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural IR verification. Run after the frontend and after every
+ * transformation pass in tests; reports the first violated invariant.
+ */
+
+#ifndef PREDILP_IR_VERIFIER_HH
+#define PREDILP_IR_VERIFIER_HH
+
+#include <string>
+
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/**
+ * Check structural invariants of @p fn:
+ *  - branch/jump targets name blocks of this function, present in
+ *    the layout;
+ *  - every layout block either ends in an unconditional transfer or
+ *    has a valid fallthrough (also in the layout);
+ *  - operand counts and register classes match each opcode;
+ *  - predicate defines have 1-2 predicate destinations;
+ *  - guards are predicate registers;
+ *  - register indices are below the function's counters;
+ *  - instruction ids are unique within the function.
+ *
+ * @param prog when non-null, call targets are checked to exist with
+ * matching arity.
+ * @return an empty string when valid, else a description of the
+ * first violation.
+ */
+std::string verifyFunction(const Function &fn,
+                           const Program *prog = nullptr);
+
+/** Verify every function; @return first violation or empty string. */
+std::string verifyProgram(const Program &prog);
+
+} // namespace predilp
+
+#endif // PREDILP_IR_VERIFIER_HH

@@ -1,0 +1,449 @@
+#include <map>
+#include <set>
+#include <vector>
+
+#include "partial/partial.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+class PartialLowerer
+{
+  public:
+    PartialLowerer(Function &fn, const PartialOptions &opts)
+        : fn_(fn), opts_(opts)
+    {}
+
+    PartialStats
+    run()
+    {
+        for (BlockId id : fn_.layout())
+            lowerBlock(*fn_.block(id));
+        if (opts_.orTree)
+            stats_.orTreesRebalanced = rebalanceReductionTrees(fn_);
+        if (opts_.useSelect)
+            stats_.selectsFormed = formSelects(fn_);
+        return stats_;
+    }
+
+  private:
+    /** Integer register standing in for predicate register @p pred. */
+    Reg
+    intOf(Reg pred)
+    {
+        panicIf(pred.cls() != RegClass::Pred,
+                "intOf on non-predicate register");
+        auto it = predMap_.find(pred);
+        if (it != predMap_.end())
+            return it->second;
+        Reg reg = fn_.newIntReg();
+        predMap_[pred] = reg;
+        return reg;
+    }
+
+    Instruction
+    make(Opcode op)
+    {
+        return fn_.makeInstr(op);
+    }
+
+    void
+    emit(std::vector<Instruction> &out, Instruction instr)
+    {
+        out.push_back(std::move(instr));
+    }
+
+    /** dest := op(a, b), fresh id. A None @p b is omitted (movs). */
+    void
+    emitOp(std::vector<Instruction> &out, Opcode op, Reg dest,
+           Operand a, Operand b = Operand())
+    {
+        Instruction instr = make(op);
+        instr.setDest(dest);
+        instr.addSrc(a);
+        if (!b.isNone())
+            instr.addSrc(b);
+        out.push_back(std::move(instr));
+    }
+
+    void
+    emitCMov(std::vector<Instruction> &out, Opcode op, Reg dest,
+             Operand src, Operand cond)
+    {
+        Instruction instr = make(op);
+        instr.setDest(dest);
+        instr.addSrc(src);
+        instr.addSrc(cond);
+        out.push_back(std::move(instr));
+    }
+
+    /**
+     * Which predicate registers need an explicit 0/1 initialization
+     * when lowering a pred_clear/pred_set at position @p pos: those
+     * whose lowered value is read (as guard, Pin, or OR-family
+     * merge) before being rewritten by a U-type define.
+     */
+    std::set<Reg>
+    initSet(const BasicBlock &bb, std::size_t pos) const
+    {
+        std::set<Reg> needInit;
+        std::set<Reg> written;
+        const auto &instrs = bb.instrs();
+        for (std::size_t i = pos + 1; i < instrs.size(); ++i) {
+            const Instruction &instr = instrs[i];
+            auto read = [&](Reg reg) {
+                if (reg.valid() && reg.cls() == RegClass::Pred &&
+                    written.count(reg) == 0) {
+                    needInit.insert(reg);
+                }
+            };
+            read(instr.guard());
+            for (const auto &src : instr.srcs()) {
+                if (src.isReg())
+                    read(src.reg());
+            }
+            for (const auto &pd : instr.predDests()) {
+                if (pd.type == PredType::U ||
+                    pd.type == PredType::UBar) {
+                    written.insert(pd.reg);
+                } else {
+                    read(pd.reg); // OR/AND merge reads old value.
+                }
+            }
+            if (instr.isPredAll())
+                break; // next clear/set re-initializes.
+        }
+        return needInit;
+    }
+
+    /** Lower one predicate define instruction (Figure 3). */
+    void
+    lowerPredDefine(std::vector<Instruction> &out,
+                    const Instruction &def)
+    {
+        Operand a = def.src(0);
+        Operand b = def.src(1);
+        Opcode cmpOp = predDefineToCompare(def.op());
+        bool guarded = def.guarded();
+        Reg pin = guarded ? intOf(def.guard()) : Reg();
+
+        // Detect the constant-true comparison emitted by the
+        // if-converter for unconditional path contributions
+        // ("pred_eq pX, 0, 0 (q)"): it lowers to pure moves/ors.
+        bool constTrue =
+            a.isImm() && b.isImm() &&
+            evalIntCondition(cmpOp, a.immValue(), b.immValue());
+        bool constFalse =
+            a.isImm() && b.isImm() &&
+            !evalIntCondition(cmpOp, a.immValue(), b.immValue());
+
+        // Shared comparison results, computed lazily.
+        Reg cmpReg;
+        auto cmp = [&]() {
+            if (!cmpReg.valid()) {
+                cmpReg = fn_.newIntReg();
+                emitOp(out, cmpOp, cmpReg, a, b);
+            }
+            return Operand(cmpReg);
+        };
+        Reg cmpInvReg;
+        auto cmpInv = [&]() {
+            if (!cmpInvReg.valid()) {
+                cmpInvReg = fn_.newIntReg();
+                emitOp(out, invertCompare(cmpOp), cmpInvReg, a, b);
+            }
+            return Operand(cmpInvReg);
+        };
+
+        for (const auto &pd : def.predDests()) {
+            Reg rd = intOf(pd.reg);
+            switch (pd.type) {
+              case PredType::U:
+                if (constTrue) {
+                    if (guarded)
+                        emitOp(out, Opcode::Mov, rd, Operand(pin),
+                               Operand());
+                    else
+                        emitOp(out, Opcode::Mov, rd,
+                               Operand::imm(1), Operand());
+                } else if (constFalse) {
+                    emitOp(out, Opcode::Mov, rd, Operand::imm(0),
+                           Operand());
+                } else if (guarded) {
+                    emitOp(out, Opcode::And, rd, Operand(pin),
+                           cmp());
+                } else {
+                    emitOp(out, cmpOp, rd, a, b);
+                }
+                break;
+              case PredType::UBar:
+                if (constTrue) {
+                    emitOp(out, Opcode::Mov, rd, Operand::imm(0),
+                           Operand());
+                } else if (constFalse) {
+                    if (guarded)
+                        emitOp(out, Opcode::Mov, rd, Operand(pin),
+                               Operand());
+                    else
+                        emitOp(out, Opcode::Mov, rd,
+                               Operand::imm(1), Operand());
+                } else if (guarded) {
+                    // pin & !cmp; booleans, so and_not works.
+                    emitOp(out, Opcode::AndNot, rd, Operand(pin),
+                           cmp());
+                } else {
+                    emitOp(out, invertCompare(cmpOp), rd, a, b);
+                }
+                break;
+              case PredType::Or:
+              case PredType::OrBar: {
+                bool setWhen = pd.type == PredType::Or ? constTrue
+                                                       : constFalse;
+                bool neverSet = pd.type == PredType::Or
+                                    ? constFalse
+                                    : constTrue;
+                if (neverSet)
+                    break; // unchanged.
+                if (setWhen) {
+                    if (guarded)
+                        emitOp(out, Opcode::Or, rd, Operand(rd),
+                               Operand(pin));
+                    else
+                        emitOp(out, Opcode::Mov, rd,
+                               Operand::imm(1), Operand());
+                    break;
+                }
+                Operand term = pd.type == PredType::Or ? cmp()
+                                                       : cmpInv();
+                if (guarded) {
+                    Reg tmp = fn_.newIntReg();
+                    emitOp(out, Opcode::And, tmp, Operand(pin),
+                           term);
+                    emitOp(out, Opcode::Or, rd, Operand(rd),
+                           Operand(tmp));
+                } else {
+                    emitOp(out, Opcode::Or, rd, Operand(rd), term);
+                }
+                break;
+              }
+              case PredType::And:
+              case PredType::AndBar: {
+                // And: clear when pin && !cmp; AndBar: when
+                // pin && cmp.
+                bool clearWhen = pd.type == PredType::And
+                                     ? constFalse
+                                     : constTrue;
+                bool neverClear = pd.type == PredType::And
+                                      ? constTrue
+                                      : constFalse;
+                if (neverClear)
+                    break;
+                if (clearWhen) {
+                    if (guarded)
+                        emitOp(out, Opcode::AndNot, rd, Operand(rd),
+                               Operand(pin));
+                    else
+                        emitOp(out, Opcode::Mov, rd,
+                               Operand::imm(0), Operand());
+                    break;
+                }
+                Operand keep = pd.type == PredType::And
+                                   ? cmp()
+                                   : cmpInv();
+                if (guarded) {
+                    // rd &= (keep | ~pin). High garbage bits of
+                    // or_not are masked by rd's 0/1 value.
+                    Reg tmp = fn_.newIntReg();
+                    emitOp(out, Opcode::OrNot, tmp, keep,
+                           Operand(pin));
+                    emitOp(out, Opcode::And, rd, Operand(rd),
+                           Operand(tmp));
+                } else {
+                    emitOp(out, Opcode::And, rd, Operand(rd), keep);
+                }
+                break;
+              }
+            }
+        }
+        stats_.predDefinesLowered += 1;
+    }
+
+    /** Lower one guarded non-define instruction. */
+    void
+    lowerGuarded(std::vector<Instruction> &out, Instruction instr)
+    {
+        Reg guard = instr.guard();
+        Reg cond = intOf(guard);
+        instr.clearGuard();
+
+        if (instr.isCondBranch()) {
+            // Figure 3: invert the comparison, then branch when
+            // inverted-result < guard (i.e. 0 < 1).
+            Reg t = fn_.newIntReg();
+            emitOp(out, invertCompare(branchToCompare(instr.op())),
+                   t, instr.src(0), instr.src(1));
+            Instruction br(Opcode::Blt);
+            br.setId(instr.id());
+            br.addSrc(Operand(t));
+            br.addSrc(Operand(cond));
+            br.setTarget(instr.target());
+            out.push_back(std::move(br));
+            stats_.branchesLowered += 1;
+            return;
+        }
+        if (instr.isJump()) {
+            Instruction br(Opcode::Bne);
+            br.setId(instr.id());
+            br.addSrc(Operand(cond));
+            br.addSrc(Operand::imm(0));
+            br.setTarget(instr.target());
+            out.push_back(std::move(br));
+            stats_.branchesLowered += 1;
+            return;
+        }
+        if (instr.isStore()) {
+            // Figure 3: squashed stores write $safe_addr instead.
+            Reg addr = fn_.newIntReg();
+            emitOp(out, Opcode::Add, addr, instr.src(0),
+                   instr.src(1));
+            emitCMov(out, Opcode::CMovCom, addr,
+                     Operand::imm(Program::safeAddr), Operand(cond));
+            Instruction st(instr.op());
+            st.setId(instr.id());
+            st.addSrc(Operand(addr));
+            st.addSrc(Operand::imm(0));
+            st.addSrc(instr.src(2));
+            out.push_back(std::move(st));
+            stats_.storesRedirected += 1;
+            return;
+        }
+
+        // Arithmetic / logic / load / conversion with a register
+        // destination: rename, speculate, conditionally move.
+        panicIf(!instr.dest().valid(),
+                "guarded instruction with no destination: ",
+                instr.toString());
+        bool isFloat = instr.dest().cls() == RegClass::Float;
+        Reg origDest = instr.dest();
+        Reg temp = isFloat ? fn_.newFloatReg() : fn_.newIntReg();
+
+        if (instr.info().canTrap) {
+            if (opts_.nonExcepting) {
+                instr.setSpeculative(true);
+            } else {
+                // Figure 4: replace the faulting source with a safe
+                // value when the guard is false.
+                if (instr.isLoad()) {
+                    Reg addr = fn_.newIntReg();
+                    emitOp(out, Opcode::Add, addr, instr.src(0),
+                           instr.src(1));
+                    emitCMov(out, Opcode::CMovCom, addr,
+                             Operand::imm(Program::safeAddr),
+                             Operand(cond));
+                    instr.setSrc(0, Operand(addr));
+                    instr.setSrc(1, Operand::imm(0));
+                } else if (instr.op() == Opcode::FDiv) {
+                    // Force the float divisor to 1.0 when squashed.
+                    Reg divisor = fn_.newFloatReg();
+                    emitOp(out, Opcode::FMov, divisor,
+                           instr.src(1));
+                    emitCMov(out, Opcode::FCMovCom, divisor,
+                             Operand::fimm(1.0), Operand(cond));
+                    instr.setSrc(1, Operand(divisor));
+                } else {
+                    // div/rem: force divisor 1 when squashed.
+                    Reg divisor = fn_.newIntReg();
+                    emitOp(out, Opcode::Mov, divisor, instr.src(1));
+                    emitCMov(out, Opcode::CMovCom, divisor,
+                             Operand::imm(1), Operand(cond));
+                    instr.setSrc(1, Operand(divisor));
+                }
+            }
+        }
+
+        instr.setDest(temp);
+        out.push_back(std::move(instr));
+        emitCMov(out,
+                 isFloat ? Opcode::FCMov : Opcode::CMov, origDest,
+                 Operand(temp), Operand(cond));
+        stats_.guardedLowered += 1;
+    }
+
+    void
+    lowerBlock(BasicBlock &bb)
+    {
+        std::vector<Instruction> out;
+        out.reserve(bb.instrs().size());
+
+        for (std::size_t i = 0; i < bb.instrs().size(); ++i) {
+            Instruction &instr = bb.instrs()[i];
+
+            // Predicate registers appearing as value operands (the
+            // height-reduction pass reads them) become their integer
+            // counterparts.
+            for (std::size_t s = 0; s < instr.srcs().size(); ++s) {
+                const Operand &src = instr.src(s);
+                if (src.isReg() &&
+                    src.reg().cls() == RegClass::Pred) {
+                    instr.setSrc(s, Operand(intOf(src.reg())));
+                }
+            }
+
+            if (instr.isPredAll()) {
+                std::int64_t value =
+                    instr.op() == Opcode::PredSet ? 1 : 0;
+                for (Reg pred : initSet(bb, i)) {
+                    Reg rd = intOf(pred);
+                    emitOp(out, Opcode::Mov, rd,
+                           Operand::imm(value), Operand());
+                }
+                continue;
+            }
+            if (instr.isPredDefine()) {
+                lowerPredDefine(out, instr);
+                continue;
+            }
+            if (instr.guarded()) {
+                lowerGuarded(out, std::move(instr));
+                continue;
+            }
+            out.push_back(std::move(instr));
+        }
+        bb.instrs() = std::move(out);
+    }
+
+    Function &fn_;
+    const PartialOptions &opts_;
+    PartialStats stats_;
+    std::map<Reg, Reg> predMap_;
+};
+
+} // namespace
+
+PartialStats
+lowerToPartial(Function &fn, const PartialOptions &opts)
+{
+    return PartialLowerer(fn, opts).run();
+}
+
+PartialStats
+lowerToPartial(Program &prog, const PartialOptions &opts)
+{
+    PartialStats total;
+    for (auto &fn : prog.functions()) {
+        PartialStats stats = lowerToPartial(*fn, opts);
+        total.predDefinesLowered += stats.predDefinesLowered;
+        total.guardedLowered += stats.guardedLowered;
+        total.storesRedirected += stats.storesRedirected;
+        total.branchesLowered += stats.branchesLowered;
+        total.orTreesRebalanced += stats.orTreesRebalanced;
+        total.selectsFormed += stats.selectsFormed;
+    }
+    return total;
+}
+
+} // namespace predilp

@@ -1,0 +1,188 @@
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "partial/partial.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/** @return true for associative accumulation opcodes we rebalance. */
+bool
+reducible(Opcode op)
+{
+    return op == Opcode::Or || op == Opcode::And || op == Opcode::Add;
+}
+
+/** One accumulation chain: d = op(d, x1); ...; d = op(d, xk). */
+struct Chain
+{
+    Opcode op = Opcode::Or;
+    Reg dest;
+    std::vector<std::size_t> positions; ///< instruction indices.
+    std::vector<Operand> terms;         ///< the xi operands.
+};
+
+/** @return true when @p instr reads or writes @p reg. */
+bool
+touches(const Instruction &instr, const Function &fn, Reg reg)
+{
+    std::vector<Reg> regs;
+    collectUses(instr, regs);
+    for (Reg r : regs) {
+        if (r == reg)
+            return true;
+    }
+    regs.clear();
+    collectDefs(instr, fn, regs);
+    for (Reg r : regs) {
+        if (r == reg)
+            return true;
+    }
+    return false;
+}
+
+/** Find the maximal chain starting at position @p start. */
+Chain
+findChain(const Function &fn, const BasicBlock &bb,
+          std::size_t start)
+{
+    Chain chain;
+    const auto &instrs = bb.instrs();
+    const Instruction &head = instrs[start];
+    chain.op = head.op();
+    chain.dest = head.dest();
+    chain.positions.push_back(start);
+    chain.terms.push_back(head.src(1));
+
+    for (std::size_t i = start + 1; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (instr.op() == chain.op && !instr.guarded() &&
+            instr.dest() == chain.dest && instr.src(0).isReg() &&
+            instr.src(0).reg() == chain.dest) {
+            // Another accumulation into the same register. The xi
+            // term must not be the accumulator itself.
+            if (!(instr.src(1).isReg() &&
+                  instr.src(1).reg() == chain.dest)) {
+                chain.positions.push_back(i);
+                chain.terms.push_back(instr.src(1));
+                continue;
+            }
+        }
+        // Control transfers end the chain: accumulations must not
+        // migrate across a side exit where the intermediate value
+        // could be live.
+        if (instr.isControlTransfer() || instr.isCall())
+            break;
+        // Any other instruction touching the accumulator ends the
+        // chain (its intermediate value is observed or clobbered).
+        if (touches(instr, fn, chain.dest))
+            break;
+        // Instructions defining a term used later in the chain also
+        // end it (we would reorder the read past the write).
+        bool definesTerm = false;
+        std::vector<Reg> defs;
+        collectDefs(instr, fn, defs);
+        for (Reg def : defs) {
+            for (const auto &term : chain.terms) {
+                if (term.isReg() && term.reg() == def)
+                    definesTerm = true;
+            }
+        }
+        (void)definesTerm;
+        // A def of an *earlier* term is harmless (we read terms at
+        // the original accumulation positions' values only if we
+        // keep order) — to stay simple and safe, end the chain when
+        // a term register is redefined after its accumulation.
+        if (definesTerm)
+            break;
+    }
+    return chain;
+}
+
+/**
+ * Replace the chain with a balanced reduction placed at the last
+ * accumulation position.
+ */
+void
+applyChain(Function &fn, BasicBlock &bb, const Chain &chain)
+{
+    auto &instrs = bb.instrs();
+
+    // Leaves: the accumulator's incoming value plus every term.
+    std::vector<Operand> level;
+    level.push_back(Operand(chain.dest));
+    for (const auto &term : chain.terms)
+        level.push_back(term);
+
+    std::vector<Instruction> tree;
+    while (level.size() > 1) {
+        std::vector<Operand> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            bool isRoot =
+                level.size() == 2; // final combine writes dest.
+            Reg out = isRoot ? chain.dest : fn.newIntReg();
+            Instruction instr = fn.makeInstr(chain.op);
+            instr.setDest(out);
+            instr.addSrc(level[i]);
+            instr.addSrc(level[i + 1]);
+            tree.push_back(std::move(instr));
+            next.push_back(Operand(out));
+        }
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level = std::move(next);
+    }
+
+    // Remove the old accumulations (back to front), then insert the
+    // tree at the position of the last one.
+    std::size_t insertAt = chain.positions.back();
+    for (auto it = chain.positions.rbegin();
+         it != chain.positions.rend(); ++it) {
+        instrs.erase(instrs.begin() +
+                     static_cast<std::ptrdiff_t>(*it));
+    }
+    insertAt -= chain.positions.size() - 1;
+    instrs.insert(instrs.begin() +
+                      static_cast<std::ptrdiff_t>(insertAt),
+                  std::make_move_iterator(tree.begin()),
+                  std::make_move_iterator(tree.end()));
+}
+
+} // namespace
+
+int
+rebalanceReductionTrees(Function &fn)
+{
+    int rebalanced = 0;
+    for (BlockId id : fn.layout()) {
+        BasicBlock *bb = fn.block(id);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t i = 0; i < bb->instrs().size(); ++i) {
+                const Instruction &instr = bb->instrs()[i];
+                if (!reducible(instr.op()) || instr.guarded())
+                    continue;
+                if (!instr.dest().valid() ||
+                    instr.srcs().size() != 2 ||
+                    !instr.src(0).isReg() ||
+                    instr.src(0).reg() != instr.dest()) {
+                    continue;
+                }
+                Chain chain = findChain(fn, *bb, i);
+                if (chain.positions.size() >= 3) {
+                    applyChain(fn, *bb, chain);
+                    rebalanced += 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return rebalanced;
+}
+
+} // namespace predilp

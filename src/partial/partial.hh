@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Full-to-partial predication lowering (paper §3.2): predicated IR is
+ * rewritten so the only conditional instructions are conditional
+ * moves (or selects). Predicate registers become ordinary integer
+ * registers holding 0/1; predicate defines become compare/logic
+ * sequences (Figure 3); guarded instructions become speculative
+ * instructions plus a cmov; guarded stores are redirected to
+ * $safe_addr when squashed.
+ */
+
+#ifndef PREDILP_PARTIAL_PARTIAL_HH
+#define PREDILP_PARTIAL_PARTIAL_HH
+
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/** Lowering options. */
+struct PartialOptions
+{
+    /**
+     * The target has non-excepting (silent) instruction forms, as
+     * the paper's baseline does (§4.1); conversions use Figure 3.
+     * When false, the excepting conversions of Figure 4 are used:
+     * potentially faulting sources are replaced via cmov with safe
+     * values before the speculative instruction executes.
+     */
+    bool nonExcepting = true;
+
+    /** Rebalance OR/AND accumulation chains (or-tree, §3.2). */
+    bool orTree = true;
+
+    /** Fuse cmov/cmov_com pairs into select instructions (§2.2). */
+    bool useSelect = false;
+};
+
+/** Lowering statistics. */
+struct PartialStats
+{
+    int predDefinesLowered = 0;
+    int guardedLowered = 0;
+    int storesRedirected = 0;
+    int branchesLowered = 0;
+    int orTreesRebalanced = 0;
+    int selectsFormed = 0;
+};
+
+/**
+ * Lower every predicated construct in @p fn to partial-predication
+ * form. After this pass the function contains no predicate registers,
+ * no guards, and no predicate defines.
+ */
+PartialStats lowerToPartial(Function &fn,
+                            const PartialOptions &opts = {});
+
+/** lowerToPartial over every function. */
+PartialStats lowerToPartial(Program &prog,
+                            const PartialOptions &opts = {});
+
+/**
+ * OR-tree height reduction (paper §3.2): rewrite accumulation chains
+ *   d = d | x1; d = d | x2; ... d = d | xk
+ * into a balanced reduction tree of depth ceil(log2(k+1)).
+ * Also applies to AND and ADD accumulations.
+ * @return number of chains rebalanced.
+ */
+int rebalanceReductionTrees(Function &fn);
+
+/**
+ * Select formation: fuse a cmov and a cmov_com (or an unconditional
+ * move and a cmov) writing the same destination under the same
+ * condition into one select instruction.
+ * @return number of selects formed.
+ */
+int formSelects(Function &fn);
+
+} // namespace predilp
+
+#endif // PREDILP_PARTIAL_PARTIAL_HH

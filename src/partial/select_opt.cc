@@ -1,0 +1,163 @@
+#include <vector>
+
+#include "analysis/cfg.hh"
+#include "partial/partial.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+bool
+readsReg(const Instruction &instr, Reg reg)
+{
+    std::vector<Reg> uses;
+    collectUses(instr, uses);
+    for (Reg r : uses) {
+        if (r == reg)
+            return true;
+    }
+    return false;
+}
+
+bool
+writesReg(const Instruction &instr, const Function &fn, Reg reg)
+{
+    std::vector<Reg> defs;
+    collectDefs(instr, fn, defs);
+    for (Reg r : defs) {
+        if (r == reg)
+            return true;
+    }
+    return false;
+}
+
+bool
+writesOperand(const Instruction &instr, const Function &fn,
+              const Operand &op)
+{
+    return op.isReg() && writesReg(instr, fn, op.reg());
+}
+
+/** Try to fuse the cmov at @p j with a partner above it. */
+bool
+tryFuse(Function &fn, BasicBlock &bb, std::size_t j)
+{
+    auto &instrs = bb.instrs();
+    Instruction &second = instrs[j];
+    bool isFloat = second.op() == Opcode::FCMov ||
+                   second.op() == Opcode::FCMovCom;
+    bool secondCom = second.op() == Opcode::CMovCom ||
+                     second.op() == Opcode::FCMovCom;
+    Reg dest = second.dest();
+    Operand secondSrc = second.src(0);
+    Operand cond = second.src(1);
+
+    // Walk upward looking for the partner; bail if anything between
+    // observes dest or rewrites an involved value.
+    for (std::size_t step = 1; step <= j; ++step) {
+        std::size_t i = j - step;
+        Instruction &first = instrs[i];
+
+        bool firstIsCmov = first.info().isCondMove &&
+                           first.dest() == dest &&
+                           first.srcs().size() == 2 &&
+                           first.src(1) == cond;
+        bool firstIsMov = (first.op() ==
+                           (isFloat ? Opcode::FMov : Opcode::Mov)) &&
+                          first.dest() == dest && !first.guarded();
+
+        // The partner's moved value must survive to position j.
+        auto partnerValueSurvives = [&](const Operand &value) {
+            for (std::size_t k = i + 1; k < j; ++k) {
+                if (writesOperand(instrs[k], fn, value))
+                    return false;
+            }
+            return true;
+        };
+
+        if (firstIsCmov) {
+            bool firstCom = first.op() == Opcode::CMovCom ||
+                            first.op() == Opcode::FCMovCom;
+            if (firstCom == secondCom)
+                return false; // same sense: not a diamond.
+            if (!partnerValueSurvives(first.src(0)))
+                return false;
+            // select d, srcWhenTrue, srcWhenFalse, cond
+            Operand whenTrue =
+                firstCom ? secondSrc : first.src(0);
+            Operand whenFalse =
+                firstCom ? first.src(0) : secondSrc;
+            Instruction sel = fn.makeInstr(
+                isFloat ? Opcode::FSelect : Opcode::Select);
+            sel.setDest(dest);
+            sel.addSrc(whenTrue);
+            sel.addSrc(whenFalse);
+            sel.addSrc(cond);
+            instrs[j] = std::move(sel);
+            instrs.erase(instrs.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+        if (firstIsMov) {
+            if (!partnerValueSurvives(first.src(0)))
+                return false;
+            // mov d, y; ...; cmov d, x, c  ->  select d, x, y, c
+            Operand whenTrue =
+                secondCom ? first.src(0) : secondSrc;
+            Operand whenFalse =
+                secondCom ? secondSrc : first.src(0);
+            Instruction sel = fn.makeInstr(
+                isFloat ? Opcode::FSelect : Opcode::Select);
+            sel.setDest(dest);
+            sel.addSrc(whenTrue);
+            sel.addSrc(whenFalse);
+            sel.addSrc(cond);
+            instrs[j] = std::move(sel);
+            instrs.erase(instrs.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+            return true;
+        }
+
+        // Legality of skipping this instruction.
+        if (readsReg(first, dest) || writesReg(first, fn, dest))
+            return false;
+        if (writesOperand(first, fn, secondSrc) ||
+            writesOperand(first, fn, cond)) {
+            return false;
+        }
+        if (first.isControlTransfer() || first.isCall())
+            return false;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+formSelects(Function &fn)
+{
+    int formed = 0;
+    for (BlockId id : fn.layout()) {
+        BasicBlock *bb = fn.block(id);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (std::size_t j = 0; j < bb->instrs().size(); ++j) {
+                if (!bb->instrs()[j].info().isCondMove)
+                    continue;
+                if (bb->instrs()[j].guarded())
+                    continue;
+                if (tryFuse(fn, *bb, j)) {
+                    formed += 1;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+    return formed;
+}
+
+} // namespace predilp

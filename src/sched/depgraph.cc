@@ -1,0 +1,330 @@
+#include "sched/depgraph.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/**
+ * @return true when @p instr may cross branch @p branch (in either
+ * direction): no side effects, no memory writes, cannot fault in its
+ * final form (or can be made silent), and its results are dead where
+ * the branch goes.
+ */
+bool
+mayCrossBranch(const Function &fn, const Instruction &instr,
+               const Instruction &branch, const Liveness &liveness)
+{
+    const auto &info = instr.info();
+    if (info.sideEffect || instr.isStore() ||
+        instr.isControlTransfer() || instr.isCall()) {
+        return false;
+    }
+    if (!instr.definesSomething())
+        return false;
+
+    // Destinations must be dead at the branch target.
+    const RegIndexer &indexer = liveness.indexer();
+    const BitVector *liveAtTarget = nullptr;
+    if (branch.target() != invalidBlock) {
+        liveAtTarget = &liveness.liveIn(branch.target());
+    } else {
+        // ret: nothing in the frame survives.
+        return true;
+    }
+    std::vector<Reg> defs;
+    collectDefs(instr, fn, defs);
+    for (Reg reg : defs) {
+        if (liveAtTarget->test(indexer.index(reg)))
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Lightweight alias test for the frontend's addressing discipline:
+ * every global access uses the global's base address as an immediate
+ * base operand, so two accesses with *different* immediate bases
+ * touch different objects (type-based disambiguation; workloads are
+ * bounds-safe by construction). Same-base accesses with immediate
+ * offsets are compared by range; anything else may alias.
+ */
+bool
+memMayAlias(const Instruction &a, const Instruction &b)
+{
+    const Operand &baseA = a.src(0);
+    const Operand &baseB = b.src(0);
+    if (!baseA.isImm() || !baseB.isImm())
+        return true;
+    if (baseA.immValue() != baseB.immValue())
+        return false;
+    const Operand &offA = a.src(1);
+    const Operand &offB = b.src(1);
+    if (!offA.isImm() || !offB.isImm())
+        return true;
+    std::int64_t lowA = offA.immValue();
+    std::int64_t lowB = offB.immValue();
+    return lowA < lowB + 8 && lowB < lowA + 8;
+}
+
+} // namespace
+
+DepGraph::DepGraph(const Function &fn, const BasicBlock &bb,
+                   const Liveness &liveness,
+                   const MachineConfig &config, bool allowSpeculation)
+{
+    const auto &instrs = bb.instrs();
+    std::size_t n = instrs.size();
+    succs_.assign(n, {});
+    predCount_.assign(n, 0);
+    heights_.assign(n, 0);
+
+    std::map<Reg, std::size_t> lastDef;
+    std::map<Reg, std::vector<std::size_t>> usesSinceDef;
+    // Accumulating (OR/AND-type) predicate defines since the last
+    // ordinary writer of each predicate register. Same-sense
+    // accumulators are unordered with respect to one another — the
+    // paper's wired-OR simultaneous issue (§2.1).
+    struct AccumGroup
+    {
+        std::vector<std::size_t> members;
+        bool orSense = true;
+    };
+    std::map<Reg, AccumGroup> accum;
+
+    auto accumSense = [](PredType type, bool &isOr) {
+        switch (type) {
+          case PredType::Or:
+          case PredType::OrBar:
+            isOr = true;
+            return true;
+          case PredType::And:
+          case PredType::AndBar:
+            isOr = false;
+            return true;
+          default:
+            return false;
+        }
+    };
+    // (index, is-store-or-barrier) of memory operations so far.
+    std::vector<std::pair<std::size_t, bool>> memOps;
+    bool haveIO = false;
+    std::size_t lastIO = 0;
+    std::vector<std::size_t> branches;
+    std::vector<Reg> regs;
+
+    auto isIO = [](const Instruction &instr) {
+        return instr.op() == Opcode::GetC ||
+               instr.op() == Opcode::PutC ||
+               instr.op() == Opcode::ReadBlock || instr.isCall();
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const Instruction &instr = instrs[i];
+
+        // Accumulating predicate destinations of this instruction.
+        std::set<Reg> accumDests;
+        if (instr.isPredDefine()) {
+            for (const auto &pd : instr.predDests()) {
+                bool isOr = true;
+                if (accumSense(pd.type, isOr))
+                    accumDests.insert(pd.reg);
+            }
+        }
+
+        // Register RAW edges. Merge-reads of this instruction's own
+        // accumulating destinations are handled below.
+        regs.clear();
+        collectUses(instr, regs);
+        for (Reg reg : regs) {
+            if (accumDests.count(reg) != 0)
+                continue;
+            auto it = lastDef.find(reg);
+            if (it != lastDef.end()) {
+                addEdge(it->second, i,
+                        config.latencyOf(instrs[it->second]));
+            }
+            // A reader must wait for every outstanding accumulation.
+            auto ag = accum.find(reg);
+            if (ag != accum.end()) {
+                for (std::size_t member : ag->second.members) {
+                    addEdge(member, i,
+                            config.latencyOf(instrs[member]));
+                }
+            }
+            usesSinceDef[reg].push_back(i);
+        }
+
+        // Register WAW / WAR edges.
+        regs.clear();
+        collectDefs(instr, fn, regs);
+        for (Reg reg : regs) {
+            auto it = lastDef.find(reg);
+            if (accumDests.count(reg) != 0) {
+                // Accumulating write: ordered against the
+                // initializing writer and prior readers, but not
+                // against same-sense accumulations (wired-OR/AND).
+                bool isOr = true;
+                for (const auto &pd : instr.predDests()) {
+                    if (pd.reg == reg)
+                        accumSense(pd.type, isOr);
+                }
+                if (it != lastDef.end()) {
+                    addEdge(it->second, i,
+                            config.latencyOf(instrs[it->second]));
+                }
+                for (std::size_t use : usesSinceDef[reg]) {
+                    if (use != i)
+                        addEdge(use, i, 0);
+                }
+                auto &group = accum[reg];
+                if (!group.members.empty() &&
+                    group.orSense != isOr) {
+                    // Mixed senses do not commute: serialize.
+                    for (std::size_t member : group.members) {
+                        addEdge(member, i,
+                                config.latencyOf(instrs[member]));
+                    }
+                    group.members.clear();
+                }
+                group.orSense = isOr;
+                group.members.push_back(i);
+                continue;
+            }
+
+            // Ordinary (killing or merging-move) writer.
+            if (it != lastDef.end()) {
+                // Full producer latency: an in-order writeback may
+                // not be overtaken by a later, shorter operation.
+                addEdge(it->second, i,
+                        config.latencyOf(instrs[it->second]));
+            }
+            auto ag = accum.find(reg);
+            if (ag != accum.end()) {
+                for (std::size_t member : ag->second.members) {
+                    addEdge(member, i,
+                            config.latencyOf(instrs[member]));
+                }
+                accum.erase(ag);
+            }
+            for (std::size_t use : usesSinceDef[reg]) {
+                if (use != i)
+                    addEdge(use, i, 0);
+            }
+            usesSinceDef[reg].clear();
+            lastDef[reg] = i;
+        }
+
+        // Memory ordering with global-base alias disambiguation.
+        // Calls and readblock are full barriers.
+        if (instr.isCall() || instr.op() == Opcode::ReadBlock) {
+            for (const auto &[idx, isStore] : memOps)
+                addEdge(idx, i, isStore ? 1 : 0);
+            memOps.clear();
+            memOps.emplace_back(i, true);
+        } else if (instr.isLoad()) {
+            for (const auto &[idx, isStore] : memOps) {
+                if (!isStore)
+                    continue;
+                bool barrier =
+                    instrs[idx].isCall() ||
+                    instrs[idx].op() == Opcode::ReadBlock;
+                if (barrier || memMayAlias(instrs[idx], instr)) {
+                    addEdge(idx, i,
+                            config.latencyOf(instrs[idx]));
+                }
+            }
+            memOps.emplace_back(i, false);
+        } else if (instr.isStore()) {
+            for (const auto &[idx, isStore] : memOps) {
+                bool barrier =
+                    instrs[idx].isCall() ||
+                    instrs[idx].op() == Opcode::ReadBlock;
+                if (barrier || memMayAlias(instrs[idx], instr))
+                    addEdge(idx, i, isStore ? 1 : 0);
+            }
+            memOps.emplace_back(i, true);
+        }
+
+        // I/O and call program order.
+        if (isIO(instr)) {
+            if (haveIO)
+                addEdge(lastIO, i, 1);
+            haveIO = true;
+            lastIO = i;
+        }
+
+        // Control dependences.
+        if (instr.isControlTransfer() || instr.isCall()) {
+            // Nothing may sink below an unconditional transfer: the
+            // block's terminator must stay last, and code after it
+            // would never execute.
+            bool terminator =
+                (instr.isJump() || instr.isRet()) &&
+                !instr.guarded();
+            // Preserve branch order.
+            if (!branches.empty())
+                addEdge(branches.back(), i, 0);
+            // Earlier non-speculable instructions stay before the
+            // branch; they may share its cycle.
+            for (std::size_t j = 0; j < i; ++j) {
+                if (instrs[j].isControlTransfer() ||
+                    instrs[j].isCall()) {
+                    continue; // branch-order edge already added.
+                }
+                bool movable =
+                    !terminator && allowSpeculation &&
+                    !instr.isCall() &&
+                    mayCrossBranch(fn, instrs[j], instr, liveness);
+                if (!movable)
+                    addEdge(j, i, 0);
+            }
+            branches.push_back(i);
+        } else {
+            // Later instructions may hoist above earlier branches
+            // only when speculable.
+            for (std::size_t b : branches) {
+                bool movable =
+                    allowSpeculation && !instrs[b].isCall() &&
+                    mayCrossBranch(fn, instr, instrs[b], liveness);
+                if (!movable)
+                    addEdge(b, i, 1);
+            }
+        }
+    }
+
+    // Critical-path heights (reverse topological: indices ascend).
+    for (std::size_t i = n; i > 0; --i) {
+        std::size_t node = i - 1;
+        long best = 0;
+        for (const auto &edge : succs_[node])
+            best = std::max(best, edge.latency + heights_[edge.to]);
+        heights_[node] =
+            best + config.latencyOf(instrs[node]);
+    }
+}
+
+void
+DepGraph::addEdge(std::size_t from, std::size_t to, int latency)
+{
+    panicIf(from >= to, "dependence edge must go forward");
+    // Avoid exact duplicates to keep degree counts right-ish; dups
+    // are harmless for correctness but waste time.
+    for (const auto &edge : succs_[from]) {
+        if (edge.to == static_cast<int>(to) &&
+            edge.latency >= latency) {
+            return;
+        }
+    }
+    succs_[from].push_back(DepEdge{static_cast<int>(to), latency});
+    predCount_[to] += 1;
+}
+
+} // namespace predilp

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Dependence graph over the instructions of one block, including
+ * predicate-aware guard dependences and control dependences that
+ * permit speculative code motion across side-exit branches (the
+ * superblock/hyperblock scheduling freedom the paper relies on).
+ */
+
+#ifndef PREDILP_SCHED_DEPGRAPH_HH
+#define PREDILP_SCHED_DEPGRAPH_HH
+
+#include <vector>
+
+#include "analysis/liveness.hh"
+#include "ir/block.hh"
+#include "sched/machine.hh"
+
+namespace predilp
+{
+
+/** One dependence edge: @p to must issue >= @p latency cycles after
+ * the source. Latency 0 permits same-cycle issue with ordering. */
+struct DepEdge
+{
+    int to = 0;
+    int latency = 0;
+};
+
+/** Dependence graph for one block. */
+class DepGraph
+{
+  public:
+    /**
+     * Build for @p bb of @p fn.
+     *
+     * @param liveness whole-function liveness, used to decide which
+     * instructions may move across which branches.
+     * @param config machine latencies.
+     * @param allowSpeculation when false, every instruction is
+     * ordered with respect to every branch (no cross-branch motion).
+     */
+    DepGraph(const Function &fn, const BasicBlock &bb,
+             const Liveness &liveness, const MachineConfig &config,
+             bool allowSpeculation = true);
+
+    std::size_t size() const { return succs_.size(); }
+
+    const std::vector<DepEdge> &succs(std::size_t i) const
+    {
+        return succs_[i];
+    }
+
+    int predCount(std::size_t i) const { return predCount_[i]; }
+
+    /**
+     * Critical-path height of node @p i: its latency plus the
+     * longest latency path to any sink.
+     */
+    long height(std::size_t i) const { return heights_[i]; }
+
+  private:
+    void addEdge(std::size_t from, std::size_t to, int latency);
+
+    std::vector<std::vector<DepEdge>> succs_;
+    std::vector<int> predCount_;
+    std::vector<long> heights_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_SCHED_DEPGRAPH_HH

@@ -1,0 +1,59 @@
+#include "sched/machine.hh"
+
+namespace predilp
+{
+
+int
+MachineConfig::latencyOf(const Instruction &instr) const
+{
+    switch (instr.info().latency) {
+      case LatencyClass::IntAlu: return latIntAlu;
+      case LatencyClass::IntMul: return latIntMul;
+      case LatencyClass::IntDiv: return latIntDiv;
+      case LatencyClass::FpAlu: return latFpAlu;
+      case LatencyClass::FpDiv: return latFpDiv;
+      case LatencyClass::Load: return latLoad;
+      case LatencyClass::Store: return latStore;
+      case LatencyClass::Branch: return latBranch;
+      case LatencyClass::PredDefine: return latPredDefine;
+    }
+    return 1;
+}
+
+MachineConfig
+issue8Branch1()
+{
+    MachineConfig config;
+    config.issueWidth = 8;
+    config.branchesPerCycle = 1;
+    return config;
+}
+
+MachineConfig
+issue8Branch2()
+{
+    MachineConfig config;
+    config.issueWidth = 8;
+    config.branchesPerCycle = 2;
+    return config;
+}
+
+MachineConfig
+issue4Branch1()
+{
+    MachineConfig config;
+    config.issueWidth = 4;
+    config.branchesPerCycle = 1;
+    return config;
+}
+
+MachineConfig
+issue1()
+{
+    MachineConfig config;
+    config.issueWidth = 1;
+    config.branchesPerCycle = 1;
+    return config;
+}
+
+} // namespace predilp

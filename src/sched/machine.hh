@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Machine description: issue width, branch resources, and operation
+ * latencies (HP PA-7100-like, per the paper's §4.1 methodology).
+ */
+
+#ifndef PREDILP_SCHED_MACHINE_HH
+#define PREDILP_SCHED_MACHINE_HH
+
+#include "ir/instr.hh"
+
+namespace predilp
+{
+
+/** Static machine parameters shared by scheduler and simulator. */
+struct MachineConfig
+{
+    /** Instructions issued per cycle (any mix except branches). */
+    int issueWidth = 8;
+
+    /** Control transfers issued per cycle. */
+    int branchesPerCycle = 1;
+
+    /** Branch misprediction penalty in cycles. */
+    int mispredictPenalty = 2;
+
+    // Latencies per class, in cycles.
+    int latIntAlu = 1;
+    int latIntMul = 3;
+    int latIntDiv = 10;
+    int latFpAlu = 2;
+    int latFpDiv = 8;
+    int latLoad = 2;
+    int latStore = 1;
+    int latBranch = 1;
+    int latPredDefine = 1;
+
+    /** @return the result latency of @p instr on this machine. */
+    int latencyOf(const Instruction &instr) const;
+};
+
+/** Preset: the paper's 8-issue, 1-branch configuration. */
+MachineConfig issue8Branch1();
+
+/** Preset: 8-issue, 2-branch (Figure 9). */
+MachineConfig issue8Branch2();
+
+/** Preset: 4-issue, 1-branch (Figure 10). */
+MachineConfig issue4Branch1();
+
+/** Preset: the scalar baseline used as the speedup denominator. */
+MachineConfig issue1();
+
+} // namespace predilp
+
+#endif // PREDILP_SCHED_MACHINE_HH

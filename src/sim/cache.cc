@@ -1,0 +1,111 @@
+#include "sim/cache.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+DirectMappedCache::DirectMappedCache(std::int64_t sizeBytes,
+                                     std::int64_t lineBytes)
+    : lineBytes_(lineBytes),
+      numLines_(static_cast<std::size_t>(sizeBytes / lineBytes)),
+      tags_(numLines_, 0), valid_(numLines_, false)
+{
+    panicIf(lineBytes <= 0 || (lineBytes & (lineBytes - 1)) != 0,
+            "cache line size must be a power of two");
+    panicIf(numLines_ == 0, "cache has no lines");
+}
+
+std::size_t
+DirectMappedCache::indexOf(std::int64_t addr) const
+{
+    return static_cast<std::size_t>(addr / lineBytes_) % numLines_;
+}
+
+std::int64_t
+DirectMappedCache::tagOf(std::int64_t addr) const
+{
+    return (addr / lineBytes_) /
+           static_cast<std::int64_t>(numLines_);
+}
+
+bool
+DirectMappedCache::access(std::int64_t addr)
+{
+    std::size_t index = indexOf(addr);
+    if (valid_[index] && tags_[index] == tagOf(addr)) {
+        hits_ += 1;
+        return true;
+    }
+    misses_ += 1;
+    valid_[index] = true;
+    tags_[index] = tagOf(addr);
+    return false;
+}
+
+bool
+DirectMappedCache::writeAccess(std::int64_t addr)
+{
+    std::size_t index = indexOf(addr);
+    if (valid_[index] && tags_[index] == tagOf(addr)) {
+        hits_ += 1;
+        return true;
+    }
+    // Write-through, no write-allocate: the line is not filled.
+    misses_ += 1;
+    return false;
+}
+
+bool
+DirectMappedCache::present(std::int64_t addr) const
+{
+    std::size_t index = indexOf(addr);
+    return valid_[index] && tags_[index] == tagOf(addr);
+}
+
+void
+DirectMappedCache::reset()
+{
+    std::fill(valid_.begin(), valid_.end(), false);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+BranchTargetBuffer::BranchTargetBuffer(std::size_t entries)
+    : counters_(entries, 1) // weakly not-taken.
+{
+    panicIf(entries == 0, "BTB needs at least one entry");
+}
+
+std::size_t
+BranchTargetBuffer::indexOf(std::int64_t addr) const
+{
+    return static_cast<std::size_t>(addr >> 2) % counters_.size();
+}
+
+bool
+BranchTargetBuffer::predictTaken(std::int64_t addr) const
+{
+    return counters_[indexOf(addr)] >= 2;
+}
+
+void
+BranchTargetBuffer::update(std::int64_t addr, bool taken)
+{
+    std::uint8_t &counter = counters_[indexOf(addr)];
+    if (taken) {
+        if (counter < 3)
+            counter += 1;
+    } else {
+        if (counter > 0)
+            counter -= 1;
+    }
+}
+
+void
+BranchTargetBuffer::reset()
+{
+    std::fill(counters_.begin(), counters_.end(), 1);
+}
+
+} // namespace predilp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Direct-mapped cache model matching the paper's memory system
+ * (§4.1): 64K direct mapped, 64-byte blocks; the data cache is
+ * write-through with no write-allocate and a 12-cycle miss penalty.
+ */
+
+#ifndef PREDILP_SIM_CACHE_HH
+#define PREDILP_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace predilp
+{
+
+/** A direct-mapped, tag-only cache model. */
+class DirectMappedCache
+{
+  public:
+    /**
+     * @param sizeBytes total capacity.
+     * @param lineBytes block size (power of two).
+     */
+    DirectMappedCache(std::int64_t sizeBytes, std::int64_t lineBytes);
+
+    /**
+     * Read access: @return true on hit. Misses allocate the line.
+     */
+    bool access(std::int64_t addr);
+
+    /**
+     * Write access with no-write-allocate semantics: @return true on
+     * hit (line updated); misses do not allocate.
+     */
+    bool writeAccess(std::int64_t addr);
+
+    /** @return true if the line holding @p addr is present. */
+    bool present(std::int64_t addr) const;
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+
+    /** Empty the cache and zero statistics. */
+    void reset();
+
+  private:
+    std::size_t indexOf(std::int64_t addr) const;
+    std::int64_t tagOf(std::int64_t addr) const;
+
+    std::int64_t lineBytes_;
+    std::size_t numLines_;
+    std::vector<std::int64_t> tags_;
+    std::vector<bool> valid_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/**
+ * Branch target buffer: direct-mapped table of 2-bit saturating
+ * counters (1K entries, as in §4.1).
+ */
+class BranchTargetBuffer
+{
+  public:
+    explicit BranchTargetBuffer(std::size_t entries = 1024);
+
+    /** @return the taken/not-taken prediction for @p addr. */
+    bool predictTaken(std::int64_t addr) const;
+
+    /** Train with the actual outcome. */
+    void update(std::int64_t addr, bool taken);
+
+    void reset();
+
+  private:
+    std::size_t indexOf(std::int64_t addr) const;
+
+    std::vector<std::uint8_t> counters_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_SIM_CACHE_HH

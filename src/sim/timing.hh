@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Emulation-driven timing simulator (paper §4.1): the functional
+ * emulator streams dynamic instructions into an in-order, k-issue
+ * pipeline model with register interlocks, limited branch slots, a
+ * 1K-entry 2-bit BTB with a 2-cycle misprediction penalty, and
+ * optional 64K direct-mapped instruction/data caches.
+ */
+
+#ifndef PREDILP_SIM_TIMING_HH
+#define PREDILP_SIM_TIMING_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "emu/emulator.hh"
+#include "ir/program.hh"
+#include "sched/machine.hh"
+
+namespace predilp
+{
+
+/** Complete simulation configuration. */
+struct SimConfig
+{
+    MachineConfig machine;
+
+    /** Perfect caches (Figures 8-10) or 64K real caches (Fig. 11). */
+    bool perfectCaches = true;
+
+    std::int64_t cacheSizeBytes = 64 * 1024;
+    std::int64_t cacheLineBytes = 64;
+    int cacheMissPenalty = 12;
+    std::size_t btbEntries = 1024;
+
+    /** Fuel limit forwarded to the emulator. */
+    std::uint64_t maxDynInstrs = 2'000'000'000ull;
+};
+
+/** Results of one simulated run. */
+struct SimResult
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t dynInstrs = 0;     ///< fetched instructions.
+    std::uint64_t nullified = 0;     ///< squashed by false guards.
+    std::uint64_t branches = 0;      ///< executed cond branches+jumps.
+    std::uint64_t condBranches = 0;
+    std::uint64_t mispredicts = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t dcacheMisses = 0;
+    std::int64_t exitValue = 0;
+    std::string output;
+
+    /** Misprediction rate over executed conditional branches. */
+    double
+    mispredictRate() const
+    {
+        return condBranches == 0
+                   ? 0.0
+                   : static_cast<double>(mispredicts) /
+                         static_cast<double>(condBranches);
+    }
+};
+
+/**
+ * Instruction address assignment: 4 bytes per instruction, functions
+ * and blocks laid out in program/layout order. Used by the I-cache
+ * and BTB models.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Program &prog);
+
+    /** Address of @p instr inside @p fn. */
+    std::int64_t
+    addressOf(const Function *fn, const Instruction *instr) const
+    {
+        const auto &table = tables_.at(fn);
+        return table[static_cast<std::size_t>(instr->id())];
+    }
+
+  private:
+    std::map<const Function *, std::vector<std::int64_t>> tables_;
+};
+
+/**
+ * Run @p prog on @p input under the timing model @p config.
+ * The program must be fully compiled (scheduled + laid out) for the
+ * cycle counts to be meaningful, but any executable program works.
+ */
+SimResult simulate(const Program &prog, const std::string &input,
+                   const SimConfig &config);
+
+} // namespace predilp
+
+#endif // PREDILP_SIM_TIMING_HH

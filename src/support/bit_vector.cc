@@ -1,0 +1,177 @@
+#include "support/bit_vector.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+constexpr std::size_t wordsFor(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+} // namespace
+
+BitVector::BitVector(std::size_t size)
+    : numBits_(size), words_(wordsFor(size), 0)
+{
+}
+
+void
+BitVector::resize(std::size_t size)
+{
+    numBits_ = size;
+    words_.resize(wordsFor(size), 0);
+    maskTail();
+}
+
+void
+BitVector::checkIndex(std::size_t idx) const
+{
+    panicIf(idx >= numBits_, "BitVector index ", idx, " out of range ",
+            numBits_);
+}
+
+void
+BitVector::maskTail()
+{
+    if (numBits_ % 64 != 0 && !words_.empty()) {
+        std::uint64_t mask =
+            (std::uint64_t{1} << (numBits_ % 64)) - 1;
+        words_.back() &= mask;
+    }
+}
+
+void
+BitVector::set(std::size_t idx)
+{
+    checkIndex(idx);
+    words_[idx / 64] |= std::uint64_t{1} << (idx % 64);
+}
+
+void
+BitVector::reset(std::size_t idx)
+{
+    checkIndex(idx);
+    words_[idx / 64] &= ~(std::uint64_t{1} << (idx % 64));
+}
+
+void
+BitVector::assign(std::size_t idx, bool value)
+{
+    if (value)
+        set(idx);
+    else
+        reset(idx);
+}
+
+bool
+BitVector::test(std::size_t idx) const
+{
+    checkIndex(idx);
+    return (words_[idx / 64] >> (idx % 64)) & 1;
+}
+
+void
+BitVector::clearAll()
+{
+    for (auto &w : words_)
+        w = 0;
+}
+
+void
+BitVector::setAll()
+{
+    for (auto &w : words_)
+        w = ~std::uint64_t{0};
+    maskTail();
+}
+
+bool
+BitVector::none() const
+{
+    for (auto w : words_) {
+        if (w != 0)
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+BitVector::count() const
+{
+    std::size_t total = 0;
+    for (auto w : words_)
+        total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+}
+
+bool
+BitVector::unionWith(const BitVector &other)
+{
+    panicIf(other.numBits_ != numBits_, "BitVector size mismatch");
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t next = words_[i] | other.words_[i];
+        changed |= next != words_[i];
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitVector::intersectWith(const BitVector &other)
+{
+    panicIf(other.numBits_ != numBits_, "BitVector size mismatch");
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t next = words_[i] & other.words_[i];
+        changed |= next != words_[i];
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitVector::subtract(const BitVector &other)
+{
+    panicIf(other.numBits_ != numBits_, "BitVector size mismatch");
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        std::uint64_t next = words_[i] & ~other.words_[i];
+        changed |= next != words_[i];
+        words_[i] = next;
+    }
+    return changed;
+}
+
+bool
+BitVector::intersects(const BitVector &other) const
+{
+    panicIf(other.numBits_ != numBits_, "BitVector size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i] & other.words_[i])
+            return true;
+    }
+    return false;
+}
+
+bool
+BitVector::isSubsetOf(const BitVector &other) const
+{
+    panicIf(other.numBits_ != numBits_, "BitVector size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+        if (words_[i] & ~other.words_[i])
+            return false;
+    }
+    return true;
+}
+
+bool
+BitVector::operator==(const BitVector &other) const
+{
+    return numBits_ == other.numBits_ && words_ == other.words_;
+}
+
+} // namespace predilp

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A resizable bit vector used by the dataflow framework (liveness,
+ * dominators) and by the predicate cube algebra.
+ */
+
+#ifndef PREDILP_SUPPORT_BIT_VECTOR_HH
+#define PREDILP_SUPPORT_BIT_VECTOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace predilp
+{
+
+/**
+ * Dense dynamic bitset with the set-algebra operations dataflow
+ * analyses need. All binary operations require equal sizes.
+ */
+class BitVector
+{
+  public:
+    BitVector() = default;
+
+    /** Construct a vector of @p size bits, all cleared. */
+    explicit BitVector(std::size_t size);
+
+    /** @return the number of bits in the vector. */
+    std::size_t size() const { return numBits_; }
+
+    /** Grow or shrink to @p size bits; new bits are cleared. */
+    void resize(std::size_t size);
+
+    /** Set bit @p idx to 1. */
+    void set(std::size_t idx);
+
+    /** Clear bit @p idx. */
+    void reset(std::size_t idx);
+
+    /** Assign @p value to bit @p idx. */
+    void assign(std::size_t idx, bool value);
+
+    /** @return the value of bit @p idx. */
+    bool test(std::size_t idx) const;
+
+    /** Clear every bit. */
+    void clearAll();
+
+    /** Set every bit. */
+    void setAll();
+
+    /** @return true when no bit is set. */
+    bool none() const;
+
+    /** @return the number of set bits. */
+    std::size_t count() const;
+
+    /** In-place union; @return true when this changed. */
+    bool unionWith(const BitVector &other);
+
+    /** In-place intersection; @return true when this changed. */
+    bool intersectWith(const BitVector &other);
+
+    /** In-place difference (this &= ~other); @return true if changed. */
+    bool subtract(const BitVector &other);
+
+    /** @return true when this and @p other share at least one bit. */
+    bool intersects(const BitVector &other) const;
+
+    /** @return true when every set bit of this is also set in other. */
+    bool isSubsetOf(const BitVector &other) const;
+
+    bool operator==(const BitVector &other) const;
+    bool operator!=(const BitVector &other) const
+    {
+        return !(*this == other);
+    }
+
+    /**
+     * Invoke @p fn for every set bit index, ascending.
+     */
+    template <typename Fn>
+    void
+    forEachSet(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < words_.size(); ++w) {
+            std::uint64_t word = words_[w];
+            while (word) {
+                auto bit =
+                    static_cast<std::size_t>(__builtin_ctzll(word));
+                fn(w * 64 + bit);
+                word &= word - 1;
+            }
+        }
+    }
+
+  private:
+    void checkIndex(std::size_t idx) const;
+    void maskTail();
+
+    std::size_t numBits_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_BIT_VECTOR_HH

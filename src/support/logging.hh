@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Error-reporting and diagnostic helpers, in the spirit of gem5's
+ * logging.hh: fatal() for user errors, panic() for internal bugs.
+ */
+
+#ifndef PREDILP_SUPPORT_LOGGING_HH
+#define PREDILP_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace predilp
+{
+
+/**
+ * Error thrown when a user-supplied input (ILC source, configuration,
+ * workload) is invalid. The simulation cannot continue, but the fault
+ * lies with the input rather than the library.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Error thrown when an internal invariant is violated, i.e. a bug in
+ * the library itself.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a parameter pack into a single message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an unrecoverable user-level error. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/** Report an internal invariant violation. Never returns. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::formatMessage(std::forward<Args>(args)...));
+}
+
+/**
+ * Check an internal invariant; panics with the given message when the
+ * condition does not hold. Unlike assert() this is always enabled.
+ */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+/** Emit a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Emit an informational message to stderr when verbose mode is on. */
+void inform(const std::string &msg);
+
+/** Globally enable or disable inform() output. */
+void setVerbose(bool verbose);
+
+/** @return whether inform() output is enabled. */
+bool verboseEnabled();
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_LOGGING_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload input
+ * synthesis. A fixed algorithm (splitmix64) keeps benchmark inputs
+ * reproducible across platforms and standard-library versions.
+ */
+
+#ifndef PREDILP_SUPPORT_RNG_HH
+#define PREDILP_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace predilp
+{
+
+/**
+ * splitmix64 generator. Small state, full 64-bit output, and entirely
+ * deterministic, which matters because benchmark inputs are derived
+ * from it and the paper-reproduction tables must be stable.
+ */
+class Rng
+{
+  public:
+    /** Construct with the given @p seed. */
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** @return the next 64 pseudo-random bits. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a value uniformly distributed in [0, bound). */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return bound == 0 ? 0 : next() % bound;
+    }
+
+    /** @return an integer uniformly distributed in [lo, hi]. */
+    std::int64_t
+    nextRange(std::int64_t lo, std::int64_t hi)
+    {
+        auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(nextBelow(span));
+    }
+
+    /** @return a double uniformly distributed in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p. */
+    bool
+    nextBool(double p = 0.5)
+    {
+        return nextDouble() < p;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_RNG_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small string helpers shared across the library: formatting numbers
+ * the way the paper's tables print them, joining, and padding.
+ */
+
+#ifndef PREDILP_SUPPORT_STRING_UTILS_HH
+#define PREDILP_SUPPORT_STRING_UTILS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace predilp
+{
+
+/** Left-justify @p s in a field of @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/** Right-justify @p s in a field of @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Format with fixed @p decimals digits after the point. */
+std::string formatFixed(double value, int decimals);
+
+/**
+ * Format a count the way the paper's tables do: 1526K, 11225M, with
+ * one suffix step per factor of 1000 above 10000.
+ */
+std::string formatCount(std::uint64_t value);
+
+/** Join @p parts with @p sep between consecutive elements. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Split @p s on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &s, char sep);
+
+/** @return true when @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_STRING_UTILS_HH

@@ -1,0 +1,256 @@
+#include "workloads/workloads.hh"
+
+#include "support/rng.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+const char *const words[] = {
+    "the",  "of",    "and",   "to",    "in",    "is",   "you",
+    "that", "it",    "he",    "was",   "for",   "on",   "are",
+    "as",   "with",  "his",   "they",  "at",    "be",   "this",
+    "have", "from",  "or",    "one",   "had",   "by",   "word",
+    "but",  "not",   "what",  "all",   "were",  "we",   "when",
+    "your", "can",   "said",  "there", "use",   "each", "which",
+    "she",  "do",    "how",   "their", "if",    "will", "up",
+    "other"};
+constexpr int numWords = 50;
+
+void
+appendWord(std::string &out, Rng &rng)
+{
+    out += words[rng.nextBelow(numWords)];
+}
+
+} // namespace
+
+std::string
+makeTextInput(int scale)
+{
+    Rng rng(0x77c0u);
+    std::string out;
+    int lines = 160 * scale;
+    for (int line = 0; line < lines; ++line) {
+        int count = 3 + static_cast<int>(rng.nextBelow(9));
+        for (int w = 0; w < count; ++w) {
+            if (w > 0)
+                out += rng.nextBool(0.12) ? "\t" : " ";
+            appendWord(out, rng);
+        }
+        if (rng.nextBool(0.08))
+            out += "   "; // trailing blanks exercise word logic.
+        out += "\n";
+        if (rng.nextBool(0.05))
+            out += "\n"; // empty lines.
+    }
+    return out;
+}
+
+std::string
+makeGrepInput(int scale)
+{
+    Rng rng(0x62e9u);
+    std::string out;
+    int lines = 220 * scale;
+    for (int line = 0; line < lines; ++line) {
+        int count = 4 + static_cast<int>(rng.nextBelow(8));
+        for (int w = 0; w < count; ++w) {
+            if (w > 0)
+                out += " ";
+            // The pattern "needle" appears on ~2% of lines.
+            if (w == 2 && rng.nextBool(0.02))
+                out += "needle";
+            else
+                appendWord(out, rng);
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+makeCmpInput(int scale)
+{
+    Rng rng(0xc3b2u);
+    int half = 2600 * scale;
+    std::string a;
+    a.reserve(static_cast<std::size_t>(half) * 2);
+    for (int i = 0; i < half; ++i)
+        a.push_back(static_cast<char>('a' + rng.nextBelow(26)));
+    std::string b = a;
+    // Sprinkle rare differences (~0.5%).
+    for (int i = 0; i < half; ++i) {
+        if (rng.nextBool(0.005))
+            b[static_cast<std::size_t>(i)] =
+                static_cast<char>('A' + rng.nextBelow(26));
+    }
+    return a + b;
+}
+
+std::string
+makeNumbersInput(int scale)
+{
+    Rng rng(0x45071u);
+    std::string out;
+    int count = 480 * scale;
+    for (int i = 0; i < count; ++i) {
+        out += std::to_string(rng.nextRange(0, 99999));
+        out += (i % 8 == 7) ? "\n" : " ";
+    }
+    out += "\n";
+    return out;
+}
+
+std::string
+makeCompressInput(int scale)
+{
+    Rng rng(0xc0317u);
+    std::string out;
+    int length = 5200 * scale;
+    // Markov-ish stream over a small alphabet with repeats, so the
+    // LZW dictionary actually gets hits.
+    int state = 0;
+    for (int i = 0; i < length; ++i) {
+        if (rng.nextBool(0.7)) {
+            state = (state * 7 + 3) % 16;
+        } else {
+            state = static_cast<int>(rng.nextBelow(16));
+        }
+        out.push_back(static_cast<char>('a' + state));
+    }
+    return out;
+}
+
+std::string
+makeTableInput(int scale)
+{
+    Rng rng(0xeb707u);
+    std::string out;
+    int rows = 72 * scale;
+    int cols = 24;
+    for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+            // 0, 1, or - (don't care), skewed toward cares.
+            std::uint64_t v = rng.nextBelow(10);
+            out.push_back(v < 4 ? '0' : (v < 8 ? '1' : '-'));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+makeCodeInput(int scale)
+{
+    Rng rng(0xc0de);
+    const char *idents[] = {"define", "foo",   "bar",  "index",
+                            "count",  "value", "temp", "size",
+                            "OFFSET", "LIMIT", "x",    "y"};
+    std::string out;
+    int lines = 150 * scale;
+    for (int line = 0; line < lines; ++line) {
+        if (rng.nextBool(0.18))
+            out += "#";
+        int tokens = 2 + static_cast<int>(rng.nextBelow(7));
+        for (int t = 0; t < tokens; ++t) {
+            if (t > 0)
+                out += " ";
+            std::uint64_t kind = rng.nextBelow(10);
+            if (kind < 5) {
+                out += idents[rng.nextBelow(12)];
+            } else if (kind < 7) {
+                out += std::to_string(rng.nextBelow(1000));
+            } else if (kind < 8) {
+                out += "(";
+                out += idents[rng.nextBelow(12)];
+                out += ")";
+            } else {
+                const char *ops[] = {"+", "-", "*", "/", "=", ";",
+                                     "{", "}"};
+                out += ops[rng.nextBelow(8)];
+            }
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+makeSignalInput(int scale)
+{
+    Rng rng(0x51617u);
+    std::string out;
+    int samples = 3000 * scale;
+    for (int i = 0; i < samples; ++i)
+        out.push_back(static_cast<char>(rng.nextBelow(256)));
+    return out;
+}
+
+std::string
+makeSheetInput(int scale)
+{
+    Rng rng(0x5c311u);
+    std::string out;
+    // Cells: "N <value>" for numbers, "F <a> <op> <b>" for formulas
+    // referencing earlier cells; one per line.
+    int cells = 180 * scale;
+    for (int i = 0; i < cells; ++i) {
+        if (i < 4 || rng.nextBool(0.45)) {
+            out += "N ";
+            out += std::to_string(rng.nextRange(1, 999));
+        } else {
+            out += "F ";
+            out += std::to_string(rng.nextBelow(
+                static_cast<std::uint64_t>(i)));
+            std::uint64_t op = rng.nextBelow(4);
+            out += op == 0 ? " + " : (op == 1 ? " - "
+                                      : op == 2 ? " * " : " / ");
+            out += std::to_string(rng.nextBelow(
+                static_cast<std::uint64_t>(i)));
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+std::string
+makeLispInput(int scale)
+{
+    Rng rng(0x115bu);
+    std::string out;
+    // Bytecode: each instruction is one letter + optional operand
+    // digit(s); the interpreter loops over the stream `scale` x 40
+    // times via a repeat count on the first line.
+    out += std::to_string(26 * scale);
+    out += "\n";
+    int ops = 300;
+    for (int i = 0; i < ops; ++i) {
+        std::uint64_t kind = rng.nextBelow(16);
+        if (kind < 5) {
+            out += "p"; // push literal
+            out += std::to_string(rng.nextBelow(100));
+        } else if (kind < 8) {
+            out += "a"; // add
+        } else if (kind < 10) {
+            out += "s"; // sub
+        } else if (kind < 11) {
+            out += "m"; // mul
+        } else if (kind < 12) {
+            out += "d"; // dup
+        } else if (kind < 14) {
+            out += "l"; // load slot
+            out += std::to_string(rng.nextBelow(8));
+        } else {
+            out += "t"; // store slot
+            out += std::to_string(rng.nextBelow(8));
+        }
+        out += ";";
+    }
+    out += "\n";
+    return out;
+}
+
+} // namespace predilp

@@ -1,0 +1,1081 @@
+#include "workloads/workloads.hh"
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/**
+ * Shared runtime prelude: buffered input (the hot kernels scan a
+ * byte buffer, the way stdio-based C programs do) and decimal
+ * output helpers.
+ */
+const char *const prelude = R"ILC(
+byte buf[65536];
+int buflen = 0;
+
+int rpos = 0;
+
+void read_all() {
+    buflen = readblock(buf, 0, 65536);
+    rpos = 0;
+}
+
+// stdio-style getchar: the buffer bookkeeping lives in memory, the
+// way a FILE's fields do, and the whole thing inlines into the hot
+// loops just like the C getc() macro.
+int nextch() {
+    int p = rpos;
+    if (p >= buflen) { return -1; }
+    int c = buf[p];
+    rpos = p + 1;
+    return c;
+}
+
+void print_int(int v) {
+    if (v < 0) { putc('-'); v = -v; }
+    if (v >= 10) { print_int(v / 10); }
+    putc('0' + v % 10);
+}
+
+void print_intln(int v) { print_int(v); putc('\n'); }
+)ILC";
+
+// --- wc: per-character classification, tiny blocks (paper Fig. 5) --
+
+const char *const wcSource = R"ILC(
+int main() {
+    read_all();
+    int lines = 0, words = 0, chars = 0, inword = 0;
+    int digits = 0, upper = 0, punct = 0;
+    int linelen = 0, maxline = 0;
+    int c = nextch();
+    while (c >= 0) {
+        chars = chars + 1;
+        if (c == '\n') {
+            lines = lines + 1;
+            if (linelen > maxline) { maxline = linelen; }
+            linelen = 0;
+        } else {
+            linelen = linelen + 1;
+        }
+        if (c >= '0' && c <= '9') { digits = digits + 1; }
+        if (c >= 'A' && c <= 'Z') { upper = upper + 1; }
+        if (c == ' ' || c == '\n' || c == '\t') {
+            inword = 0;
+        } else {
+            if (inword == 0) { words = words + 1; }
+            inword = 1;
+        }
+        c = nextch();
+    }
+    if (linelen > maxline) { maxline = linelen; }
+    print_intln(lines);
+    print_intln(words);
+    print_intln(chars);
+    print_intln(digits);
+    print_intln(upper);
+    print_intln(punct);
+    print_intln(maxline);
+    return 0;
+}
+)ILC";
+
+// --- grep: scan loop with rarely-taken exits (paper Fig. 6) -------
+
+const char *const grepSource = R"ILC(
+byte pat[] = "needle";
+
+int main() {
+    read_all();
+    int patlen = 6;
+    int matches = 0, lines = 0, possum = 0, tries = 0;
+    int i = 0;
+    while (i < buflen) {
+        int found = 0;
+        int j = i;
+        while (j < buflen && buf[j] != '\n') {
+            int c = buf[j];
+            if (c >= 'A' && c <= 'Z') { c = c + 32; }
+            if (found == 0 && c == pat[0]) {
+                tries = tries + 1;
+                int k = 1;
+                while (k < patlen && j + k < buflen) {
+                    int d = buf[j + k];
+                    if (d >= 'A' && d <= 'Z') { d = d + 32; }
+                    if (d != pat[k]) { break; }
+                    k = k + 1;
+                }
+                if (k == patlen) {
+                    found = 1;
+                    possum = possum + (j - i);
+                }
+            }
+            j = j + 1;
+        }
+        if (found != 0) { matches = matches + 1; }
+        lines = lines + 1;
+        i = j + 1;
+    }
+    print_intln(matches);
+    print_intln(lines);
+    print_intln(possum);
+    print_intln(tries);
+    return 0;
+}
+)ILC";
+
+// --- cmp: two-stream compare, rare difference branches ------------
+
+const char *const cmpSource = R"ILC(
+int main() {
+    read_all();
+    int half = buflen / 2;
+    int p1 = 0, p2 = half;
+    int diffs = 0, first = -1, line = 1;
+    int difflines = 0, lastdiff = -1;
+    while (p1 < half && p2 < buflen) {
+        int a = buf[p1];
+        int b = buf[p2];
+        if (a == '\n') { line = line + 1; }
+        if (a != b) {
+            diffs = diffs + 1;
+            if (first < 0) { first = p1; }
+            if (line != lastdiff) {
+                difflines = difflines + 1;
+                lastdiff = line;
+            }
+        }
+        p1 = p1 + 1;
+        p2 = p2 + 1;
+    }
+    print_intln(diffs);
+    print_intln(first);
+    print_intln(line);
+    print_intln(difflines);
+    return 0;
+}
+)ILC";
+
+// --- qsort: recursive partitioning, data-dependent branches -------
+
+const char *const qsortSource = R"ILC(
+int nums[4096];
+int count = 0;
+
+void parse() {
+    int i = 0;
+    while (i < buflen) {
+        int c = buf[i];
+        if (c >= '0' && c <= '9') {
+            int v = 0;
+            while (i < buflen && buf[i] >= '0' && buf[i] <= '9') {
+                v = v * 10 + (buf[i] - '0');
+                i = i + 1;
+            }
+            if (count < 4096) {
+                nums[count] = v;
+                count = count + 1;
+            }
+        } else {
+            i = i + 1;
+        }
+    }
+}
+
+void sortrange(int lo, int hi) {
+    if (lo >= hi) { return; }
+    int pivot = nums[(lo + hi) / 2];
+    int i = lo, j = hi;
+    while (i <= j) {
+        while (nums[i] < pivot) { i = i + 1; }
+        while (nums[j] > pivot) { j = j - 1; }
+        if (i <= j) {
+            int t = nums[i];
+            nums[i] = nums[j];
+            nums[j] = t;
+            i = i + 1;
+            j = j - 1;
+        }
+    }
+    sortrange(lo, j);
+    sortrange(i, hi);
+}
+
+int main() {
+    read_all();
+    parse();
+    if (count > 0) { sortrange(0, count - 1); }
+    int sum = 0, sorted = 1;
+    int i = 0;
+    while (i < count) {
+        sum = sum + nums[i] * (i % 7 + 1);
+        if (i > 0 && nums[i] < nums[i - 1]) { sorted = 0; }
+        i = i + 1;
+    }
+    print_intln(count);
+    print_intln(sum);
+    print_intln(sorted);
+    return 0;
+}
+)ILC";
+
+// --- compress: LZW dictionary probe loop ---------------------------
+
+const char *const compressSource = R"ILC(
+int hashp[8192];
+int hashc[8192];
+int hashv[8192];
+int bitbuf = 0;
+int bitcnt = 0;
+int outbytes = 0;
+int checksum = 0;
+
+// Emit one 12-bit code into the packed output stream, the way the
+// real compress packs codes into bytes.
+void emit(int code) {
+    bitbuf = ((bitbuf << 12) | code) & 0xFFFFFF;
+    bitcnt = bitcnt + 12;
+    while (bitcnt >= 8) {
+        bitcnt = bitcnt - 8;
+        int b = (bitbuf >> bitcnt) & 255;
+        checksum = (checksum * 31 + b) & 0xFFFFFF;
+        outbytes = outbytes + 1;
+    }
+}
+
+int main() {
+    read_all();
+    int i = 0;
+    int next = 257;
+    int w = 0;
+    while (i < buflen) {
+        int c = buf[i];
+        if (w == 0) {
+            w = c + 1;
+        } else {
+            int h = ((c << 4) ^ w) & 8191;
+            int code = 0;
+            int probing = 1;
+            while (probing) {
+                if (hashv[h] == 0) {
+                    probing = 0;
+                } else if (hashp[h] == w && hashc[h] == c) {
+                    code = hashv[h];
+                    probing = 0;
+                } else {
+                    h = (h + 67) & 8191;
+                }
+            }
+            if (code != 0) {
+                w = code;
+            } else {
+                emit(w);
+                if (next < 4096) {
+                    hashp[h] = w;
+                    hashc[h] = c;
+                    hashv[h] = next;
+                    next = next + 1;
+                }
+                w = c + 1;
+            }
+        }
+        i = i + 1;
+    }
+    if (w != 0) { emit(w); }
+    print_intln(outbytes);
+    print_intln(checksum);
+    print_intln(next);
+    return 0;
+}
+)ILC";
+
+// --- eqntott: truth-table row comparison (cmppt kernel) ------------
+
+const char *const eqntottSource = R"ILC(
+int tblw[1024];
+int rows = 0;
+int cols = 0;
+
+void parse() {
+    int i = 0, col = 0;
+    int word = 0;
+    while (i < buflen) {
+        int c = buf[i];
+        if (c == '\n') {
+            if (col > 0) {
+                if (cols == 0) { cols = col; }
+                if (rows < 1024) { tblw[rows] = word; }
+                rows = rows + 1;
+            }
+            col = 0;
+            word = 0;
+        } else {
+            int v = 2;
+            if (c == '0') { v = 0; }
+            if (c == '1') { v = 1; }
+            word = word | (v << (col * 2));
+            col = col + 1;
+        }
+        i = i + 1;
+    }
+}
+
+// The eqntott cmppt kernel: lexicographic compare of two packed
+// ternary rows, early exit at the first differing position.
+int cmppt(int a, int b) {
+    int wa = tblw[a];
+    int wb = tblw[b];
+    int i = 0;
+    while (i < cols) {
+        int sh = i * 2;
+        int va = (wa >> sh) & 3;
+        int vb = (wb >> sh) & 3;
+        if (va < vb) { return -1; }
+        if (va > vb) { return 1; }
+        i = i + 1;
+    }
+    return 0;
+}
+
+int main() {
+    read_all();
+    parse();
+    int less = 0, eq = 0, greater = 0;
+    int i = 0;
+    while (i < rows) {
+        int j = i + 1;
+        while (j < rows) {
+            int r = cmppt(i, j);
+            if (r < 0) { less = less + 1; }
+            else if (r == 0) { eq = eq + 1; }
+            else { greater = greater + 1; }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    print_intln(rows);
+    print_intln(less);
+    print_intln(eq);
+    print_intln(greater);
+    return 0;
+}
+)ILC";
+
+// --- espresso: cube intersection with early-empty exits ------------
+
+const char *const espressoSource = R"ILC(
+int tblw[1024];
+int rows = 0;
+int cols = 0;
+
+void parse() {
+    int i = 0, col = 0;
+    int word = 0;
+    while (i < buflen) {
+        int c = buf[i];
+        if (c == '\n') {
+            if (col > 0) {
+                if (cols == 0) { cols = col; }
+                if (rows < 1024) { tblw[rows] = word; }
+                rows = rows + 1;
+            }
+            col = 0;
+            word = 0;
+        } else {
+            int v = 3;
+            if (c == '0') { v = 1; }
+            if (c == '1') { v = 2; }
+            word = word | (v << (col * 2));
+            col = col + 1;
+        }
+        i = i + 1;
+    }
+}
+
+// Cube intersection: empty as soon as one variable intersects to 00.
+int intersects(int a, int b) {
+    int w = tblw[a] & tblw[b];
+    int i = 0;
+    while (i < cols) {
+        if (((w >> (i * 2)) & 3) == 0) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+
+// Cube containment: a covers b when every variable of b fits in a.
+int covers(int a, int b) {
+    int wa = tblw[a];
+    int wb = tblw[b];
+    int i = 0;
+    while (i < cols) {
+        int sh = i * 2;
+        int va = (wa >> sh) & 3;
+        int vb = (wb >> sh) & 3;
+        if ((va & vb) != vb) { return 0; }
+        i = i + 1;
+    }
+    return 1;
+}
+
+int main() {
+    read_all();
+    parse();
+    int nonempty = 0, covered = 0, tested = 0;
+    int i = 0;
+    while (i < rows) {
+        int j = i + 1;
+        while (j < rows) {
+            tested = tested + 1;
+            if (intersects(i, j)) {
+                nonempty = nonempty + 1;
+                if (covers(i, j)) { covered = covered + 1; }
+            }
+            j = j + 1;
+        }
+        i = i + 1;
+    }
+    print_intln(tested);
+    print_intln(nonempty);
+    print_intln(covered);
+    return 0;
+}
+)ILC";
+
+// --- li: type-dispatched interpreter loop ---------------------------
+
+const char *const liSource = R"ILC(
+int ops[2048];
+int args[2048];
+int codelen = 0;
+int repeat = 0;
+int stackv[256];
+int slots[8];
+
+void parse() {
+    int i = 0;
+    int v = 0;
+    while (i < buflen && buf[i] >= '0' && buf[i] <= '9') {
+        v = v * 10 + (buf[i] - '0');
+        i = i + 1;
+    }
+    repeat = v;
+    while (i < buflen) {
+        int c = buf[i];
+        if ((c >= 'a' && c <= 'z') && codelen < 2048) {
+            int a = 0;
+            i = i + 1;
+            while (i < buflen && buf[i] >= '0' && buf[i] <= '9') {
+                a = a * 10 + (buf[i] - '0');
+                i = i + 1;
+            }
+            ops[codelen] = c;
+            args[codelen] = a;
+            codelen = codelen + 1;
+        } else {
+            i = i + 1;
+        }
+    }
+}
+
+int main() {
+    read_all();
+    parse();
+    int acc = 0;
+    int r = 0;
+    while (r < repeat) {
+        int sp = 0;
+        int pc = 0;
+        while (pc < codelen) {
+            int op = ops[pc];
+            int a = args[pc];
+            if (op == 'p') {
+                if (sp < 255) { stackv[sp] = a + r; sp = sp + 1; }
+            } else if (op == 'a') {
+                if (sp >= 2) {
+                    stackv[sp - 2] = stackv[sp - 2] + stackv[sp - 1];
+                    sp = sp - 1;
+                }
+            } else if (op == 's') {
+                if (sp >= 2) {
+                    stackv[sp - 2] = stackv[sp - 2] - stackv[sp - 1];
+                    sp = sp - 1;
+                }
+            } else if (op == 'm') {
+                if (sp >= 2) {
+                    stackv[sp - 2] = (stackv[sp - 2] *
+                                      stackv[sp - 1]) % 65521;
+                    sp = sp - 1;
+                }
+            } else if (op == 'd') {
+                if (sp >= 1 && sp < 255) {
+                    stackv[sp] = stackv[sp - 1];
+                    sp = sp + 1;
+                }
+            } else if (op == 'l') {
+                if (sp < 255) { stackv[sp] = slots[a]; sp = sp + 1; }
+            } else if (op == 't') {
+                if (sp >= 1) {
+                    slots[a] = stackv[sp - 1];
+                    sp = sp - 1;
+                }
+            }
+            pc = pc + 1;
+        }
+        if (sp > 0) { acc = acc + stackv[sp - 1] % 10007; }
+        r = r + 1;
+    }
+    int i = 0;
+    while (i < 8) { acc = acc + slots[i]; i = i + 1; }
+    print_intln(acc % 1000000007);
+    return 0;
+}
+)ILC";
+
+// --- lex: table-driven DFA scanner ----------------------------------
+
+const char *const lexSource = R"ILC(
+// States: 0 start, 1 ident, 2 number, 3 operator, 4 other.
+// Classes: 0 letter, 1 digit, 2 space, 3 operator, 4 other.
+int trans[25] = {
+    1, 2, 0, 3, 4,
+    1, 1, 0, 3, 4,
+    2, 2, 0, 3, 4,
+    1, 2, 0, 3, 4,
+    4, 4, 0, 4, 4
+};
+int accept[5] = { 0, 1, 1, 1, 0 };
+
+int main() {
+    read_all();
+    int tokens = 0, idents = 0, numbers = 0;
+    int symsum = 0, maxtok = 0;
+    int state = 0, h = 0, len = 0;
+    int c = nextch();
+    while (c >= 0) {
+        int cls = 4;
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            c == '_') {
+            cls = 0;
+        } else if (c >= '0' && c <= '9') {
+            cls = 1;
+        } else if (c == ' ' || c == '\t' || c == '\n') {
+            cls = 2;
+        } else if (c == '+' || c == '-' || c == '*' || c == '/' ||
+                   c == '=' || c == ';' || c == '(' || c == ')' ||
+                   c == '{' || c == '}') {
+            cls = 3;
+        }
+        int nextstate = trans[state * 5 + cls];
+        if (nextstate == state && state != 0) {
+            h = (h * 31 + c) & 0xFFFF;
+            len = len + 1;
+        } else if (nextstate != state) {
+            if (accept[state] != 0) {
+                tokens = tokens + 1;
+                symsum = (symsum + h) & 0xFFFFFF;
+                if (len > maxtok) { maxtok = len; }
+            }
+            if (state == 1) { idents = idents + 1; }
+            if (state == 2) { numbers = numbers + 1; }
+            h = c & 0xFF;
+            len = 1;
+        }
+        state = nextstate;
+        c = nextch();
+    }
+    if (accept[state] != 0) { tokens = tokens + 1; }
+    print_intln(tokens);
+    print_intln(idents);
+    print_intln(numbers);
+    print_intln(symsum);
+    print_intln(maxtok);
+    return 0;
+}
+)ILC";
+
+// --- yacc: shift/reduce over a token stream -------------------------
+
+const char *const yaccSource = R"ILC(
+int stack[512];
+int vals[512];
+
+int main() {
+    read_all();
+    int sp = 0;
+    int shifts = 0, reduces = 0, errors = 0, valsum = 0;
+    int c = nextch();
+    while (c >= 0) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9')) {
+            int v = 0;
+            while (c >= 0 &&
+                   ((c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9'))) {
+                v = (v * 31 + c) & 0xFFFF;
+                c = nextch();
+            }
+            if (sp < 511) {
+                stack[sp] = 1;
+                vals[sp] = v;
+                sp = sp + 1;
+            }
+            shifts = shifts + 1;
+        } else if (c == '(') {
+            if (sp < 511) {
+                stack[sp] = 2;
+                vals[sp] = 0;
+                sp = sp + 1;
+            }
+            shifts = shifts + 1;
+            c = nextch();
+        } else if (c == ')') {
+            int ok = 0;
+            int acc = 0;
+            while (sp > 0 && ok == 0) {
+                sp = sp - 1;
+                if (stack[sp] == 2) { ok = 1; }
+                else { acc = (acc * 3 + vals[sp]) & 0xFFFF; }
+                reduces = reduces + 1;
+            }
+            if (ok == 0) { errors = errors + 1; }
+            if (sp < 511) {
+                stack[sp] = 1;
+                vals[sp] = acc;
+                sp = sp + 1;
+            }
+            c = nextch();
+        } else if (c == '+' || c == '-' || c == '*' || c == '/' ||
+                   c == '=') {
+            if (sp >= 2 && stack[sp - 1] == 1 &&
+                stack[sp - 2] == 1) {
+                vals[sp - 2] = (vals[sp - 2] * 5 +
+                                vals[sp - 1] + c) & 0xFFFF;
+                sp = sp - 1;
+                reduces = reduces + 1;
+            }
+            c = nextch();
+        } else if (c == ';' || c == '\n') {
+            while (sp > 0) {
+                sp = sp - 1;
+                valsum = (valsum + vals[sp]) & 0xFFFFFF;
+                reduces = reduces + 1;
+            }
+            c = nextch();
+        } else {
+            c = nextch();
+        }
+    }
+    print_intln(shifts);
+    print_intln(reduces);
+    print_intln(errors);
+    print_intln(valsum);
+    return 0;
+}
+)ILC";
+
+// --- cccp: identifier scan + macro table lookups --------------------
+
+const char *const cccpSource = R"ILC(
+byte macros[64] = "define OFFSET LIMIT include ifdef endif";
+int macstart[6] = { 0, 7, 14, 20, 28, 34 };
+int maclen[6] = { 6, 6, 5, 7, 5, 5 };
+int machash[6];
+
+void hash_macros() {
+    int m = 0;
+    while (m < 6) {
+        int h = 0;
+        int k = 0;
+        while (k < maclen[m]) {
+            h = (h * 31 + macros[macstart[m] + k]) & 0xFFFF;
+            k = k + 1;
+        }
+        machash[m] = h;
+        m = m + 1;
+    }
+}
+
+int main() {
+    read_all();
+    hash_macros();
+    int idents = 0, expansions = 0, directives = 0, hashhits = 0;
+    int c = nextch();
+    while (c >= 0) {
+        if (c == '#') { directives = directives + 1; }
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            c == '_') {
+            int start = rpos - 1;
+            int h = 0;
+            int len = 0;
+            while (c >= 0 &&
+                   ((c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_')) {
+                h = (h * 31 + c) & 0xFFFF;
+                len = len + 1;
+                c = nextch();
+            }
+            idents = idents + 1;
+            int m = 0;
+            while (m < 6) {
+                if (machash[m] == h && maclen[m] == len) {
+                    hashhits = hashhits + 1;
+                    int k = 0;
+                    int base = macstart[m];
+                    while (k < len &&
+                           buf[start + k] == macros[base + k]) {
+                        k = k + 1;
+                    }
+                    if (k == len) {
+                        expansions = expansions + 1;
+                    }
+                }
+                m = m + 1;
+            }
+        } else {
+            c = nextch();
+        }
+    }
+    print_intln(idents);
+    print_intln(expansions);
+    print_intln(directives);
+    print_intln(hashhits);
+    return 0;
+}
+)ILC";
+
+// --- eqn: character-class state machine ------------------------------
+
+const char *const eqnSource = R"ILC(
+int widths[8] = { 1, 3, 2, 4, 1, 2, 2, 1 };
+
+int main() {
+    read_all();
+    int mathmode = 0, script = 0;
+    int emitted = 0, switches = 0, specials = 0, scripts = 0;
+    int c = nextch();
+    while (c >= 0) {
+        int cls = 7;
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+            cls = 1;
+        } else if (c >= '0' && c <= '9') {
+            cls = 2;
+        } else if (c == '+' || c == '-' || c == '=') {
+            cls = 3;
+        } else if (c == ' ' || c == '\t') {
+            cls = 4;
+        } else if (c == '*' || c == '/') {
+            cls = 5;
+        } else if (c == '{' || c == '}') {
+            cls = 6;
+        } else if (c == '\n') {
+            cls = 0;
+        }
+        if (c == '(' || c == ')') {
+            mathmode = 1 - mathmode;
+            switches = switches + 1;
+            script = 0;
+            emitted = emitted + 2;
+        } else if (mathmode != 0) {
+            int w = widths[cls];
+            if (cls == 5) {
+                script = 1 - script;
+                scripts = scripts + 1;
+            }
+            if (script != 0) { w = w - 1; }
+            if (cls == 3) { specials = specials + 1; }
+            emitted = emitted + w + 1;
+        } else {
+            emitted = emitted + widths[cls];
+            if (cls == 0) { script = 0; }
+        }
+        c = nextch();
+    }
+    print_intln(emitted);
+    print_intln(switches);
+    print_intln(specials);
+    print_intln(scripts);
+    return 0;
+}
+)ILC";
+
+// --- sc: spreadsheet cell evaluation ---------------------------------
+
+const char *const scSource = R"ILC(
+int celltype[4096];
+int cellv1[4096];
+int cellv2[4096];
+int cellop[4096];
+int value[4096];
+int ncells = 0;
+
+int readnum(int i) {
+    int v = 0;
+    while (i < buflen && buf[i] >= '0' && buf[i] <= '9') {
+        v = v * 10 + (buf[i] - '0');
+        i = i + 1;
+    }
+    return v;
+}
+
+int skipnum(int i) {
+    while (i < buflen && buf[i] >= '0' && buf[i] <= '9') {
+        i = i + 1;
+    }
+    return i;
+}
+
+void parse() {
+    int i = 0;
+    while (i < buflen) {
+        int c = buf[i];
+        if (c == 'N' && ncells < 4096) {
+            i = i + 2;
+            celltype[ncells] = 0;
+            cellv1[ncells] = readnum(i);
+            i = skipnum(i);
+            ncells = ncells + 1;
+        } else if (c == 'F' && ncells < 4096) {
+            i = i + 2;
+            celltype[ncells] = 1;
+            cellv1[ncells] = readnum(i);
+            i = skipnum(i);
+            i = i + 1;
+            cellop[ncells] = buf[i];
+            i = i + 2;
+            cellv2[ncells] = readnum(i);
+            i = skipnum(i);
+            ncells = ncells + 1;
+        } else {
+            i = i + 1;
+        }
+    }
+}
+
+int main() {
+    read_all();
+    parse();
+    int rounds = 40;
+    int checksum = 0;
+    int r = 0;
+    while (r < rounds) {
+        int i = 0;
+        while (i < ncells) {
+            if (celltype[i] == 0) {
+                value[i] = cellv1[i] + r;
+            } else {
+                int a = value[cellv1[i]];
+                int b = value[cellv2[i]];
+                int op = cellop[i];
+                if (op == '+') {
+                    value[i] = a + b;
+                } else if (op == '-') {
+                    value[i] = a - b;
+                } else if (op == '*') {
+                    value[i] = (a * b) % 100003;
+                } else {
+                    if (b == 0) { value[i] = 0; }
+                    else { value[i] = a / b; }
+                }
+            }
+            i = i + 1;
+        }
+        checksum = (checksum + value[ncells - 1]) % 1000000007;
+        r = r + 1;
+    }
+    print_intln(ncells);
+    print_intln(checksum);
+    return 0;
+}
+)ILC";
+
+// --- alvinn: MLP forward/backward FP loops ---------------------------
+
+const char *const alvinnSource = R"ILC(
+float w1[512];
+float w2[128];
+float inv[32];
+float hid[16];
+float outv[8];
+
+int main() {
+    read_all();
+    // Deterministic pseudo-random weights.
+    int i = 0;
+    int seed = 12345;
+    while (i < 512) {
+        seed = (seed * 1103515245 + 12345) % 2147483647;
+        w1[i] = (seed % 1000) / 1000.0 - 0.5;
+        i = i + 1;
+    }
+    i = 0;
+    while (i < 128) {
+        seed = (seed * 1103515245 + 12345) % 2147483647;
+        w2[i] = (seed % 1000) / 1000.0 - 0.5;
+        i = i + 1;
+    }
+
+    int pos = 0;
+    int epochs = 0;
+    float score = 0.0;
+    while (pos + 32 <= buflen) {
+        // Load one input pattern.
+        i = 0;
+        while (i < 32) {
+            inv[i] = buf[pos + i] / 255.0;
+            i = i + 1;
+        }
+        // Forward: hidden layer.
+        int h = 0;
+        while (h < 16) {
+            float sum = 0.0;
+            int k = 0;
+            while (k < 32) {
+                sum = sum + w1[h * 32 + k] * inv[k];
+                k = k + 1;
+            }
+            if (sum < 0.0) { sum = sum * 0.01; }
+            if (sum > 4.0) { sum = 4.0; }
+            hid[h] = sum;
+            h = h + 1;
+        }
+        // Forward: output layer.
+        int o = 0;
+        while (o < 8) {
+            float sum = 0.0;
+            int k = 0;
+            while (k < 16) {
+                sum = sum + w2[o * 16 + k] * hid[k];
+                k = k + 1;
+            }
+            outv[o] = sum;
+            o = o + 1;
+        }
+        // "Backward": nudge output weights toward target 0.5.
+        o = 0;
+        while (o < 8) {
+            float err = 0.5 - outv[o];
+            int k = 0;
+            while (k < 16) {
+                w2[o * 16 + k] = w2[o * 16 + k] +
+                                 0.01 * err * hid[k];
+                k = k + 1;
+            }
+            score = score + (err < 0.0 ? -err : err);
+            o = o + 1;
+        }
+        pos = pos + 32;
+        epochs = epochs + 1;
+    }
+    print_intln(epochs);
+    print_intln(score * 1000.0);
+    return 0;
+}
+)ILC";
+
+// --- ear: filter bank over a sample stream ---------------------------
+
+const char *const earSource = R"ILC(
+float state[8];
+float coefa[8] = { 0.90, 0.80, 0.70, 0.60, 0.50, 0.40, 0.30, 0.20 };
+float coefb[8] = { 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45 };
+int counts[8];
+
+int main() {
+    read_all();
+    int i = 0;
+    float energy = 0.0;
+    while (i < buflen) {
+        float x = (buf[i] - 128) / 128.0;
+        int f = 0;
+        while (f < 8) {
+            state[f] = coefa[f] * state[f] + coefb[f] * x;
+            float mag = state[f];
+            if (mag < 0.0) { mag = -mag; }
+            energy = energy + mag;
+            if (mag > 0.35) {
+                counts[f] = counts[f] + 1;
+            }
+            f = f + 1;
+        }
+        i = i + 1;
+    }
+    int f = 0;
+    while (f < 8) { print_intln(counts[f]); f = f + 1; }
+    print_intln(energy);
+    return 0;
+}
+)ILC";
+
+std::vector<Workload>
+buildSuite()
+{
+    auto make = [](const char *name, const char *paperName,
+                   const char *body,
+                   std::string (*gen)(int), int scale) {
+        Workload w;
+        w.name = name;
+        w.paperName = paperName;
+        w.source = std::string(prelude) + body;
+        w.makeInput = gen;
+        w.defaultScale = scale;
+        return w;
+    };
+
+    std::vector<Workload> suite;
+    suite.push_back(make("espresso", "008.espresso", espressoSource,
+                         makeTableInput, 2));
+    suite.push_back(make("li", "022.li", liSource, makeLispInput, 2));
+    suite.push_back(make("eqntott", "023.eqntott", eqntottSource,
+                         makeTableInput, 2));
+    suite.push_back(make("compress", "026.compress", compressSource,
+                         makeCompressInput, 2));
+    suite.push_back(make("alvinn", "052.alvinn", alvinnSource,
+                         makeSignalInput, 2));
+    suite.push_back(make("ear", "056.ear", earSource,
+                         makeSignalInput, 2));
+    suite.push_back(make("sc", "072.sc", scSource,
+                         makeSheetInput, 2));
+    suite.push_back(make("cccp", "cccp", cccpSource,
+                         makeCodeInput, 2));
+    suite.push_back(make("cmp", "cmp", cmpSource, makeCmpInput, 2));
+    suite.push_back(make("eqn", "eqn", eqnSource,
+                         makeCodeInput, 2));
+    suite.push_back(make("grep", "grep", grepSource,
+                         makeGrepInput, 2));
+    suite.push_back(make("lex", "lex", lexSource,
+                         makeCodeInput, 2));
+    suite.push_back(make("qsort", "qsort", qsortSource,
+                         makeNumbersInput, 2));
+    suite.push_back(make("wc", "wc", wcSource, makeTextInput, 2));
+    suite.push_back(make("yacc", "yacc", yaccSource,
+                         makeCodeInput, 2));
+    return suite;
+}
+
+} // namespace
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> suite = buildSuite();
+    return suite;
+}
+
+const Workload *
+findWorkload(const std::string &name)
+{
+    for (const auto &w : allWorkloads()) {
+        if (w.name == name)
+            return &w;
+    }
+    return nullptr;
+}
+
+} // namespace predilp

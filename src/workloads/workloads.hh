@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The benchmark suite: ILC reimplementations of the kernels of the
+ * paper's fifteen benchmarks (§4.1) plus deterministic synthetic
+ * input generators. Each program reads its input via getc into a
+ * buffer (as buffered stdio would), runs its control-intensive
+ * kernel, and prints small results so outputs can be compared
+ * across processor models.
+ */
+
+#ifndef PREDILP_WORKLOADS_WORKLOADS_HH
+#define PREDILP_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+namespace predilp
+{
+
+/** One benchmark program. */
+struct Workload
+{
+    std::string name;      ///< short name used in tables ("wc").
+    std::string paperName; ///< the paper's benchmark it stands for.
+    std::string source;    ///< complete ILC program text.
+    int defaultScale = 1;  ///< input scale for the paper tables.
+
+    /** Generate the deterministic input stream at @p scale. */
+    std::string (*makeInput)(int scale) = nullptr;
+
+    /** Input at the benchmark's default scale. */
+    std::string
+    input() const
+    {
+        return makeInput(defaultScale);
+    }
+};
+
+/** The full suite, in the paper's table order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Find one workload by name; nullptr when absent. */
+const Workload *findWorkload(const std::string &name);
+
+// --- input generators (exposed for tests) ---
+
+/** English-like word/line text. */
+std::string makeTextInput(int scale);
+
+/** Text where the grep pattern appears rarely. */
+std::string makeGrepInput(int scale);
+
+/** Two nearly identical streams concatenated (for cmp). */
+std::string makeCmpInput(int scale);
+
+/** Whitespace-separated decimal numbers (for qsort). */
+std::string makeNumbersInput(int scale);
+
+/** Moderately repetitive bytes (for compress). */
+std::string makeCompressInput(int scale);
+
+/** Ternary truth-table rows (for eqntott/espresso). */
+std::string makeTableInput(int scale);
+
+/** Source-code-like text (for cccp/eqn/lex/yacc). */
+std::string makeCodeInput(int scale);
+
+/** Byte stream driving the FP benchmarks (alvinn/ear). */
+std::string makeSignalInput(int scale);
+
+/** Cell definitions for the spreadsheet benchmark (sc). */
+std::string makeSheetInput(int scale);
+
+/** Bytecode program + operands for the interpreter (li). */
+std::string makeLispInput(int scale);
+
+} // namespace predilp
+
+#endif // PREDILP_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,358 @@
+/**
+ * @file
+ * End-to-end frontend tests: compile ILC source to IR, verify the IR,
+ * execute it with the emulator, and check results — the frontend's
+ * correctness oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "support/logging.hh"
+#include "frontend/irgen.hh"
+#include "ir/verifier.hh"
+
+namespace predilp
+{
+namespace
+{
+
+RunResult
+compileAndRun(const std::string &source, const std::string &input = "")
+{
+    auto prog = compileSource(source);
+    std::string err = verifyProgram(*prog);
+    EXPECT_EQ(err, "");
+    Emulator emu(*prog);
+    return emu.run(input);
+}
+
+TEST(IrGenExec, ReturnConstant)
+{
+    EXPECT_EQ(compileAndRun("int main() { return 42; }").exitValue,
+              42);
+}
+
+TEST(IrGenExec, ArithmeticPrecedence)
+{
+    EXPECT_EQ(
+        compileAndRun("int main() { return 2 + 3 * 4 - 6 / 2; }")
+            .exitValue,
+        11);
+    EXPECT_EQ(compileAndRun(
+                  "int main() { return (2 + 3) * (4 - 6) / 2; }")
+                  .exitValue,
+              -5);
+    EXPECT_EQ(compileAndRun("int main() { return 17 % 5; }")
+                  .exitValue,
+              2);
+}
+
+TEST(IrGenExec, BitwiseAndShifts)
+{
+    EXPECT_EQ(compileAndRun("int main() { return (0xF0 | 0x0C) & "
+                            "~0x08; }")
+                  .exitValue,
+              0xF4);
+    EXPECT_EQ(compileAndRun("int main() { return (1 << 10) >> 3; }")
+                  .exitValue,
+              128);
+    EXPECT_EQ(compileAndRun("int main() { return (0-16) >> 2; }")
+                  .exitValue,
+              -4);
+}
+
+TEST(IrGenExec, LocalsAndAssignment)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int a = 3;
+            int b = a + 4;
+            a = b * 2;
+            a += 5;
+            a -= 1;
+            return a;
+        }
+    )")
+                  .exitValue,
+              18);
+}
+
+TEST(IrGenExec, GlobalScalarPersistsAcrossCalls)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int counter = 10;
+        void bump() { counter = counter + 7; }
+        int main() { bump(); bump(); return counter; }
+    )")
+                  .exitValue,
+              24);
+}
+
+TEST(IrGenExec, ArraysIntByteFloat)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int nums[8];
+        byte bytes[8];
+        float reals[4];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { nums[i] = i * i; }
+            for (i = 0; i < 8; i = i + 1) { bytes[i] = 250 + i; }
+            reals[1] = 2.5;
+            reals[2] = reals[1] * 2.0;
+            // bytes are unsigned: bytes[7] == 257 & 0xff == 1
+            return nums[7] + bytes[7] + (reals[2] > 4.9 ? 100 : 0);
+        }
+    )")
+                  .exitValue,
+              49 + 1 + 100);
+}
+
+TEST(IrGenExec, GlobalInitializers)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int tbl[5] = {10, 20, 30, 40, 50};
+        byte msg[] = "AB";
+        float w[2] = {1.5, -0.5};
+        int main() {
+            return tbl[3] + msg[0] + msg[2] +
+                   (w[0] + w[1] == 1.0 ? 1 : 0);
+        }
+    )")
+                  .exitValue,
+              40 + 65 + 0 + 1);
+}
+
+TEST(IrGenExec, ShortCircuitEvaluation)
+{
+    // The right operand of && must not execute when the left is
+    // false; side effects prove it.
+    EXPECT_EQ(compileAndRun(R"(
+        int calls = 0;
+        int bump() { calls = calls + 1; return 1; }
+        int main() {
+            int x = 0;
+            if (x != 0 && bump()) { return 999; }
+            if (x == 0 || bump()) { }
+            return calls;
+        }
+    )")
+                  .exitValue,
+              0);
+}
+
+TEST(IrGenExec, LogicalValueMaterialization)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int a = 5, b = 0;
+            int x = (a > 3) && (b == 0);
+            int y = (a < 3) || (b != 0);
+            return x * 10 + y;
+        }
+    )")
+                  .exitValue,
+              10);
+}
+
+TEST(IrGenExec, TernaryValues)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int a = 7;
+            float f = a > 5 ? 1.5 : 2.5;
+            int x = a % 2 == 1 ? 100 : 200;
+            return x + (f < 2.0 ? 1 : 2);
+        }
+    )")
+                  .exitValue,
+              101);
+}
+
+TEST(IrGenExec, WhileForDoBreakContinue)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int sum = 0;
+            int i = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 10) break;
+                if (i % 2 == 0) continue;
+                sum = sum + i;   // 1+3+5+7+9 = 25
+            }
+            for (int j = 0; j < 5; j = j + 1) { sum = sum + 1; }
+            int k = 0;
+            do { k = k + 1; } while (k < 3);
+            return sum + k;      // 25 + 5 + 3
+        }
+    )")
+                  .exitValue,
+              33);
+}
+
+TEST(IrGenExec, NestedLoopsAndScopes)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int total = 0;
+            for (int i = 0; i < 4; i = i + 1) {
+                for (int j = 0; j < i; j = j + 1) {
+                    int i2 = i * j;
+                    total = total + i2;
+                }
+            }
+            return total; // sum over i<4, j<i of i*j = 0+1+ (2+4) + (3+6+9)... wait
+        }
+    )")
+                  .exitValue,
+              0 + (1 * 0) + (2 * 0 + 2 * 1) + (3 * 0 + 3 * 1 + 3 * 2));
+}
+
+TEST(IrGenExec, FunctionsAndRecursion)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(15); }
+    )")
+                  .exitValue,
+              610);
+}
+
+TEST(IrGenExec, FloatParamsAndConversions)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        float scale(float x, int k) { return x * k; }
+        int main() {
+            float r = scale(1.25, 4);  // 5.0
+            int t = r;                  // cvt_fi -> 5
+            return t + (r == 5.0 ? 10 : 0);
+        }
+    )")
+                  .exitValue,
+              15);
+}
+
+TEST(IrGenExec, GetcPutcEcho)
+{
+    RunResult r = compileAndRun(R"(
+        int main() {
+            int c = getc();
+            while (c >= 0) {
+                putc(c);
+                c = getc();
+            }
+            return 0;
+        }
+    )",
+                                "echo me!");
+    EXPECT_EQ(r.output, "echo me!");
+}
+
+TEST(IrGenExec, WcStyleKernel)
+{
+    // A miniature of the paper's wc benchmark: count lines, words,
+    // chars.
+    RunResult r = compileAndRun(R"(
+        int main() {
+            int lines = 0, words = 0, chars = 0, inword = 0;
+            int c = getc();
+            while (c >= 0) {
+                chars = chars + 1;
+                if (c == '\n') lines = lines + 1;
+                if (c == ' ' || c == '\n' || c == '\t') {
+                    inword = 0;
+                } else {
+                    if (inword == 0) words = words + 1;
+                    inword = 1;
+                }
+                c = getc();
+            }
+            return lines * 10000 + words * 100 + chars;
+        }
+    )",
+                                "one two\nthree four five\n");
+    EXPECT_EQ(r.exitValue, 2 * 10000 + 5 * 100 + 24);
+}
+
+TEST(IrGenExec, UnaryOperators)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            int a = 5;
+            float f = 2.5;
+            return -a + ~a + !a + !!a + (-f < 0.0 ? 1 : 0);
+        }
+    )")
+                  .exitValue,
+              -5 + ~5 + 0 + 1 + 1);
+}
+
+TEST(IrGenExec, VoidFunctionsAndEarlyReturn)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int log[4];
+        void record(int i, int v) {
+            if (i < 0) return;
+            if (i >= 4) return;
+            log[i] = v;
+        }
+        int main() {
+            record(0, 5);
+            record(9, 100);
+            record(0-1, 100);
+            record(3, 7);
+            return log[0] + log[3];
+        }
+    )")
+                  .exitValue,
+              12);
+}
+
+TEST(IrGenExec, SemanticErrors)
+{
+    EXPECT_THROW(compileSource("int main() { return x; }"),
+                 FatalError);
+    EXPECT_THROW(compileSource("int main() { foo(); }"), FatalError);
+    EXPECT_THROW(
+        compileSource("int f(int a) { return 0; } "
+                      "int main() { return f(); }"),
+        FatalError);
+    EXPECT_THROW(
+        compileSource("void f() {} int main() { return f(); }"),
+        FatalError);
+    EXPECT_THROW(compileSource("int a; int a; int main() {}"),
+                 FatalError);
+    EXPECT_THROW(
+        compileSource("int main() { int a; int a; return 0; }"),
+        FatalError);
+    EXPECT_THROW(compileSource("int t[2]; int main() { return t; }"),
+                 FatalError);
+    EXPECT_THROW(compileSource("void f() { return 1; } int main(){}"),
+                 FatalError);
+    EXPECT_THROW(compileSource("int main() { break; }"), FatalError);
+}
+
+TEST(IrGenExec, DeadCodeAfterReturnIsTolerated)
+{
+    EXPECT_EQ(compileAndRun(R"(
+        int main() {
+            return 1;
+            return 2;
+        }
+    )")
+                  .exitValue,
+              1);
+}
+
+TEST(IrGenExec, MainImplicitReturn)
+{
+    EXPECT_EQ(compileAndRun("int main() { int a = 5; }").exitValue, 0);
+}
+
+} // namespace
+} // namespace predilp

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(Lexer, KeywordsAndIdents)
+{
+    auto toks = lex("int foo while whilex");
+    ASSERT_EQ(toks.size(), 5u); // incl. End.
+    EXPECT_EQ(toks[0].kind, Tok::KwInt);
+    EXPECT_EQ(toks[1].kind, Tok::Ident);
+    EXPECT_EQ(toks[1].text, "foo");
+    EXPECT_EQ(toks[2].kind, Tok::KwWhile);
+    EXPECT_EQ(toks[3].kind, Tok::Ident);
+    EXPECT_EQ(toks[3].text, "whilex");
+    EXPECT_EQ(toks[4].kind, Tok::End);
+}
+
+TEST(Lexer, IntFloatHexCharLiterals)
+{
+    auto toks = lex("42 0x1F 3.5 1e3 'a' '\\n' '\\0'");
+    EXPECT_EQ(toks[0].kind, Tok::IntLit);
+    EXPECT_EQ(toks[0].intValue, 42);
+    EXPECT_EQ(toks[1].intValue, 31);
+    EXPECT_EQ(toks[2].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[2].floatValue, 3.5);
+    EXPECT_EQ(toks[3].kind, Tok::FloatLit);
+    EXPECT_DOUBLE_EQ(toks[3].floatValue, 1000.0);
+    EXPECT_EQ(toks[4].intValue, 'a');
+    EXPECT_EQ(toks[5].intValue, '\n');
+    EXPECT_EQ(toks[6].intValue, 0);
+}
+
+TEST(Lexer, OperatorsGreedy)
+{
+    auto toks = lex("<= < << >> >= == = != ! && & || | += -=");
+    std::vector<Tok> kinds;
+    for (const auto &t : toks)
+        kinds.push_back(t.kind);
+    std::vector<Tok> expected = {
+        Tok::Le, Tok::Lt, Tok::Shl, Tok::Shr, Tok::Ge, Tok::Eq,
+        Tok::Assign, Tok::Ne, Tok::Not, Tok::AmpAmp, Tok::Amp,
+        Tok::PipePipe, Tok::Pipe, Tok::PlusAssign, Tok::MinusAssign,
+        Tok::End};
+    EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsSkipped)
+{
+    auto toks = lex("a // line comment\n b /* block\n comment */ c");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0].text, "a");
+    EXPECT_EQ(toks[1].text, "b");
+    EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, TracksLineNumbers)
+{
+    auto toks = lex("a\nb\n\nc");
+    EXPECT_EQ(toks[0].line, 1);
+    EXPECT_EQ(toks[1].line, 2);
+    EXPECT_EQ(toks[2].line, 4);
+}
+
+TEST(Lexer, StringLiteralWithEscapes)
+{
+    auto toks = lex("\"ab\\n\\t\\\\\"");
+    ASSERT_EQ(toks[0].kind, Tok::StrLit);
+    EXPECT_EQ(toks[0].text, "ab\n\t\\");
+}
+
+TEST(Lexer, ErrorsHaveLineNumbers)
+{
+    try {
+        lex("a\nb\n$");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 3"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(lex("'unterminated"), FatalError);
+    EXPECT_THROW(lex("\"unterminated"), FatalError);
+    EXPECT_THROW(lex("/* unterminated"), FatalError);
+}
+
+} // namespace
+} // namespace predilp

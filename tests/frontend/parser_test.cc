@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(Parser, GlobalScalarAndArrays)
+{
+    Unit unit = parseUnit(R"(
+        int counter = 5;
+        int table[4] = {1, 2, 3, 4};
+        byte buf[256];
+        byte msg[] = "hi";
+        float weights[2] = {0.5, -1.5};
+    )");
+    ASSERT_EQ(unit.globals.size(), 5u);
+    EXPECT_EQ(unit.globals[0].name, "counter");
+    EXPECT_FALSE(unit.globals[0].isArray);
+    ASSERT_EQ(unit.globals[0].initInts.size(), 1u);
+    EXPECT_EQ(unit.globals[0].initInts[0], 5);
+
+    EXPECT_TRUE(unit.globals[1].isArray);
+    EXPECT_EQ(unit.globals[1].count, 4);
+    EXPECT_EQ(unit.globals[1].initInts.size(), 4u);
+
+    EXPECT_EQ(unit.globals[2].count, 256);
+    EXPECT_TRUE(unit.globals[2].initInts.empty());
+
+    // "hi" + NUL
+    EXPECT_EQ(unit.globals[3].count, 3);
+    EXPECT_EQ(unit.globals[3].initInts[0], 'h');
+
+    EXPECT_EQ(unit.globals[4].elemType, Ty::Float);
+    EXPECT_DOUBLE_EQ(unit.globals[4].initFloats[1], -1.5);
+}
+
+TEST(Parser, FunctionSignature)
+{
+    Unit unit = parseUnit(R"(
+        float mix(int a, float b) { return b; }
+        void nothing() { }
+    )");
+    ASSERT_EQ(unit.functions.size(), 2u);
+    const FuncDecl &mix = unit.functions[0];
+    EXPECT_EQ(mix.retType, Ty::Float);
+    ASSERT_EQ(mix.params.size(), 2u);
+    EXPECT_EQ(mix.params[0].type, Ty::Int);
+    EXPECT_EQ(mix.params[1].type, Ty::Float);
+    EXPECT_EQ(unit.functions[1].retType, Ty::Void);
+}
+
+TEST(Parser, PrecedenceShapesTree)
+{
+    Unit unit = parseUnit("int main() { return 1 + 2 * 3; }");
+    const Stmt &body = *unit.functions[0].body;
+    ASSERT_EQ(body.body.size(), 1u);
+    const Expr &ret = *body.body[0]->expr;
+    ASSERT_EQ(ret.kind, Expr::Kind::Binary);
+    EXPECT_EQ(ret.op, Tok::Plus);
+    EXPECT_EQ(ret.kids[1]->op, Tok::Star);
+}
+
+TEST(Parser, TernaryAndAssignAreRightAssociative)
+{
+    Unit unit =
+        parseUnit("int main() { int a; int b; a = b = 1; return "
+                  "a ? 1 : b ? 2 : 3; }");
+    const Stmt &body = *unit.functions[0].body;
+    const Expr &assign = *body.body[2]->expr;
+    EXPECT_EQ(assign.kind, Expr::Kind::Assign);
+    EXPECT_EQ(assign.kids[1]->kind, Expr::Kind::Assign);
+    const Expr &ret = *body.body[3]->expr;
+    EXPECT_EQ(ret.kind, Expr::Kind::Ternary);
+    EXPECT_EQ(ret.kids[2]->kind, Expr::Kind::Ternary);
+}
+
+TEST(Parser, ControlFlowForms)
+{
+    Unit unit = parseUnit(R"(
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) { }
+            while (i > 0) { i = i - 1; if (i == 3) break; }
+            do { i = i + 1; } while (i < 2);
+            if (i) return 1; else return 0;
+        }
+    )");
+    const Stmt &body = *unit.functions[0].body;
+    ASSERT_EQ(body.body.size(), 5u);
+    EXPECT_EQ(body.body[1]->kind, Stmt::Kind::For);
+    EXPECT_EQ(body.body[2]->kind, Stmt::Kind::While);
+    EXPECT_EQ(body.body[3]->kind, Stmt::Kind::DoWhile);
+    EXPECT_EQ(body.body[4]->kind, Stmt::Kind::If);
+    EXPECT_EQ(body.body[4]->body.size(), 2u);
+}
+
+TEST(Parser, ForWithDeclInit)
+{
+    Unit unit = parseUnit(
+        "int main() { for (int i = 0; i < 3; i += 1) { } return 0; }");
+    const Stmt &forStmt = *unit.functions[0].body->body[0];
+    ASSERT_EQ(forStmt.kind, Stmt::Kind::For);
+    const Stmt &init = *forStmt.body[0];
+    EXPECT_EQ(init.kind, Stmt::Kind::Block);
+    EXPECT_EQ(init.body[0]->kind, Stmt::Kind::VarDecl);
+    ASSERT_NE(forStmt.step, nullptr);
+    EXPECT_EQ(forStmt.step->kind, Expr::Kind::Assign);
+}
+
+TEST(Parser, MultiDeclaratorExpands)
+{
+    Unit unit = parseUnit("int main() { int a = 1, b, c = 3; return "
+                          "a + b + c; }");
+    const Stmt &body = *unit.functions[0].body;
+    ASSERT_EQ(body.body.size(), 4u);
+    EXPECT_EQ(body.body[0]->name, "a");
+    EXPECT_EQ(body.body[1]->name, "b");
+    EXPECT_EQ(body.body[1]->expr, nullptr);
+    EXPECT_EQ(body.body[2]->name, "c");
+}
+
+TEST(Parser, IndexAndCallPostfix)
+{
+    Unit unit = parseUnit(R"(
+        int tbl[4];
+        int f(int x) { return x; }
+        int main() { return f(tbl[2]) + tbl[f(1)]; }
+    )");
+    const Expr &ret = *unit.functions[1].body->body[0]->expr;
+    EXPECT_EQ(ret.kids[0]->kind, Expr::Kind::Call);
+    EXPECT_EQ(ret.kids[0]->kids[0]->kind, Expr::Kind::Index);
+    EXPECT_EQ(ret.kids[1]->kind, Expr::Kind::Index);
+}
+
+TEST(Parser, SyntaxErrorsReportLines)
+{
+    try {
+        parseUnit("int main() {\n  return 1 +;\n}");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("line 2"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parseUnit("int main() { 1 = 2; }"), FatalError);
+    EXPECT_THROW(parseUnit("byte b;"), FatalError);
+    EXPECT_THROW(parseUnit("int a[];"), FatalError);
+    EXPECT_THROW(parseUnit("int f(byte x) { }"), FatalError);
+}
+
+} // namespace
+} // namespace predilp

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Unit tests for hyperblock formation, if-conversion semantics,
+ * predicate promotion, control height reduction, and exit branch
+ * combining.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "frontend/irgen.hh"
+#include "hyperblock/hyperblock.hh"
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+#include "opt/passes.hh"
+
+namespace predilp
+{
+namespace
+{
+
+struct Formed
+{
+    std::unique_ptr<Program> prog;
+    HyperblockStats stats;
+    std::string referenceOutput;
+    std::int64_t reference = 0;
+    ProgramProfile profile;
+
+    explicit Formed(const std::string &source,
+                    const std::string &input = "",
+                    HyperblockOptions opts = {})
+    {
+        prog = compileSource(source);
+        optimizeProgram(*prog);
+        {
+            Emulator emu(*prog);
+            RunResult r = emu.run(input);
+            reference = r.exitValue;
+            referenceOutput = r.output;
+        }
+        profile = ProgramProfile(*prog);
+        EmuOptions eo;
+        eo.profile = &profile;
+        {
+            Emulator emu(*prog);
+            emu.run(input, eo);
+        }
+        stats = formHyperblocks(*prog, profile, opts);
+        EXPECT_EQ(verifyProgram(*prog), "");
+    }
+
+    std::int64_t
+    result(const std::string &input = "")
+    {
+        Emulator emu(*prog);
+        RunResult r = emu.run(input);
+        EXPECT_EQ(r.output, referenceOutput);
+        return r.exitValue;
+    }
+
+    int
+    countGuarded()
+    {
+        int count = 0;
+        for (auto &fn : prog->functions()) {
+            for (BlockId id : fn->layout()) {
+                for (const auto &instr :
+                     fn->block(id)->instrs()) {
+                    if (instr.guarded())
+                        count += 1;
+                }
+            }
+        }
+        return count;
+    }
+};
+
+const char *const diamondLoop = R"(
+    int main() {
+        int j = 0, k = 0;
+        for (int i = 0; i < 600; i = i + 1) {
+            if ((i & 3) == 0) { j = j + 1; }
+            else { k = k + 2; }
+        }
+        return j * 10000 + k;
+    }
+)";
+
+TEST(Hyperblock, IfConvertsDiamondLoop)
+{
+    Formed f(diamondLoop);
+    EXPECT_GE(f.stats.hyperblocksFormed, 1);
+    EXPECT_GE(f.stats.branchesRemoved, 1);
+    EXPECT_GE(f.stats.predDefinesInserted, 1);
+    EXPECT_GT(f.countGuarded(), 0);
+    EXPECT_EQ(f.result(), 150 * 10000 + 450 * 2);
+}
+
+TEST(Hyperblock, OrTypeForShortCircuit)
+{
+    // The Figure 1 shape: (a || b) needs an OR-type predicate.
+    Formed f(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 300; i = i + 1) {
+                if ((i & 1) == 0 || (i % 3) == 0) { n = n + 1; }
+            }
+            return n;
+        }
+    )");
+    bool hasOr = false;
+    for (auto &fn : f.prog->functions()) {
+        for (BlockId id : fn->layout()) {
+            for (const auto &instr : fn->block(id)->instrs()) {
+                for (const auto &pd : instr.predDests()) {
+                    if (pd.type == PredType::Or)
+                        hasOr = true;
+                }
+            }
+        }
+    }
+    EXPECT_TRUE(hasOr);
+    EXPECT_EQ(f.result(), 200);
+}
+
+TEST(Hyperblock, CallBlocksStayOutside)
+{
+    Formed f(R"(
+        int slowpath(int v) { return v * 3; }
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 300; i = i + 1) {
+                if (i % 64 == 0) { s = s + slowpath(i); }
+                else { s = s + 1; }
+            }
+            return s;
+        }
+    )");
+    // The call must survive unguarded.
+    for (auto &fn : f.prog->functions()) {
+        for (BlockId id : fn->layout()) {
+            for (const auto &instr : fn->block(id)->instrs()) {
+                if (instr.isCall()) {
+                    EXPECT_FALSE(instr.guarded());
+                }
+            }
+        }
+    }
+    EXPECT_EQ(f.result(), (0 + 64 + 128 + 192 + 256) * 3 + 295);
+}
+
+TEST(Hyperblock, TailDuplicationRemovesSideEntrances)
+{
+    // A cold arm feeding the hot join forces duplication (the wc
+    // maxline pattern).
+    Formed f(R"(
+        int main() {
+            int s = 0, max = 0, run = 0;
+            for (int i = 0; i < 2000; i = i + 1) {
+                if ((i & 255) == 255) {
+                    if (run > max) { max = run; }   // very cold.
+                    run = 0;
+                } else {
+                    run = run + 1;
+                }
+                s = s + 1;
+            }
+            return max * 100000 + s;
+        }
+    )");
+    EXPECT_GE(f.stats.hyperblocksFormed, 1);
+    EXPECT_EQ(f.result(), 255 * 100000 + 2000);
+}
+
+TEST(Hyperblock, NullificationObservedAtRuntime)
+{
+    Formed f(diamondLoop);
+    struct Sink : TraceSink
+    {
+        std::uint64_t nullified = 0;
+        void
+        onInstr(const DynRecord &rec) override
+        {
+            nullified += rec.nullified ? 1 : 0;
+        }
+    } sink;
+    EmuOptions opts;
+    opts.sink = &sink;
+    Emulator emu(*f.prog);
+    emu.run("", opts);
+    EXPECT_GT(sink.nullified, 0u);
+}
+
+TEST(Promotion, RemovesGuardsFromTemporaries)
+{
+    // Build Figure 2 by hand inside a hyperblock-marked block.
+    Program prog;
+    std::int64_t addr = prog.allocGlobal("x", 8, 8, false);
+    Function *fn = prog.newFunction("main");
+    fn->setRetKind(RetKind::Int);
+    IRBuilder b(fn);
+    BasicBlock *bb = b.startBlock();
+    bb->setKind(BlockKind::Hyperblock);
+    Reg pin = fn->newPredReg();
+    Reg t1 = fn->newIntReg();
+    Reg t2 = fn->newIntReg();
+    Reg y = fn->newIntReg();
+    b.predDefine(Opcode::PredNe, PredDest{pin, PredType::U},
+                 Operand::imm(1), Operand::imm(0));
+    b.load(Opcode::Ld, t1, Operand::imm(addr), Operand::imm(0))
+        .setGuard(pin);
+    b.emit(Opcode::Mul, t2, Operand(t1), Operand::imm(2))
+        .setGuard(pin);
+    b.emit(Opcode::Add, y, Operand(t2), Operand::imm(3))
+        .setGuard(pin);
+    b.ret(Operand(y));
+
+    int promoted = promotePredicates(*fn);
+    // Figure 2: the load and the multiply promote; the final add
+    // (whose destination is live out) keeps its guard.
+    EXPECT_EQ(promoted, 2);
+    const auto &instrs = bb->instrs();
+    EXPECT_FALSE(instrs[1].guarded());
+    EXPECT_TRUE(instrs[1].speculative()); // silent load.
+    EXPECT_FALSE(instrs[2].guarded());
+    EXPECT_TRUE(instrs[3].guarded());
+}
+
+TEST(Promotion, RefusesWhenUsedUnderOtherGuard)
+{
+    Program prog;
+    Function *fn = prog.newFunction("main");
+    fn->setRetKind(RetKind::Int);
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p = fn->newPredReg();
+    Reg q = fn->newPredReg();
+    Reg t = fn->newIntReg();
+    Reg y = fn->newIntReg();
+    b.predDefine2(Opcode::PredNe, PredDest{p, PredType::U},
+                  PredDest{q, PredType::UBar}, Operand::imm(1),
+                  Operand::imm(0));
+    b.mov(y, Operand::imm(9));
+    b.emit(Opcode::Add, t, Operand::imm(1), Operand::imm(2))
+        .setGuard(p);
+    b.emit(Opcode::Add, y, Operand(t), Operand::imm(0))
+        .setGuard(q); // different guard: t must stay guarded.
+    b.ret(Operand(y));
+
+    EXPECT_EQ(promotePredicates(*fn), 0);
+}
+
+TEST(HeightReduction, ParallelizesOrChains)
+{
+    Formed f(R"(
+        int main() {
+            int n = 0;
+            for (int i = 0; i < 400; i = i + 1) {
+                int c = i & 255;
+                if (c == 32 || c == 10 || c == 9 || c == 13) {
+                    n = n + 1;
+                }
+            }
+            return n;
+        }
+    )");
+    std::int64_t expected = f.reference;
+    int reduced = reducePredicateHeight(*f.prog);
+    EXPECT_GE(reduced, 1);
+    EXPECT_EQ(verifyProgram(*f.prog), "");
+    EXPECT_EQ(f.result(), expected);
+
+    // After reduction, several defines share an unguarded Pin and
+    // accumulate into the same OR register.
+    int orDefines = 0;
+    for (auto &fn : f.prog->functions()) {
+        for (BlockId id : fn->layout()) {
+            for (const auto &instr : fn->block(id)->instrs()) {
+                if (!instr.isPredDefine() || instr.guarded())
+                    continue;
+                for (const auto &pd : instr.predDests()) {
+                    if (pd.type == PredType::Or)
+                        orDefines += 1;
+                }
+            }
+        }
+    }
+    EXPECT_GE(orDefines, 3);
+}
+
+TEST(BranchCombine, MergesUnlikelyExits)
+{
+    // grep-shaped loop: several very rarely taken exits.
+    Formed f(R"(
+        int main() {
+            int i = 0;
+            int found = 0;
+            while (i < 5000) {
+                int c = (i * 37 + 11) & 1023;
+                if (c == 1021) { found = found + 1; }
+                if (c == 1022) { found = found + 2; }
+                if (c == 1023) { found = found + 3; }
+                i = i + 1;
+            }
+            return found * 10 + 1;
+        }
+    )");
+    std::int64_t expected = f.reference;
+    FunctionProfile *fp = &f.profile.forFunction("main");
+    int combined = combineExitBranches(
+        *f.prog->function("main"), *fp);
+    EXPECT_EQ(verifyProgram(*f.prog), "");
+    EXPECT_EQ(f.result(), expected);
+    (void)combined; // combining depends on formation shape.
+}
+
+TEST(Hyperblock, SaturationExcludesFatColdArms)
+{
+    HyperblockOptions opts;
+    opts.saturationFactor = 1.05; // almost no slack.
+    Formed f(R"(
+        int main() {
+            int s = 0;
+            for (int i = 0; i < 500; i = i + 1) {
+                if (i % 2 == 0) {
+                    s = s + i * 3 + (i >> 1) - (i & 7)
+                          + i * 5 - (i >> 3) + (i & 15)
+                          + i * 7 - (i >> 2) + (i & 31);
+                } else {
+                    s = s + 1;
+                }
+            }
+            return s & 0xFFFFFF;
+        }
+    )",
+             "", opts);
+    // With such a tight budget the 50%-taken fat arm stays out, but
+    // semantics hold regardless.
+    EXPECT_EQ(f.result(), f.reference);
+}
+
+} // namespace
+} // namespace predilp

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ir/builder.hh"
+#include "support/logging.hh"
+#include "ir/printer.hh"
+#include "ir/program.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(Reg, BasicsAndOrdering)
+{
+    Reg invalid;
+    EXPECT_FALSE(invalid.valid());
+    EXPECT_EQ(invalid.toString(), "-");
+
+    Reg r3 = intReg(3);
+    Reg f1 = floatReg(1);
+    Reg p0 = predReg(0);
+    EXPECT_EQ(r3.toString(), "r3");
+    EXPECT_EQ(f1.toString(), "f1");
+    EXPECT_EQ(p0.toString(), "p0");
+    EXPECT_TRUE(intReg(3) == r3);
+    EXPECT_TRUE(intReg(2) < intReg(3));
+    EXPECT_TRUE(r3 != f1);
+}
+
+TEST(Operand, KindsAndEquality)
+{
+    Operand none;
+    EXPECT_TRUE(none.isNone());
+    Operand r(intReg(5));
+    EXPECT_TRUE(r.isReg());
+    Operand i = Operand::imm(-7);
+    EXPECT_TRUE(i.isImm());
+    EXPECT_EQ(i.immValue(), -7);
+    Operand f = Operand::fimm(2.5);
+    EXPECT_TRUE(f.isFImm());
+    EXPECT_EQ(f.fimmValue(), 2.5);
+    EXPECT_TRUE(i == Operand::imm(-7));
+    EXPECT_FALSE(i == Operand::imm(7));
+    EXPECT_FALSE(i == r);
+}
+
+TEST(OpcodeInfo, Classification)
+{
+    EXPECT_TRUE(opcodeInfo(Opcode::Beq).isCondBranch);
+    EXPECT_TRUE(opcodeInfo(Opcode::Ld).isLoad);
+    EXPECT_TRUE(opcodeInfo(Opcode::St).isStore);
+    EXPECT_TRUE(opcodeInfo(Opcode::PredEq).isPredDefine);
+    EXPECT_TRUE(opcodeInfo(Opcode::PredClear).isPredAll);
+    EXPECT_TRUE(opcodeInfo(Opcode::CMov).isCondMove);
+    EXPECT_TRUE(opcodeInfo(Opcode::Select).isSelect);
+    EXPECT_TRUE(opcodeInfo(Opcode::Div).canTrap);
+    EXPECT_FALSE(opcodeInfo(Opcode::Add).canTrap);
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Call));
+    EXPECT_TRUE(isControl(Opcode::Ret));
+    EXPECT_FALSE(isControl(Opcode::Add));
+}
+
+TEST(OpcodeInfo, ConditionEvaluation)
+{
+    EXPECT_TRUE(evalIntCondition(Opcode::Beq, 4, 4));
+    EXPECT_FALSE(evalIntCondition(Opcode::Beq, 4, 5));
+    EXPECT_TRUE(evalIntCondition(Opcode::Blt, -1, 0));
+    EXPECT_TRUE(evalIntCondition(Opcode::CmpLtu, 1, -1)); // unsigned
+    EXPECT_FALSE(evalIntCondition(Opcode::CmpLt, 1, -1));
+    EXPECT_TRUE(evalFloatCondition(Opcode::FCmpLe, 1.0, 1.0));
+    EXPECT_FALSE(evalFloatCondition(Opcode::FCmpGt, 1.0, 1.0));
+}
+
+TEST(OpcodeInfo, ConditionMappings)
+{
+    EXPECT_EQ(branchToCompare(Opcode::Blt), Opcode::CmpLt);
+    EXPECT_EQ(branchToPredDefine(Opcode::Bge), Opcode::PredGe);
+    EXPECT_EQ(predDefineToCompare(Opcode::PredNe), Opcode::CmpNe);
+    EXPECT_EQ(invertCompare(Opcode::CmpLt), Opcode::CmpGe);
+    EXPECT_EQ(invertCompare(Opcode::FCmpEq), Opcode::FCmpNe);
+    EXPECT_EQ(invertBranch(Opcode::Ble), Opcode::Bgt);
+    EXPECT_THROW(branchToCompare(Opcode::Add), PanicError);
+}
+
+TEST(Function, BlocksAndRegisters)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    BasicBlock *b0 = fn->newBlock("start");
+    BasicBlock *b1 = fn->newBlock();
+    EXPECT_EQ(fn->entry(), b0);
+    EXPECT_EQ(fn->block(b1->id()), b1);
+    EXPECT_EQ(fn->layout().size(), 2u);
+
+    Reg r0 = fn->newIntReg();
+    Reg r1 = fn->newIntReg();
+    Reg f0 = fn->newFloatReg();
+    Reg p0 = fn->newPredReg();
+    EXPECT_EQ(r0.idx(), 0);
+    EXPECT_EQ(r1.idx(), 1);
+    EXPECT_EQ(f0.cls(), RegClass::Float);
+    EXPECT_EQ(p0.cls(), RegClass::Pred);
+    EXPECT_EQ(fn->numIntRegs(), 2);
+}
+
+TEST(Function, PruneUnreachable)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *entry = b.startBlock();
+    BasicBlock *live = fn->newBlock();
+    BasicBlock *dead = fn->newBlock();
+    b.setBlock(entry);
+    b.jump(live->id());
+    b.setBlock(live);
+    b.ret();
+    b.setBlock(dead);
+    b.ret();
+
+    fn->pruneUnreachable();
+    EXPECT_EQ(fn->layout().size(), 2u);
+    for (BlockId id : fn->layout())
+        EXPECT_NE(id, dead->id());
+}
+
+TEST(Block, SuccessorsInPriorityOrder)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *b0 = b.startBlock();
+    BasicBlock *t1 = fn->newBlock();
+    BasicBlock *t2 = fn->newBlock();
+    BasicBlock *ft = fn->newBlock();
+    b.setBlock(b0);
+    Reg r0 = fn->newIntReg();
+    b.branch(Opcode::Beq, Operand(r0), Operand::imm(0), t1->id());
+    b.branch(Opcode::Bne, Operand(r0), Operand::imm(1), t2->id());
+    b0->setFallthrough(ft->id());
+
+    auto succs = b0->successors();
+    ASSERT_EQ(succs.size(), 3u);
+    EXPECT_EQ(succs[0], t1->id());
+    EXPECT_EQ(succs[1], t2->id());
+    EXPECT_EQ(succs[2], ft->id());
+}
+
+TEST(Block, UnconditionalJumpEndsSuccessors)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *b0 = b.startBlock();
+    BasicBlock *t = fn->newBlock();
+    b.setBlock(b0);
+    b.jump(t->id());
+    b0->setFallthrough(t->id()); // should be ignored.
+
+    auto succs = b0->successors();
+    ASSERT_EQ(succs.size(), 1u);
+    EXPECT_TRUE(b0->endsInUnconditionalTransfer());
+}
+
+TEST(Block, GuardedJumpDoesNotTerminate)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *b0 = b.startBlock();
+    BasicBlock *t = fn->newBlock();
+    BasicBlock *ft = fn->newBlock();
+    b.setBlock(b0);
+    Reg p = fn->newPredReg();
+    b.jump(t->id()).setGuard(p);
+    b0->setFallthrough(ft->id());
+
+    EXPECT_FALSE(b0->endsInUnconditionalTransfer());
+    auto succs = b0->successors();
+    ASSERT_EQ(succs.size(), 2u);
+    EXPECT_EQ(succs[0], t->id());
+    EXPECT_EQ(succs[1], ft->id());
+}
+
+TEST(Program, GlobalsAreAlignedAndAboveSafeAddr)
+{
+    Program prog;
+    std::int64_t a = prog.allocGlobal("x", 8, 8, false);
+    std::int64_t b = prog.allocGlobal("buf", 13, 1, false);
+    std::int64_t c = prog.allocGlobal("y", 8, 8, false);
+    EXPECT_GE(a, 64);
+    EXPECT_EQ(a % 8, 0);
+    EXPECT_EQ(b % 8, 0);
+    EXPECT_EQ(c % 8, 0);
+    EXPECT_GT(c, b);
+    EXPECT_LT(Program::safeAddr, 64);
+    EXPECT_NE(prog.global("buf"), nullptr);
+    EXPECT_EQ(prog.global("nope"), nullptr);
+}
+
+TEST(Printer, ShowsGuardAndPredDests)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p1 = fn->newPredReg();
+    Reg p2 = fn->newPredReg();
+    Reg pin = fn->newPredReg();
+    Reg r0 = fn->newIntReg();
+    auto &def = b.predDefine2(
+        Opcode::PredEq, PredDest{p1, PredType::Or},
+        PredDest{p2, PredType::UBar}, Operand(r0), Operand::imm(0),
+        pin);
+    std::string text = def.toString();
+    EXPECT_NE(text.find("pred_eq"), std::string::npos);
+    EXPECT_NE(text.find("p0<OR>"), std::string::npos);
+    EXPECT_NE(text.find("p1<U!>"), std::string::npos);
+    EXPECT_NE(text.find("(p2)"), std::string::npos);
+}
+
+TEST(Printer, WholeFunctionDump)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock("top");
+    Reg r0 = fn->newIntReg();
+    b.mov(r0, Operand::imm(42));
+    b.ret(Operand(r0));
+    std::ostringstream os;
+    printFunction(os, *fn);
+    std::string out = os.str();
+    EXPECT_NE(out.find("function f"), std::string::npos);
+    EXPECT_NE(out.find("mov r0, 42"), std::string::npos);
+    EXPECT_NE(out.find("ret r0"), std::string::npos);
+}
+
+} // namespace
+} // namespace predilp

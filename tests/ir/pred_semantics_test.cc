@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduces Table 1 of the paper: the predicate definition truth
+ * table for U, OR, AND types and their complements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/pred.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(PredTypeTable, UnconditionalWritesAlways)
+{
+    // Pin=0 -> 0 regardless of comparison and old value.
+    for (bool cmp : {false, true}) {
+        for (bool old : {false, true}) {
+            EXPECT_FALSE(applyPredType(PredType::U, false, cmp, old));
+            EXPECT_FALSE(
+                applyPredType(PredType::UBar, false, cmp, old));
+        }
+    }
+    // Pin=1 -> comparison result (complement for UBar).
+    for (bool old : {false, true}) {
+        EXPECT_FALSE(applyPredType(PredType::U, true, false, old));
+        EXPECT_TRUE(applyPredType(PredType::U, true, true, old));
+        EXPECT_TRUE(applyPredType(PredType::UBar, true, false, old));
+        EXPECT_FALSE(applyPredType(PredType::UBar, true, true, old));
+    }
+}
+
+TEST(PredTypeTable, OrLeavesUnchangedUnlessSetting)
+{
+    // Pin=0 -> unchanged.
+    for (bool cmp : {false, true}) {
+        EXPECT_FALSE(applyPredType(PredType::Or, false, cmp, false));
+        EXPECT_TRUE(applyPredType(PredType::Or, false, cmp, true));
+    }
+    // Pin=1, cmp=1 -> 1; Pin=1, cmp=0 -> unchanged.
+    EXPECT_TRUE(applyPredType(PredType::Or, true, true, false));
+    EXPECT_TRUE(applyPredType(PredType::Or, true, true, true));
+    EXPECT_FALSE(applyPredType(PredType::Or, true, false, false));
+    EXPECT_TRUE(applyPredType(PredType::Or, true, false, true));
+}
+
+TEST(PredTypeTable, OrBarSetsOnFalseComparison)
+{
+    EXPECT_TRUE(applyPredType(PredType::OrBar, true, false, false));
+    EXPECT_FALSE(applyPredType(PredType::OrBar, true, true, false));
+    EXPECT_TRUE(applyPredType(PredType::OrBar, true, true, true));
+    EXPECT_FALSE(applyPredType(PredType::OrBar, false, false, false));
+}
+
+TEST(PredTypeTable, AndClearsOnFalseComparison)
+{
+    // Table 1: AND writes 0 when Pin=1 and cmp=0, else unchanged.
+    EXPECT_FALSE(applyPredType(PredType::And, true, false, true));
+    EXPECT_FALSE(applyPredType(PredType::And, true, false, false));
+    EXPECT_TRUE(applyPredType(PredType::And, true, true, true));
+    EXPECT_FALSE(applyPredType(PredType::And, true, true, false));
+    EXPECT_TRUE(applyPredType(PredType::And, false, false, true));
+    EXPECT_TRUE(applyPredType(PredType::And, false, true, true));
+}
+
+TEST(PredTypeTable, AndBarClearsOnTrueComparison)
+{
+    EXPECT_FALSE(applyPredType(PredType::AndBar, true, true, true));
+    EXPECT_TRUE(applyPredType(PredType::AndBar, true, false, true));
+    EXPECT_TRUE(applyPredType(PredType::AndBar, false, true, true));
+}
+
+/**
+ * Property sweep: every (type, pin, cmp, old) combination agrees
+ * with the closed-form restatement of Table 1.
+ */
+struct PredCase
+{
+    PredType type;
+    bool pin, cmp, old;
+};
+
+class PredTypeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PredTypeSweep, MatchesClosedForm)
+{
+    int bits = GetParam();
+    auto type = static_cast<PredType>(bits >> 3);
+    bool pin = (bits >> 2) & 1;
+    bool cmp = (bits >> 1) & 1;
+    bool old = bits & 1;
+
+    bool expected = false;
+    switch (type) {
+      case PredType::U: expected = pin && cmp; break;
+      case PredType::UBar: expected = pin && !cmp; break;
+      case PredType::Or: expected = (pin && cmp) || old; break;
+      case PredType::OrBar: expected = (pin && !cmp) || old; break;
+      case PredType::And: expected = !(pin && !cmp) && old; break;
+      case PredType::AndBar: expected = !(pin && cmp) && old; break;
+    }
+    EXPECT_EQ(applyPredType(type, pin, cmp, old), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, PredTypeSweep,
+                         ::testing::Range(0, 6 * 8));
+
+TEST(PredTypeNames, AreDistinct)
+{
+    EXPECT_EQ(predTypeName(PredType::U), "U");
+    EXPECT_EQ(predTypeName(PredType::UBar), "U!");
+    EXPECT_EQ(predTypeName(PredType::Or), "OR");
+    EXPECT_EQ(predTypeName(PredType::OrBar), "OR!");
+    EXPECT_EQ(predTypeName(PredType::And), "AND");
+    EXPECT_EQ(predTypeName(PredType::AndBar), "AND!");
+}
+
+} // namespace
+} // namespace predilp

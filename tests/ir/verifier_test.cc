@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.hh"
+#include "ir/verifier.hh"
+
+namespace predilp
+{
+namespace
+{
+
+/** Build the minimal valid function: entry that returns. */
+Function *
+makeRet(Program &prog, const std::string &name = "f")
+{
+    Function *fn = prog.newFunction(name);
+    IRBuilder b(fn);
+    b.startBlock();
+    b.ret();
+    return fn;
+}
+
+TEST(Verifier, AcceptsMinimalFunction)
+{
+    Program prog;
+    Function *fn = makeRet(prog);
+    EXPECT_EQ(verifyFunction(*fn), "");
+}
+
+TEST(Verifier, RejectsFallOffEnd)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg r0 = fn->newIntReg();
+    b.mov(r0, Operand::imm(1));
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("neither transfers nor falls"),
+              std::string::npos);
+}
+
+TEST(Verifier, AcceptsFallthroughChain)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *b0 = b.startBlock();
+    BasicBlock *b1 = fn->newBlock();
+    b0->setFallthrough(b1->id());
+    b.setBlock(b1);
+    b.ret();
+    EXPECT_EQ(verifyFunction(*fn), "");
+}
+
+TEST(Verifier, RejectsBadBranchTarget)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg r0 = fn->newIntReg();
+    b.branch(Opcode::Beq, Operand(r0), Operand::imm(0), 99);
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("branch target"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    b.mov(intReg(5), Operand::imm(0)); // r5 never allocated.
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("out of range"), std::string::npos);
+}
+
+TEST(Verifier, RejectsNonPredGuard)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg r0 = fn->newIntReg();
+    Reg r1 = fn->newIntReg();
+    b.mov(r0, Operand::imm(1)).setGuard(r1);
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("guard is not a predicate"),
+              std::string::npos);
+}
+
+TEST(Verifier, RejectsPredDefineWithoutDests)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction def(Opcode::PredEq);
+    def.addSrc(Operand::imm(0));
+    def.addSrc(Operand::imm(0));
+    b.append(std::move(def));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("1 or 2 dests"), std::string::npos);
+}
+
+TEST(Verifier, RejectsWrongOperandCounts)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Instruction st(Opcode::St);
+    st.addSrc(Operand::imm(64)); // stores need 3 sources.
+    b.append(std::move(st));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("expected 3 sources"), std::string::npos);
+}
+
+TEST(Verifier, ChecksCallArityAgainstProgram)
+{
+    Program prog;
+    Function *callee = prog.newFunction("callee");
+    callee->addParam(callee->newIntReg());
+    IRBuilder cb(callee);
+    cb.startBlock();
+    cb.ret();
+
+    Function *caller = prog.newFunction("main");
+    IRBuilder b(caller);
+    b.startBlock();
+    b.call("callee", Reg(), {}); // 0 args vs 1 param.
+    b.ret();
+
+    std::string err = verifyFunction(*caller, &prog);
+    EXPECT_NE(err.find("arity"), std::string::npos);
+
+    std::string errNoProg = verifyFunction(*caller);
+    EXPECT_EQ(errNoProg, "");
+}
+
+TEST(Verifier, RejectsUnknownCallee)
+{
+    Program prog;
+    Function *caller = prog.newFunction("main");
+    IRBuilder b(caller);
+    b.startBlock();
+    b.call("ghost", Reg(), {});
+    b.ret();
+    std::string err = verifyProgram(prog);
+    EXPECT_NE(err.find("unknown callee"), std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicateInstructionIds)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg r0 = fn->newIntReg();
+    auto &first = b.mov(r0, Operand::imm(1));
+    Instruction dup(Opcode::Mov);
+    dup.setDest(r0);
+    dup.addSrc(Operand::imm(2));
+    dup.setId(first.id());
+    b.append(std::move(dup));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("duplicate instruction id"),
+              std::string::npos);
+}
+
+TEST(Verifier, ProgramVerifiesAllFunctions)
+{
+    Program prog;
+    makeRet(prog, "a");
+    Function *bad = prog.newFunction("b");
+    IRBuilder b(bad);
+    b.startBlock();
+    // No terminator.
+    Reg r0 = bad->newIntReg();
+    b.mov(r0, Operand::imm(0));
+    EXPECT_NE(verifyProgram(prog), "");
+}
+
+} // namespace
+} // namespace predilp

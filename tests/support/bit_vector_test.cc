@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "support/bit_vector.hh"
+#include "support/logging.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(BitVector, StartsCleared)
+{
+    BitVector bv(100);
+    EXPECT_EQ(bv.size(), 100u);
+    EXPECT_TRUE(bv.none());
+    EXPECT_EQ(bv.count(), 0u);
+    for (std::size_t i = 0; i < 100; ++i)
+        EXPECT_FALSE(bv.test(i));
+}
+
+TEST(BitVector, SetResetAssign)
+{
+    BitVector bv(130);
+    bv.set(0);
+    bv.set(64);
+    bv.set(129);
+    EXPECT_TRUE(bv.test(0));
+    EXPECT_TRUE(bv.test(64));
+    EXPECT_TRUE(bv.test(129));
+    EXPECT_EQ(bv.count(), 3u);
+    bv.reset(64);
+    EXPECT_FALSE(bv.test(64));
+    bv.assign(64, true);
+    EXPECT_TRUE(bv.test(64));
+    bv.assign(64, false);
+    EXPECT_FALSE(bv.test(64));
+}
+
+TEST(BitVector, SetAllRespectsSize)
+{
+    BitVector bv(70);
+    bv.setAll();
+    EXPECT_EQ(bv.count(), 70u);
+    bv.clearAll();
+    EXPECT_TRUE(bv.none());
+}
+
+TEST(BitVector, UnionReportsChange)
+{
+    BitVector a(64), b(64);
+    b.set(5);
+    EXPECT_TRUE(a.unionWith(b));
+    EXPECT_FALSE(a.unionWith(b));
+    EXPECT_TRUE(a.test(5));
+}
+
+TEST(BitVector, IntersectAndSubtract)
+{
+    BitVector a(64), b(64);
+    a.set(1);
+    a.set(2);
+    b.set(2);
+    b.set(3);
+    BitVector c = a;
+    EXPECT_TRUE(c.intersectWith(b));
+    EXPECT_TRUE(c.test(2));
+    EXPECT_FALSE(c.test(1));
+
+    BitVector d = a;
+    EXPECT_TRUE(d.subtract(b));
+    EXPECT_TRUE(d.test(1));
+    EXPECT_FALSE(d.test(2));
+}
+
+TEST(BitVector, IntersectsAndSubset)
+{
+    BitVector a(64), b(64);
+    a.set(10);
+    b.set(11);
+    EXPECT_FALSE(a.intersects(b));
+    b.set(10);
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(a.isSubsetOf(b));
+    EXPECT_FALSE(b.isSubsetOf(a));
+}
+
+TEST(BitVector, ForEachSetAscending)
+{
+    BitVector bv(200);
+    bv.set(3);
+    bv.set(64);
+    bv.set(190);
+    std::vector<std::size_t> seen;
+    bv.forEachSet([&](std::size_t i) { seen.push_back(i); });
+    ASSERT_EQ(seen.size(), 3u);
+    EXPECT_EQ(seen[0], 3u);
+    EXPECT_EQ(seen[1], 64u);
+    EXPECT_EQ(seen[2], 190u);
+}
+
+TEST(BitVector, ResizeGrowsCleared)
+{
+    BitVector bv(10);
+    bv.set(9);
+    bv.resize(100);
+    EXPECT_TRUE(bv.test(9));
+    EXPECT_FALSE(bv.test(50));
+    EXPECT_EQ(bv.count(), 1u);
+}
+
+TEST(BitVector, EqualityComparesContent)
+{
+    BitVector a(64), b(64);
+    EXPECT_EQ(a, b);
+    a.set(7);
+    EXPECT_NE(a, b);
+    b.set(7);
+    EXPECT_EQ(a, b);
+}
+
+TEST(BitVector, SizeMismatchPanics)
+{
+    BitVector a(64), b(65);
+    EXPECT_THROW(a.unionWith(b), PanicError);
+    EXPECT_THROW((void)a.intersects(b), PanicError);
+}
+
+TEST(BitVector, OutOfRangePanics)
+{
+    BitVector a(8);
+    EXPECT_THROW(a.set(8), PanicError);
+    EXPECT_THROW((void)a.test(100), PanicError);
+}
+
+} // namespace
+} // namespace predilp

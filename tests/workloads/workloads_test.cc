@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests over the benchmark suite itself: all fifteen workloads
+ * compile and verify, inputs are deterministic and scale, and the
+ * reference outputs are meaningful.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hh"
+#include "frontend/irgen.hh"
+#include "ir/verifier.hh"
+#include "workloads/workloads.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(Workloads, SuiteHasFifteenPaperBenchmarks)
+{
+    const auto &suite = allWorkloads();
+    EXPECT_EQ(suite.size(), 15u);
+    const char *expected[] = {
+        "espresso", "li",   "eqntott", "compress", "alvinn",
+        "ear",      "sc",   "cccp",    "cmp",      "eqn",
+        "grep",     "lex",  "qsort",   "wc",       "yacc"};
+    for (const char *name : expected) {
+        EXPECT_NE(findWorkload(name), nullptr) << name;
+    }
+    EXPECT_EQ(findWorkload("nope"), nullptr);
+}
+
+TEST(Workloads, PaperNamesMatchSuite)
+{
+    EXPECT_EQ(findWorkload("espresso")->paperName, "008.espresso");
+    EXPECT_EQ(findWorkload("compress")->paperName, "026.compress");
+    EXPECT_EQ(findWorkload("wc")->paperName, "wc");
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkload, CompilesVerifiesAndRuns)
+{
+    const Workload *w = findWorkload(GetParam());
+    ASSERT_NE(w, nullptr);
+    auto prog = compileSource(w->source);
+    EXPECT_EQ(verifyProgram(*prog), "");
+
+    std::string input = w->makeInput(1);
+    EXPECT_FALSE(input.empty());
+    RunResult r = runReference(w->source, input);
+    // Every workload prints at least one result line.
+    EXPECT_NE(r.output.find('\n'), std::string::npos);
+    EXPECT_GT(r.dynInstrs, 1000u);
+}
+
+TEST_P(EveryWorkload, InputsAreDeterministic)
+{
+    const Workload *w = findWorkload(GetParam());
+    EXPECT_EQ(w->makeInput(1), w->makeInput(1));
+    EXPECT_EQ(w->makeInput(3), w->makeInput(3));
+}
+
+TEST_P(EveryWorkload, WorkScalesWithInput)
+{
+    const Workload *w = findWorkload(GetParam());
+    RunResult small = runReference(w->source, w->makeInput(1));
+    RunResult large = runReference(w->source, w->makeInput(3));
+    EXPECT_GT(large.dynInstrs, small.dynInstrs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, EveryWorkload,
+    ::testing::Values("wc", "grep", "cmp", "qsort", "compress",
+                      "eqntott", "espresso", "li", "lex", "yacc",
+                      "cccp", "eqn", "sc", "alvinn", "ear"));
+
+TEST(Workloads, OutputsDifferAcrossBenchmarks)
+{
+    // Sanity: programs actually compute different things.
+    RunResult wc = runReference(findWorkload("wc")->source,
+                                findWorkload("wc")->input());
+    RunResult grep = runReference(findWorkload("grep")->source,
+                                  findWorkload("grep")->input());
+    EXPECT_NE(wc.output, grep.output);
+}
+
+} // namespace
+} // namespace predilp
