@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_realcache.dir/bench_fig11_realcache.cc.o"
+  "CMakeFiles/bench_fig11_realcache.dir/bench_fig11_realcache.cc.o.d"
+  "bench_fig11_realcache"
+  "bench_fig11_realcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_realcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dyncount.dir/bench_table2_dyncount.cc.o"
+  "CMakeFiles/bench_table2_dyncount.dir/bench_table2_dyncount.cc.o.d"
+  "bench_table2_dyncount"
+  "bench_table2_dyncount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dyncount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

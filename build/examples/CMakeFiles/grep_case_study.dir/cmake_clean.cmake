@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grep_case_study.dir/grep_case_study.cpp.o"
+  "CMakeFiles/grep_case_study.dir/grep_case_study.cpp.o.d"
+  "grep_case_study"
+  "grep_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grep_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

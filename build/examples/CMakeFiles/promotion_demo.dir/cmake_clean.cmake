@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/promotion_demo.dir/promotion_demo.cpp.o"
+  "CMakeFiles/promotion_demo.dir/promotion_demo.cpp.o.d"
+  "promotion_demo"
+  "promotion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/promotion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

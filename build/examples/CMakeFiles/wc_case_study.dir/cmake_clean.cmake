@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wc_case_study.dir/wc_case_study.cpp.o"
+  "CMakeFiles/wc_case_study.dir/wc_case_study.cpp.o.d"
+  "wc_case_study"
+  "wc_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wc_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("ir")
+subdirs("analysis")
+subdirs("emu")
+subdirs("frontend")
+subdirs("opt")
+subdirs("superblock")
+subdirs("hyperblock")
+subdirs("partial")
+subdirs("sched")
+subdirs("sim")
+subdirs("workloads")
+subdirs("driver")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_analysis.dir/cfg.cc.o"
+  "CMakeFiles/predilp_analysis.dir/cfg.cc.o.d"
+  "CMakeFiles/predilp_analysis.dir/dominators.cc.o"
+  "CMakeFiles/predilp_analysis.dir/dominators.cc.o.d"
+  "CMakeFiles/predilp_analysis.dir/liveness.cc.o"
+  "CMakeFiles/predilp_analysis.dir/liveness.cc.o.d"
+  "CMakeFiles/predilp_analysis.dir/loops.cc.o"
+  "CMakeFiles/predilp_analysis.dir/loops.cc.o.d"
+  "CMakeFiles/predilp_analysis.dir/profile.cc.o"
+  "CMakeFiles/predilp_analysis.dir/profile.cc.o.d"
+  "libpredilp_analysis.a"
+  "libpredilp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/pipeline.cc" "src/driver/CMakeFiles/predilp_driver.dir/pipeline.cc.o" "gcc" "src/driver/CMakeFiles/predilp_driver.dir/pipeline.cc.o.d"
+  "/root/repo/src/driver/report.cc" "src/driver/CMakeFiles/predilp_driver.dir/report.cc.o" "gcc" "src/driver/CMakeFiles/predilp_driver.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/predilp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/predilp_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/predilp_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/superblock/CMakeFiles/predilp_superblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/hyperblock/CMakeFiles/predilp_hyperblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/partial/CMakeFiles/predilp_partial.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/predilp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/predilp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/predilp_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/predilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/predilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/predilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

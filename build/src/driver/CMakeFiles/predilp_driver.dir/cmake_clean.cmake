@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_driver.dir/pipeline.cc.o"
+  "CMakeFiles/predilp_driver.dir/pipeline.cc.o.d"
+  "CMakeFiles/predilp_driver.dir/report.cc.o"
+  "CMakeFiles/predilp_driver.dir/report.cc.o.d"
+  "libpredilp_driver.a"
+  "libpredilp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_emu.dir/context.cc.o"
+  "CMakeFiles/predilp_emu.dir/context.cc.o.d"
+  "CMakeFiles/predilp_emu.dir/emulator.cc.o"
+  "CMakeFiles/predilp_emu.dir/emulator.cc.o.d"
+  "libpredilp_emu.a"
+  "libpredilp_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

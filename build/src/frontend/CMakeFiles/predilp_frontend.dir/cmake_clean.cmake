@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_frontend.dir/irgen.cc.o"
+  "CMakeFiles/predilp_frontend.dir/irgen.cc.o.d"
+  "CMakeFiles/predilp_frontend.dir/lexer.cc.o"
+  "CMakeFiles/predilp_frontend.dir/lexer.cc.o.d"
+  "CMakeFiles/predilp_frontend.dir/parser.cc.o"
+  "CMakeFiles/predilp_frontend.dir/parser.cc.o.d"
+  "libpredilp_frontend.a"
+  "libpredilp_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

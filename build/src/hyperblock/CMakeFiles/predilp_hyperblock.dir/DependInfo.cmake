@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hyperblock/branch_combine.cc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/branch_combine.cc.o" "gcc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/branch_combine.cc.o.d"
+  "/root/repo/src/hyperblock/formation.cc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/formation.cc.o" "gcc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/formation.cc.o.d"
+  "/root/repo/src/hyperblock/height_reduce.cc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/height_reduce.cc.o" "gcc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/height_reduce.cc.o.d"
+  "/root/repo/src/hyperblock/promotion.cc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/promotion.cc.o" "gcc" "src/hyperblock/CMakeFiles/predilp_hyperblock.dir/promotion.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/predilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/predilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/superblock/CMakeFiles/predilp_superblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/predilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_hyperblock.dir/branch_combine.cc.o"
+  "CMakeFiles/predilp_hyperblock.dir/branch_combine.cc.o.d"
+  "CMakeFiles/predilp_hyperblock.dir/formation.cc.o"
+  "CMakeFiles/predilp_hyperblock.dir/formation.cc.o.d"
+  "CMakeFiles/predilp_hyperblock.dir/height_reduce.cc.o"
+  "CMakeFiles/predilp_hyperblock.dir/height_reduce.cc.o.d"
+  "CMakeFiles/predilp_hyperblock.dir/promotion.cc.o"
+  "CMakeFiles/predilp_hyperblock.dir/promotion.cc.o.d"
+  "libpredilp_hyperblock.a"
+  "libpredilp_hyperblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_hyperblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/block.cc" "src/ir/CMakeFiles/predilp_ir.dir/block.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/block.cc.o.d"
+  "/root/repo/src/ir/builder.cc" "src/ir/CMakeFiles/predilp_ir.dir/builder.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/builder.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/ir/CMakeFiles/predilp_ir.dir/function.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/function.cc.o.d"
+  "/root/repo/src/ir/instr.cc" "src/ir/CMakeFiles/predilp_ir.dir/instr.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/instr.cc.o.d"
+  "/root/repo/src/ir/opcode.cc" "src/ir/CMakeFiles/predilp_ir.dir/opcode.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/opcode.cc.o.d"
+  "/root/repo/src/ir/operand.cc" "src/ir/CMakeFiles/predilp_ir.dir/operand.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/operand.cc.o.d"
+  "/root/repo/src/ir/pred.cc" "src/ir/CMakeFiles/predilp_ir.dir/pred.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/pred.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/ir/CMakeFiles/predilp_ir.dir/printer.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/printer.cc.o.d"
+  "/root/repo/src/ir/program.cc" "src/ir/CMakeFiles/predilp_ir.dir/program.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/program.cc.o.d"
+  "/root/repo/src/ir/reg.cc" "src/ir/CMakeFiles/predilp_ir.dir/reg.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/reg.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/ir/CMakeFiles/predilp_ir.dir/verifier.cc.o" "gcc" "src/ir/CMakeFiles/predilp_ir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/predilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

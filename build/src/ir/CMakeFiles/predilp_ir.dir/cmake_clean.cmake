@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_ir.dir/block.cc.o"
+  "CMakeFiles/predilp_ir.dir/block.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/builder.cc.o"
+  "CMakeFiles/predilp_ir.dir/builder.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/function.cc.o"
+  "CMakeFiles/predilp_ir.dir/function.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/instr.cc.o"
+  "CMakeFiles/predilp_ir.dir/instr.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/opcode.cc.o"
+  "CMakeFiles/predilp_ir.dir/opcode.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/operand.cc.o"
+  "CMakeFiles/predilp_ir.dir/operand.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/pred.cc.o"
+  "CMakeFiles/predilp_ir.dir/pred.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/printer.cc.o"
+  "CMakeFiles/predilp_ir.dir/printer.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/program.cc.o"
+  "CMakeFiles/predilp_ir.dir/program.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/reg.cc.o"
+  "CMakeFiles/predilp_ir.dir/reg.cc.o.d"
+  "CMakeFiles/predilp_ir.dir/verifier.cc.o"
+  "CMakeFiles/predilp_ir.dir/verifier.cc.o.d"
+  "libpredilp_ir.a"
+  "libpredilp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

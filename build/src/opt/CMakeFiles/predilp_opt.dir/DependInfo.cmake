@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/coalesce.cc" "src/opt/CMakeFiles/predilp_opt.dir/coalesce.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/coalesce.cc.o.d"
+  "/root/repo/src/opt/constfold.cc" "src/opt/CMakeFiles/predilp_opt.dir/constfold.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/constfold.cc.o.d"
+  "/root/repo/src/opt/copyprop.cc" "src/opt/CMakeFiles/predilp_opt.dir/copyprop.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/copyprop.cc.o.d"
+  "/root/repo/src/opt/cse.cc" "src/opt/CMakeFiles/predilp_opt.dir/cse.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/cse.cc.o.d"
+  "/root/repo/src/opt/dce.cc" "src/opt/CMakeFiles/predilp_opt.dir/dce.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/dce.cc.o.d"
+  "/root/repo/src/opt/inline.cc" "src/opt/CMakeFiles/predilp_opt.dir/inline.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/inline.cc.o.d"
+  "/root/repo/src/opt/layout.cc" "src/opt/CMakeFiles/predilp_opt.dir/layout.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/layout.cc.o.d"
+  "/root/repo/src/opt/licm.cc" "src/opt/CMakeFiles/predilp_opt.dir/licm.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/licm.cc.o.d"
+  "/root/repo/src/opt/memforward.cc" "src/opt/CMakeFiles/predilp_opt.dir/memforward.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/memforward.cc.o.d"
+  "/root/repo/src/opt/simplify_cfg.cc" "src/opt/CMakeFiles/predilp_opt.dir/simplify_cfg.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/simplify_cfg.cc.o.d"
+  "/root/repo/src/opt/unroll.cc" "src/opt/CMakeFiles/predilp_opt.dir/unroll.cc.o" "gcc" "src/opt/CMakeFiles/predilp_opt.dir/unroll.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/predilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/predilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/predilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_opt.dir/coalesce.cc.o"
+  "CMakeFiles/predilp_opt.dir/coalesce.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/constfold.cc.o"
+  "CMakeFiles/predilp_opt.dir/constfold.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/copyprop.cc.o"
+  "CMakeFiles/predilp_opt.dir/copyprop.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/cse.cc.o"
+  "CMakeFiles/predilp_opt.dir/cse.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/dce.cc.o"
+  "CMakeFiles/predilp_opt.dir/dce.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/inline.cc.o"
+  "CMakeFiles/predilp_opt.dir/inline.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/layout.cc.o"
+  "CMakeFiles/predilp_opt.dir/layout.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/licm.cc.o"
+  "CMakeFiles/predilp_opt.dir/licm.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/memforward.cc.o"
+  "CMakeFiles/predilp_opt.dir/memforward.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/simplify_cfg.cc.o"
+  "CMakeFiles/predilp_opt.dir/simplify_cfg.cc.o.d"
+  "CMakeFiles/predilp_opt.dir/unroll.cc.o"
+  "CMakeFiles/predilp_opt.dir/unroll.cc.o.d"
+  "libpredilp_opt.a"
+  "libpredilp_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_partial.dir/lowering.cc.o"
+  "CMakeFiles/predilp_partial.dir/lowering.cc.o.d"
+  "CMakeFiles/predilp_partial.dir/or_tree.cc.o"
+  "CMakeFiles/predilp_partial.dir/or_tree.cc.o.d"
+  "CMakeFiles/predilp_partial.dir/select_opt.cc.o"
+  "CMakeFiles/predilp_partial.dir/select_opt.cc.o.d"
+  "libpredilp_partial.a"
+  "libpredilp_partial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_partial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_sched.dir/depgraph.cc.o"
+  "CMakeFiles/predilp_sched.dir/depgraph.cc.o.d"
+  "CMakeFiles/predilp_sched.dir/machine.cc.o"
+  "CMakeFiles/predilp_sched.dir/machine.cc.o.d"
+  "CMakeFiles/predilp_sched.dir/scheduler.cc.o"
+  "CMakeFiles/predilp_sched.dir/scheduler.cc.o.d"
+  "libpredilp_sched.a"
+  "libpredilp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

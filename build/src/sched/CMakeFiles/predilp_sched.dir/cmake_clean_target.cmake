@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpredilp_sched.a"
+)

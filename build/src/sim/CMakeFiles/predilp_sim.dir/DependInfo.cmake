@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/predilp_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/predilp_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/timing.cc" "src/sim/CMakeFiles/predilp_sim.dir/timing.cc.o" "gcc" "src/sim/CMakeFiles/predilp_sim.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/predilp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/predilp_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/predilp_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/predilp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/predilp_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_sim.dir/cache.cc.o"
+  "CMakeFiles/predilp_sim.dir/cache.cc.o.d"
+  "CMakeFiles/predilp_sim.dir/timing.cc.o"
+  "CMakeFiles/predilp_sim.dir/timing.cc.o.d"
+  "libpredilp_sim.a"
+  "libpredilp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

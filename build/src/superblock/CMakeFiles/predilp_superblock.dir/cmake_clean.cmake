@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_superblock.dir/superblock.cc.o"
+  "CMakeFiles/predilp_superblock.dir/superblock.cc.o.d"
+  "libpredilp_superblock.a"
+  "libpredilp_superblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_superblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

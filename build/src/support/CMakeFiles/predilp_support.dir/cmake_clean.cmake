@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_support.dir/bit_vector.cc.o"
+  "CMakeFiles/predilp_support.dir/bit_vector.cc.o.d"
+  "CMakeFiles/predilp_support.dir/logging.cc.o"
+  "CMakeFiles/predilp_support.dir/logging.cc.o.d"
+  "CMakeFiles/predilp_support.dir/stats.cc.o"
+  "CMakeFiles/predilp_support.dir/stats.cc.o.d"
+  "CMakeFiles/predilp_support.dir/string_utils.cc.o"
+  "CMakeFiles/predilp_support.dir/string_utils.cc.o.d"
+  "libpredilp_support.a"
+  "libpredilp_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predilp_workloads.dir/inputs.cc.o"
+  "CMakeFiles/predilp_workloads.dir/inputs.cc.o.d"
+  "CMakeFiles/predilp_workloads.dir/workloads.cc.o"
+  "CMakeFiles/predilp_workloads.dir/workloads.cc.o.d"
+  "libpredilp_workloads.a"
+  "libpredilp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predilp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperblock_test.dir/hyperblock/hyperblock_test.cc.o"
+  "CMakeFiles/hyperblock_test.dir/hyperblock/hyperblock_test.cc.o.d"
+  "hyperblock_test"
+  "hyperblock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irgen_exec_test.dir/frontend/irgen_exec_test.cc.o"
+  "CMakeFiles/irgen_exec_test.dir/frontend/irgen_exec_test.cc.o.d"
+  "irgen_exec_test"
+  "irgen_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irgen_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

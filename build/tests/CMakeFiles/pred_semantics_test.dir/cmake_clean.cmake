@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pred_semantics_test.dir/ir/pred_semantics_test.cc.o"
+  "CMakeFiles/pred_semantics_test.dir/ir/pred_semantics_test.cc.o.d"
+  "pred_semantics_test"
+  "pred_semantics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pred_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

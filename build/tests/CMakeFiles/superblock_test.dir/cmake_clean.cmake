@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/superblock_test.dir/superblock/superblock_test.cc.o"
+  "CMakeFiles/superblock_test.dir/superblock/superblock_test.cc.o.d"
+  "superblock_test"
+  "superblock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/superblock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
