@@ -10,12 +10,15 @@
  *  - no-height-red:    OR-chain control height reduction off
  *  - no-or-tree:       partial predication OR-tree rebalancing off
  *  - with-select:      partial predication uses select fusion (§2.2)
- *  - no-unrolling:     loop unrolling off (both models)
+ *
+ * All rows share one SuiteEvaluator: the 1-issue Superblock baseline
+ * and any row whose flag cannot affect a model's code (e.g.
+ * no-combining for Cond. Move) are compiled and traced exactly once.
  */
 
 #include <iostream>
 
-#include "driver/report.hh"
+#include "driver/bench_io.hh"
 #include "support/stats.hh"
 #include "support/string_utils.hh"
 
@@ -24,13 +27,18 @@ using namespace predilp;
 namespace
 {
 
+std::vector<BenchmarkResult> allResults;
+
 double
-meanSpeedup(const SuiteConfig &config, Model model)
+meanSpeedup(SuiteEvaluator &evaluator, const std::string &rowName,
+            const SuiteConfig &config, Model model)
 {
     std::vector<double> speedups;
     for (const Workload &w : allWorkloads()) {
-        BenchmarkResult r = evaluateWorkload(w, config);
+        BenchmarkResult r = evaluator.evaluate(w, config, {model});
         speedups.push_back(r.speedup(model));
+        r.name = rowName + "/" + r.name;
+        allResults.push_back(std::move(r));
     }
     return arithmeticMean(speedups);
 }
@@ -40,16 +48,19 @@ meanSpeedup(const SuiteConfig &config, Model model)
 int
 main()
 {
+    WallTimer wall;
     SuiteConfig base;
     base.machine = issue8Branch1();
+    SuiteEvaluator evaluator(base.threads);
 
     TextTable table;
     table.setHeader({"Configuration", "Model", "Mean speedup"});
 
     auto row = [&](const std::string &name, const SuiteConfig &c,
                    Model m) {
-        table.addRow({name, modelName(m),
-                      formatFixed(meanSpeedup(c, m), 3)});
+        table.addRow(
+            {name, modelName(m),
+             formatFixed(meanSpeedup(evaluator, name, c, m), 3)});
         std::cout << "." << std::flush;
     };
 
@@ -86,5 +97,10 @@ main()
 
     std::cout << "\nAblations (8-issue, 1-branch, perfect caches)\n";
     table.print(std::cout);
+    BenchTiming timing = evaluator.timing();
+    printPhaseTiming(std::cout, timing, wall.seconds(),
+                     evaluator.threadCount());
+    writeBenchJson("ablations", allResults, timing, wall.seconds(),
+                   evaluator.threadCount());
     return 0;
 }

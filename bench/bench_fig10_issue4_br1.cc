@@ -8,19 +8,26 @@
 
 #include <iostream>
 
-#include "driver/report.hh"
+#include "driver/bench_io.hh"
 
 int
 main()
 {
     using namespace predilp;
+    WallTimer wall;
     SuiteConfig config;
     config.machine = issue4Branch1();
     config.perfectCaches = true;
-    auto results = evaluateSuite(config);
+    SuiteEvaluator evaluator(config.threads);
+    auto results = evaluator.evaluateSuite(config);
     printSpeedupFigure(
         std::cout,
         "Figure 10: speedup, 4-issue / 1-branch, perfect caches",
         results);
+    BenchTiming timing = evaluator.timing();
+    printPhaseTiming(std::cout, timing, wall.seconds(),
+                     evaluator.threadCount());
+    writeBenchJson("fig10_issue4_br1", results, timing,
+                   wall.seconds(), evaluator.threadCount());
     return 0;
 }

@@ -9,19 +9,26 @@
 
 #include <iostream>
 
-#include "driver/report.hh"
+#include "driver/bench_io.hh"
 
 int
 main()
 {
     using namespace predilp;
+    WallTimer wall;
     SuiteConfig config;
     config.machine = issue8Branch1();
     config.perfectCaches = false;
-    auto results = evaluateSuite(config);
+    SuiteEvaluator evaluator(config.threads);
+    auto results = evaluator.evaluateSuite(config);
     printSpeedupFigure(
         std::cout,
         "Figure 11: speedup, 8-issue / 1-branch, 64K real caches",
         results);
+    BenchTiming timing = evaluator.timing();
+    printPhaseTiming(std::cout, timing, wall.seconds(),
+                     evaluator.threadCount());
+    writeBenchJson("fig11_realcache", results, timing,
+                   wall.seconds(), evaluator.threadCount());
     return 0;
 }

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * One-process reproduction of every figure and table in §5 of the
+ * paper, sharing a single SuiteEvaluator so work is never repeated:
+ *
+ *  - the 1-issue Superblock baseline is compiled/traced once and
+ *    priced for all four figures;
+ *  - Figure 11 replays Figure 8's 8-issue/1-branch traces under the
+ *    real-cache pricing (caches never change the instruction stream);
+ *  - Tables 2 and 3 are read straight out of Figure 8's results
+ *    (result-cache hits, no new work at all).
+ *
+ * Compare the phase timing printed here against running the four
+ * bench_fig* binaries separately to see the trace-once/replay-many
+ * savings.
+ */
+
+#include <iostream>
+
+#include "driver/bench_io.hh"
+
+int
+main()
+{
+    using namespace predilp;
+    WallTimer wall;
+    SuiteEvaluator evaluator;
+
+    SuiteConfig fig08;
+    fig08.machine = issue8Branch1();
+    fig08.perfectCaches = true;
+
+    SuiteConfig fig09 = fig08;
+    fig09.machine = issue8Branch2();
+
+    SuiteConfig fig10 = fig08;
+    fig10.machine = issue4Branch1();
+
+    SuiteConfig fig11 = fig08;
+    fig11.perfectCaches = false;
+
+    auto r08 = evaluator.evaluateSuite(fig08);
+    auto r09 = evaluator.evaluateSuite(fig09);
+    auto r10 = evaluator.evaluateSuite(fig10);
+    auto r11 = evaluator.evaluateSuite(fig11);
+
+    printSpeedupFigure(
+        std::cout,
+        "Figure 8: speedup, 8-issue / 1-branch, perfect caches", r08);
+    printSpeedupFigure(
+        std::cout,
+        "Figure 9: speedup, 8-issue / 2-branch, perfect caches", r09);
+    printSpeedupFigure(
+        std::cout,
+        "Figure 10: speedup, 4-issue / 1-branch, perfect caches",
+        r10);
+    printSpeedupFigure(
+        std::cout,
+        "Figure 11: speedup, 8-issue / 1-branch, 64K real caches",
+        r11);
+    printInstructionTable(std::cout, r08);
+    printBranchTable(std::cout, r08);
+
+    std::vector<BenchmarkResult> all;
+    auto addPrefixed = [&](const char *prefix,
+                           const std::vector<BenchmarkResult> &rs) {
+        for (BenchmarkResult r : rs) {
+            r.name = std::string(prefix) + "/" + r.name;
+            all.push_back(std::move(r));
+        }
+    };
+    addPrefixed("fig08", r08);
+    addPrefixed("fig09", r09);
+    addPrefixed("fig10", r10);
+    addPrefixed("fig11", r11);
+
+    BenchTiming timing = evaluator.timing();
+    printPhaseTiming(std::cout, timing, wall.seconds(),
+                     evaluator.threadCount());
+    writeBenchJson("figures_all", all, timing, wall.seconds(),
+                   evaluator.threadCount());
+    return 0;
+}

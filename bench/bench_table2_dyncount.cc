@@ -9,16 +9,23 @@
 
 #include <iostream>
 
-#include "driver/report.hh"
+#include "driver/bench_io.hh"
 
 int
 main()
 {
     using namespace predilp;
+    WallTimer wall;
     SuiteConfig config;
     config.machine = issue8Branch1();
     config.perfectCaches = true;
-    auto results = evaluateSuite(config);
+    SuiteEvaluator evaluator(config.threads);
+    auto results = evaluator.evaluateSuite(config);
     printInstructionTable(std::cout, results);
+    BenchTiming timing = evaluator.timing();
+    printPhaseTiming(std::cout, timing, wall.seconds(),
+                     evaluator.threadCount());
+    writeBenchJson("table2_dyncount", results, timing,
+                   wall.seconds(), evaluator.threadCount());
     return 0;
 }

@@ -1,0 +1,115 @@
+#include "driver/bench_io.hh"
+
+#include <fstream>
+#include <iomanip>
+
+#include "support/logging.hh"
+#include "support/string_utils.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+const char *
+modelJsonKey(Model model)
+{
+    switch (model) {
+      case Model::Superblock:
+        return "superblock";
+      case Model::CondMove:
+        return "cond_move";
+      case Model::FullPred:
+        return "full_pred";
+    }
+    return "unknown";
+}
+
+void
+writeTiming(std::ostream &os, const BenchTiming &timing,
+            double wallSeconds, int threads, const char *indent)
+{
+    os << indent << "\"elapsed_seconds\": " << wallSeconds << ",\n"
+       << indent << "\"threads\": " << threads << ",\n"
+       << indent << "\"phases\": {\n"
+       << indent << "  \"compile_seconds\": "
+       << timing.compileSeconds << ",\n"
+       << indent << "  \"emulate_seconds\": "
+       << timing.captureSeconds << ",\n"
+       << indent << "  \"simulate_seconds\": "
+       << timing.replaySeconds << "\n"
+       << indent << "},\n"
+       << indent << "\"counters\": {\n"
+       << indent << "  \"compiles\": " << timing.compiles << ",\n"
+       << indent << "  \"captures\": " << timing.captures << ",\n"
+       << indent << "  \"replays\": " << timing.replays << ",\n"
+       << indent << "  \"trace_cache_hits\": "
+       << timing.traceCacheHits << ",\n"
+       << indent << "  \"result_cache_hits\": "
+       << timing.resultCacheHits << ",\n"
+       << indent << "  \"trace_bytes\": " << timing.traceBytes
+       << "\n"
+       << indent << "},\n";
+}
+
+} // namespace
+
+void
+printPhaseTiming(std::ostream &os, const BenchTiming &timing,
+                 double wallSeconds, int threads)
+{
+    os << "-- timing: wall " << formatFixed(wallSeconds, 2)
+       << "s (threads=" << threads << ") | compile "
+       << formatFixed(timing.compileSeconds, 2) << "s | emulate "
+       << formatFixed(timing.captureSeconds, 2) << "s | simulate "
+       << formatFixed(timing.replaySeconds, 2) << "s\n"
+       << "-- cache: " << timing.compiles << " compiles, "
+       << timing.captures << " emulations, " << timing.replays
+       << " replays, " << timing.traceCacheHits
+       << " trace hits, " << timing.resultCacheHits
+       << " result hits, "
+       << timing.traceBytes / (1024 * 1024)
+       << " MiB traces\n";
+}
+
+std::string
+writeBenchJson(const std::string &benchName,
+               const std::vector<BenchmarkResult> &results,
+               const BenchTiming &timing, double wallSeconds,
+               int threads)
+{
+    std::string path = "BENCH_" + benchName + ".json";
+    std::ofstream os(path);
+    panicIf(!os, "cannot write ", path);
+    os << std::setprecision(12);
+    os << "{\n  \"bench\": \"" << benchName << "\",\n";
+    writeTiming(os, timing, wallSeconds, threads, "  ");
+    os << "  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchmarkResult &r = results[i];
+        os << "    {\n      \"name\": \"" << r.name << "\",\n"
+           << "      \"base_cycles\": " << r.baseCycles << ",\n"
+           << "      \"models\": {\n";
+        std::size_t m = 0;
+        for (const auto &[model, sim] : r.models) {
+            os << "        \"" << modelJsonKey(model) << "\": {\n"
+               << "          \"cycles\": " << sim.cycles << ",\n"
+               << "          \"dyn_instrs\": " << sim.dynInstrs
+               << ",\n"
+               << "          \"branches\": " << sim.branches
+               << ",\n"
+               << "          \"mispredicts\": " << sim.mispredicts
+               << ",\n"
+               << "          \"speedup\": " << r.speedup(model)
+               << "\n        }"
+               << (++m == r.models.size() ? "\n" : ",\n");
+        }
+        os << "      }\n    }"
+           << (i + 1 == results.size() ? "\n" : ",\n");
+    }
+    os << "  ]\n}\n";
+    return path;
+}
+
+} // namespace predilp

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Bench-harness instrumentation output: human-readable per-phase
+ * timing and a machine-readable BENCH_<name>.json per benchmark
+ * binary, so the performance trajectory (cycles, speedups, elapsed
+ * seconds, cache effectiveness) is trackable across PRs.
+ */
+
+#ifndef PREDILP_DRIVER_BENCH_IO_HH
+#define PREDILP_DRIVER_BENCH_IO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "driver/evaluator.hh"
+#include "driver/report.hh"
+
+namespace predilp
+{
+
+/** Print compile/emulate/simulate phase totals and cache counters. */
+void printPhaseTiming(std::ostream &os, const BenchTiming &timing,
+                      double wallSeconds, int threads);
+
+/**
+ * Write BENCH_<benchName>.json (in the working directory): phase
+ * timing plus, per benchmark, baseline cycles and per-model cycles,
+ * dynamic instructions, branches, mispredictions, and speedup.
+ * @return the path written.
+ */
+std::string
+writeBenchJson(const std::string &benchName,
+               const std::vector<BenchmarkResult> &results,
+               const BenchTiming &timing, double wallSeconds,
+               int threads);
+
+} // namespace predilp
+
+#endif // PREDILP_DRIVER_BENCH_IO_HH

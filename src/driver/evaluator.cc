@@ -1,0 +1,313 @@
+#include "driver/evaluator.hh"
+
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+CompileOptions
+makeCompileOptions(const SuiteConfig &config, Model model,
+                   const MachineConfig &machine,
+                   const std::string &input)
+{
+    CompileOptions opts;
+    opts.model = model;
+    opts.machine = machine;
+    opts.profileInput = input;
+    opts.enablePromotion = config.enablePromotion;
+    opts.enableBranchCombining = config.enableBranchCombining;
+    opts.enableHeightReduction = config.enableHeightReduction;
+    opts.partial.orTree = config.enableOrTree;
+    opts.partial.useSelect = config.useSelect;
+    return opts;
+}
+
+std::string
+machineKey(const MachineConfig &m)
+{
+    std::ostringstream os;
+    os << m.issueWidth << ',' << m.branchesPerCycle << ','
+       << m.mispredictPenalty << ',' << m.latIntAlu << ','
+       << m.latIntMul << ',' << m.latIntDiv << ',' << m.latFpAlu
+       << ',' << m.latFpDiv << ',' << m.latLoad << ',' << m.latStore
+       << ',' << m.latBranch << ',' << m.latPredDefine;
+    return os.str();
+}
+
+/**
+ * Ablation flags that can affect @p model's compilation, in
+ * canonical form. Flags the pipeline ignores for a model are pinned
+ * to their defaults so e.g. a no-or-tree sweep reuses the Superblock
+ * and Full Predication traces of the default configuration.
+ */
+std::string
+flagsKey(const SuiteConfig &config, Model model)
+{
+    bool promotion = true;
+    bool combining = true;
+    bool heightRed = true;
+    bool orTree = true;
+    bool useSelect = false;
+    switch (model) {
+      case Model::Superblock:
+        break; // none of the ablation flags reach this pipeline.
+      case Model::FullPred:
+        promotion = config.enablePromotion;
+        combining = config.enableBranchCombining;
+        heightRed = config.enableHeightReduction;
+        break;
+      case Model::CondMove:
+        promotion = config.enablePromotion;
+        heightRed = config.enableHeightReduction;
+        orTree = config.enableOrTree;
+        useSelect = config.useSelect;
+        break;
+    }
+    std::ostringstream os;
+    os << promotion << combining << heightRed << orTree << useSelect;
+    return os.str();
+}
+
+std::string
+traceKey(const Workload &workload, const SuiteConfig &config,
+         Model model, const MachineConfig &machine,
+         std::uint64_t fuel)
+{
+    std::ostringstream os;
+    os << workload.name << "|s" << config.scaleMultiplier << "|m"
+       << static_cast<int>(model) << '|' << machineKey(machine)
+       << '|' << flagsKey(config, model) << "|f" << fuel;
+    return os.str();
+}
+
+std::string
+simKey(const SimConfig &sim)
+{
+    std::ostringstream os;
+    os << machineKey(sim.machine) << "|pc" << sim.perfectCaches
+       << "|cs" << sim.cacheSizeBytes << "|cl" << sim.cacheLineBytes
+       << "|mp" << sim.cacheMissPenalty << "|btb" << sim.btbEntries;
+    return os.str();
+}
+
+} // namespace
+
+SuiteEvaluator::SuiteEvaluator(int threads) : pool_(threads) {}
+
+namespace
+{
+
+/**
+ * Future-based once-per-key cache: the first requester computes
+ * inline (so a running pool task never blocks on a queued one);
+ * concurrent requesters block on the owner's shared_future.
+ * Exceptions propagate to every waiter.
+ */
+template <typename T, typename Fn>
+T
+cachedCompute(
+    std::mutex &mutex,
+    std::unordered_map<std::string, std::shared_future<T>> &cache,
+    const std::string &key, std::atomic<std::uint64_t> &hits,
+    Fn &&compute)
+{
+    std::promise<T> promise;
+    std::shared_future<T> future;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            future = promise.get_future().share();
+            cache.emplace(key, future);
+            owner = true;
+        } else {
+            future = it->second;
+            hits.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(compute());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+} // namespace
+
+RunResult
+SuiteEvaluator::referenceFor(const Workload &workload,
+                             const std::string &input, int scale)
+{
+    std::string key =
+        workload.name + "|ref|s" + std::to_string(scale);
+    return cachedCompute(
+        mutex_, references_, key, referenceCacheHits_, [&] {
+            PhaseTimer timer(captureTime_);
+            captures_.fetch_add(1, std::memory_order_relaxed);
+            return runReference(workload.source, input);
+        });
+}
+
+SuiteEvaluator::TracePtr
+SuiteEvaluator::traceFor(const Workload &workload,
+                         const SuiteConfig &config, Model model,
+                         const MachineConfig &machine,
+                         const std::string &input,
+                         std::uint64_t fuel,
+                         const std::string &key)
+{
+    return cachedCompute(
+        mutex_, traces_, key, traceCacheHits_, [&]() -> TracePtr {
+            CompileOptions opts =
+                makeCompileOptions(config, model, machine, input);
+            std::unique_ptr<Program> prog;
+            {
+                PhaseTimer timer(compileTime_);
+                prog = compileForModel(workload.source, opts);
+                compiles_.fetch_add(1, std::memory_order_relaxed);
+            }
+            std::unique_ptr<TraceBuffer> buffer;
+            {
+                PhaseTimer timer(captureTime_);
+                buffer = capture(*prog, input, fuel);
+                captures_.fetch_add(1, std::memory_order_relaxed);
+            }
+            RunResult reference = referenceFor(
+                workload, input, config.scaleMultiplier);
+            panicIf(buffer->run().output != reference.output,
+                    modelName(model), " diverged on ",
+                    workload.name);
+            traceBytes_.fetch_add(buffer->memoryBytes(),
+                                  std::memory_order_relaxed);
+            return TracePtr(std::move(buffer));
+        });
+}
+
+SimResult
+SuiteEvaluator::cellResult(const Workload &workload,
+                           const SuiteConfig &config, Model model,
+                           const MachineConfig &machine,
+                           const SimConfig &sim,
+                           const std::string &input)
+{
+    std::string tkey = traceKey(workload, config, model, machine,
+                                sim.maxDynInstrs);
+    std::string rkey = tkey + "##" + simKey(sim);
+    return cachedCompute(
+        mutex_, results_, rkey, resultCacheHits_, [&] {
+            TracePtr trace =
+                traceFor(workload, config, model, machine, input,
+                         sim.maxDynInstrs, tkey);
+            PhaseTimer timer(replayTime_);
+            replays_.fetch_add(1, std::memory_order_relaxed);
+            return replay(*trace, sim);
+        });
+}
+
+BenchmarkResult
+SuiteEvaluator::evaluate(const Workload &workload,
+                         const SuiteConfig &config)
+{
+    return evaluate(workload, config,
+                    {Model::Superblock, Model::CondMove,
+                     Model::FullPred});
+}
+
+BenchmarkResult
+SuiteEvaluator::evaluate(const Workload &workload,
+                         const SuiteConfig &config,
+                         const std::vector<Model> &models)
+{
+    BenchmarkResult result;
+    result.name = workload.name;
+    std::string input = workload.makeInput(
+        workload.defaultScale * config.scaleMultiplier);
+
+    // Cell 0: the 1-issue Superblock baseline denominator (paper
+    // §4.1); cells 1..n: the requested models at config.machine.
+    std::vector<SimResult> cells(models.size() + 1);
+    pool_.parallelFor(models.size() + 1, [&](std::size_t i) {
+        SimConfig sim;
+        sim.perfectCaches = config.perfectCaches;
+        if (i == 0) {
+            sim.machine = issue1();
+            cells[0] = cellResult(workload, config,
+                                  Model::Superblock, sim.machine,
+                                  sim, input);
+        } else {
+            sim.machine = config.machine;
+            cells[i] = cellResult(workload, config, models[i - 1],
+                                  config.machine, sim, input);
+        }
+    });
+
+    result.baseCycles = cells[0].cycles;
+    for (std::size_t i = 0; i < models.size(); ++i)
+        result.models[models[i]] = std::move(cells[i + 1]);
+    return result;
+}
+
+std::vector<BenchmarkResult>
+SuiteEvaluator::evaluateSuite(const SuiteConfig &config)
+{
+    std::vector<std::string> names;
+    for (const Workload &workload : allWorkloads())
+        names.push_back(workload.name);
+    return evaluateSuite(config, names);
+}
+
+std::vector<BenchmarkResult>
+SuiteEvaluator::evaluateSuite(
+    const SuiteConfig &config,
+    const std::vector<std::string> &onlyNames)
+{
+    std::vector<const Workload *> selected;
+    for (const std::string &name : onlyNames) {
+        const Workload *workload = findWorkload(name);
+        panicIf(workload == nullptr, "unknown workload ", name);
+        selected.push_back(workload);
+    }
+    std::vector<BenchmarkResult> results(selected.size());
+    pool_.parallelFor(selected.size(), [&](std::size_t i) {
+        results[i] = evaluate(*selected[i], config);
+    });
+    return results;
+}
+
+void
+SuiteEvaluator::releaseTraces()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_.clear();
+    traceBytes_.store(0, std::memory_order_relaxed);
+}
+
+BenchTiming
+SuiteEvaluator::timing() const
+{
+    BenchTiming timing;
+    timing.compileSeconds = compileTime_.seconds();
+    timing.captureSeconds = captureTime_.seconds();
+    timing.replaySeconds = replayTime_.seconds();
+    timing.compiles = compiles_.load(std::memory_order_relaxed);
+    timing.captures = captures_.load(std::memory_order_relaxed);
+    timing.replays = replays_.load(std::memory_order_relaxed);
+    timing.traceCacheHits =
+        traceCacheHits_.load(std::memory_order_relaxed);
+    timing.resultCacheHits =
+        resultCacheHits_.load(std::memory_order_relaxed);
+    timing.traceBytes =
+        traceBytes_.load(std::memory_order_relaxed);
+    return timing;
+}
+
+} // namespace predilp

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * SuiteEvaluator: cached, parallel evaluation of the benchmark suite.
+ *
+ * Trace-once/replay-many: every (workload, model, machine,
+ * ablation-flag) combination is compiled and functionally emulated at
+ * most once per evaluator; the captured TraceBuffer is then replayed
+ * under as many SimConfigs as callers request (perfect vs. real
+ * caches, different BTBs, ...). Cache keys canonicalize ablation
+ * flags that cannot affect a model's compilation (e.g. the OR-tree
+ * flag for the Superblock model), so ablation sweeps reuse aggres-
+ * sively. Reference (oracle) runs and priced SimResults are cached
+ * too.
+ *
+ * Evaluation fans out over a ThreadPool — across workloads in
+ * evaluateSuite() and across model cells inside evaluate() — with
+ * results assembled by index, so output is deterministic and
+ * identical for every thread count.
+ */
+
+#ifndef PREDILP_DRIVER_EVALUATOR_HH
+#define PREDILP_DRIVER_EVALUATOR_HH
+
+#include <atomic>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "driver/report.hh"
+#include "support/thread_pool.hh"
+#include "support/timer.hh"
+#include "trace/replay.hh"
+
+namespace predilp
+{
+
+/** Per-phase wall-clock totals and cache counters. */
+struct BenchTiming
+{
+    double compileSeconds = 0;  ///< compileForModel (incl. profiling).
+    double captureSeconds = 0;  ///< trace-producing emulation + refs.
+    double replaySeconds = 0;   ///< pricing captured traces.
+    std::uint64_t compiles = 0; ///< programs compiled.
+    std::uint64_t captures = 0; ///< emulation runs (traces + refs).
+    std::uint64_t replays = 0;  ///< replay passes priced.
+    std::uint64_t traceCacheHits = 0;
+    std::uint64_t resultCacheHits = 0;
+    std::uint64_t traceBytes = 0; ///< resident captured-trace bytes.
+};
+
+/** Cached parallel evaluator; see file comment. */
+class SuiteEvaluator
+{
+  public:
+    /** @param threads 0 = PREDILP_THREADS env / hardware count. */
+    explicit SuiteEvaluator(int threads = 0);
+
+    /** Resolved parallelism. */
+    int threadCount() const { return pool_.threadCount(); }
+
+    /**
+     * Evaluate one workload: 1-issue Superblock baseline plus the
+     * three models (or a subset) at @p config's machine.
+     */
+    BenchmarkResult evaluate(const Workload &workload,
+                             const SuiteConfig &config);
+    BenchmarkResult evaluate(const Workload &workload,
+                             const SuiteConfig &config,
+                             const std::vector<Model> &models);
+
+    /** Evaluate the whole suite (or the named subset), in order. */
+    std::vector<BenchmarkResult>
+    evaluateSuite(const SuiteConfig &config);
+    std::vector<BenchmarkResult>
+    evaluateSuite(const SuiteConfig &config,
+                  const std::vector<std::string> &onlyNames);
+
+    /**
+     * Drop all cached TraceBuffers (priced SimResults stay cached).
+     * Call between workload batches to bound resident memory.
+     */
+    void releaseTraces();
+
+    /** Accumulated phase timing and cache counters so far. */
+    BenchTiming timing() const;
+
+  private:
+    using TracePtr = std::shared_ptr<const TraceBuffer>;
+
+    TracePtr traceFor(const Workload &workload,
+                      const SuiteConfig &config, Model model,
+                      const MachineConfig &machine,
+                      const std::string &input, std::uint64_t fuel,
+                      const std::string &key);
+    RunResult referenceFor(const Workload &workload,
+                           const std::string &input, int scale);
+    SimResult cellResult(const Workload &workload,
+                         const SuiteConfig &config, Model model,
+                         const MachineConfig &machine,
+                         const SimConfig &sim,
+                         const std::string &input);
+
+    ThreadPool pool_;
+    std::mutex mutex_;
+    std::unordered_map<std::string, std::shared_future<TracePtr>>
+        traces_;
+    std::unordered_map<std::string, std::shared_future<RunResult>>
+        references_;
+    std::unordered_map<std::string, std::shared_future<SimResult>>
+        results_;
+
+    PhaseAccumulator compileTime_;
+    PhaseAccumulator captureTime_;
+    PhaseAccumulator replayTime_;
+    std::atomic<std::uint64_t> compiles_{0};
+    std::atomic<std::uint64_t> captures_{0};
+    std::atomic<std::uint64_t> replays_{0};
+    std::atomic<std::uint64_t> traceCacheHits_{0};
+    std::atomic<std::uint64_t> resultCacheHits_{0};
+    std::atomic<std::uint64_t> referenceCacheHits_{0};
+    std::atomic<std::uint64_t> traceBytes_{0};
+};
+
+} // namespace predilp
+
+#endif // PREDILP_DRIVER_EVALUATOR_HH

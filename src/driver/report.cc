@@ -1,5 +1,6 @@
 #include "driver/report.hh"
 
+#include "driver/evaluator.hh"
 #include "support/logging.hh"
 #include "support/stats.hh"
 #include "support/string_utils.hh"
@@ -7,75 +8,18 @@
 namespace predilp
 {
 
-namespace
-{
-
-CompileOptions
-makeCompileOptions(const SuiteConfig &config, Model model,
-                   const std::string &input)
-{
-    CompileOptions opts;
-    opts.model = model;
-    opts.machine = config.machine;
-    opts.profileInput = input;
-    opts.enablePromotion = config.enablePromotion;
-    opts.enableBranchCombining = config.enableBranchCombining;
-    opts.enableHeightReduction = config.enableHeightReduction;
-    opts.partial.orTree = config.enableOrTree;
-    opts.partial.useSelect = config.useSelect;
-    return opts;
-}
-
-} // namespace
-
 BenchmarkResult
 evaluateWorkload(const Workload &workload, const SuiteConfig &config)
 {
-    BenchmarkResult result;
-    result.name = workload.name;
-    std::string input = workload.makeInput(
-        workload.defaultScale * config.scaleMultiplier);
-
-    RunResult reference = runReference(workload.source, input);
-
-    // Baseline denominator: 1-issue processor running Superblock
-    // code scheduled for 1-issue (paper §4.1).
-    {
-        CompileOptions opts = makeCompileOptions(
-            config, Model::Superblock, input);
-        opts.machine = issue1();
-        SimConfig sim;
-        sim.machine = opts.machine;
-        sim.perfectCaches = config.perfectCaches;
-        SimResult base =
-            runModel(workload.source, input, opts, sim);
-        panicIf(base.output != reference.output,
-                "baseline diverged on ", workload.name);
-        result.baseCycles = base.cycles;
-    }
-
-    for (Model model :
-         {Model::Superblock, Model::CondMove, Model::FullPred}) {
-        CompileOptions opts =
-            makeCompileOptions(config, model, input);
-        SimConfig sim;
-        sim.machine = config.machine;
-        sim.perfectCaches = config.perfectCaches;
-        SimResult r = runModel(workload.source, input, opts, sim);
-        panicIf(r.output != reference.output, modelName(model),
-                " diverged on ", workload.name);
-        result.models[model] = std::move(r);
-    }
-    return result;
+    SuiteEvaluator evaluator(config.threads);
+    return evaluator.evaluate(workload, config);
 }
 
 std::vector<BenchmarkResult>
 evaluateSuite(const SuiteConfig &config)
 {
-    std::vector<BenchmarkResult> results;
-    for (const Workload &workload : allWorkloads())
-        results.push_back(evaluateWorkload(workload, config));
-    return results;
+    SuiteEvaluator evaluator(config.threads);
+    return evaluator.evaluateSuite(config);
 }
 
 void

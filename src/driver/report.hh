@@ -53,13 +53,24 @@ struct SuiteConfig
     bool enableOrTree = true;
     /** Input scale multiplier applied to every workload. */
     int scaleMultiplier = 1;
+    /**
+     * Worker threads for suite evaluation: 0 = auto (PREDILP_THREADS
+     * environment variable, else hardware concurrency), 1 = serial.
+     * Results are identical for every thread count.
+     */
+    int threads = 0;
 };
 
-/** Evaluate one workload under one suite configuration. */
+/**
+ * Evaluate one workload under one suite configuration.
+ * Convenience wrapper over SuiteEvaluator (driver/evaluator.hh);
+ * construct an evaluator directly to share the compile+trace cache
+ * across several configurations.
+ */
 BenchmarkResult evaluateWorkload(const Workload &workload,
                                  const SuiteConfig &config);
 
-/** Evaluate the whole suite. */
+/** Evaluate the whole suite. Wrapper over SuiteEvaluator. */
 std::vector<BenchmarkResult> evaluateSuite(const SuiteConfig &config);
 
 /**

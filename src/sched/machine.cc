@@ -6,7 +6,13 @@ namespace predilp
 int
 MachineConfig::latencyOf(const Instruction &instr) const
 {
-    switch (instr.info().latency) {
+    return latencyOf(instr.op());
+}
+
+int
+MachineConfig::latencyOf(Opcode op) const
+{
+    switch (opcodeInfo(op).latency) {
       case LatencyClass::IntAlu: return latIntAlu;
       case LatencyClass::IntMul: return latIntMul;
       case LatencyClass::IntDiv: return latIntDiv;

@@ -37,6 +37,13 @@ struct MachineConfig
 
     /** @return the result latency of @p instr on this machine. */
     int latencyOf(const Instruction &instr) const;
+
+    /**
+     * @return the result latency of opcode @p op. Latency depends
+     * only on the opcode's latency class, which lets the trace
+     * replay path price instructions without IR pointers.
+     */
+    int latencyOf(Opcode op) const;
 };
 
 /** Preset: the paper's 8-issue, 1-branch configuration. */

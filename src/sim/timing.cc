@@ -1,220 +1,235 @@
 #include "sim/timing.hh"
 
-#include <unordered_map>
+#include <algorithm>
 
-#include "sim/cache.hh"
 #include "support/logging.hh"
+#include "trace/replay.hh"
 
 namespace predilp
 {
 
-AddressMap::AddressMap(const Program &prog)
+CycleModel::CycleModel(const StaticIndex &index,
+                       const SimConfig &config)
+    : index_(index), config_(config),
+      icache_(config.cacheSizeBytes, config.cacheLineBytes),
+      dcache_(config.cacheSizeBytes, config.cacheLineBytes),
+      btb_(config.btbEntries)
 {
-    std::int64_t addr = 0x1000;
-    for (const auto &fn : prog.functions()) {
-        auto &table = tables_[fn.get()];
-        table.assign(
-            static_cast<std::size_t>(fn->instrIdBound()), -1);
-        for (BlockId id : fn->layout()) {
-            for (const auto &instr : fn->block(id)->instrs()) {
-                table[static_cast<std::size_t>(instr.id())] = addr;
-                addr += 4;
+    // Price everything interned so far up front; the fused path
+    // extends on demand as new static instructions appear.
+    latencies_.reserve(index_.size());
+    while (latencies_.size() < index_.size()) {
+        latencies_.push_back(config_.machine.latencyOf(
+            index_.op(static_cast<std::uint32_t>(latencies_.size()))
+                .op));
+    }
+}
+
+int
+CycleModel::latencyFor(std::uint32_t staticId)
+{
+    while (latencies_.size() <= staticId) {
+        latencies_.push_back(config_.machine.latencyOf(
+            index_.op(static_cast<std::uint32_t>(latencies_.size()))
+                .op));
+    }
+    return latencies_[staticId];
+}
+
+void
+CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
+                     std::int64_t memAddr)
+{
+    const StaticOp &op = index_.op(staticId);
+    const bool nullified = (flags & traceNullified) != 0;
+    const bool hasMemAddr = (flags & traceHasMemAddr) != 0;
+    result_.dynInstrs += 1;
+    if (nullified)
+        result_.nullified += 1;
+
+    // --- fetch: instruction cache ---
+    if (!config_.perfectCaches) {
+        if (!icache_.access(op.addr)) {
+            result_.icacheMisses += 1;
+            advanceTo(cycle_ + config_.cacheMissPenalty);
+        }
+    }
+
+    // --- operand readiness (register interlocks) ---
+    long t = cycle_;
+    if (op.guard.valid())
+        t = std::max(t, readyAt(op.guard));
+    if (!nullified) {
+        // A squashed instruction is suppressed at decode and never
+        // reads its data operands.
+        const Reg *srcs = index_.regs(op);
+        for (std::uint16_t i = 0; i < op.srcRegCount; ++i)
+            t = std::max(t, readyAt(srcs[i]));
+        // OR/AND-type defines merge with the old value, but
+        // same-sense accumulations issue simultaneously (wired-OR,
+        // paper §2.1): no stall on the destination.
+    }
+    advanceTo(t);
+
+    // --- issue slot allocation ---
+    while (slots_ >= config_.machine.issueWidth ||
+           (op.isBranch &&
+            branchSlots_ >= config_.machine.branchesPerCycle)) {
+        advanceTo(cycle_ + 1);
+    }
+    slots_ += 1;
+    if (op.isBranch)
+        branchSlots_ += 1;
+
+    // --- execution / destination readiness ---
+    int latency = latencyFor(staticId);
+    if (!nullified) {
+        if (op.isLoad) {
+            result_.loads += 1;
+            if (!config_.perfectCaches && hasMemAddr &&
+                !dcache_.access(memAddr)) {
+                result_.dcacheMisses += 1;
+                latency += config_.cacheMissPenalty;
+            }
+        } else if (op.isStore) {
+            result_.stores += 1;
+            if (!config_.perfectCaches && hasMemAddr &&
+                !dcache_.writeAccess(memAddr)) {
+                result_.dcacheMisses += 1;
+                // Write-through with a write buffer: no stall.
             }
         }
-        addr = (addr + 63) & ~std::int64_t{63}; // align functions.
+        setReady(op, cycle_ + latency);
+    }
+
+    // --- control ---
+    if (!nullified && op.isBranch)
+        handleControl(op, (flags & traceTaken) != 0);
+}
+
+SimResult
+CycleModel::finish(std::int64_t exitValue, std::string output)
+{
+    result_.cycles = static_cast<std::uint64_t>(cycle_ + 1);
+    result_.exitValue = exitValue;
+    result_.output = std::move(output);
+    return result_;
+}
+
+long
+CycleModel::readyAt(Reg reg) const
+{
+    auto it = regReady_.find(reg);
+    return it == regReady_.end() ? 0 : it->second;
+}
+
+void
+CycleModel::setReady(const StaticOp &op, long when)
+{
+    if (op.dest.valid())
+        regReady_[op.dest] = when;
+    const Reg *predDests = index_.regs(op) + op.srcRegCount;
+    for (std::uint16_t i = 0; i < op.predDestCount; ++i) {
+        // Accumulated predicates become ready when the *latest*
+        // contribution completes.
+        long &ready = regReady_[predDests[i]];
+        ready = std::max(ready, when);
+    }
+    if (op.isPredAll) {
+        // Whole-file write: conservatively mark every predicate
+        // register known so far.
+        for (auto &[reg, ready] : regReady_) {
+            if (reg.cls() == RegClass::Pred)
+                ready = when;
+        }
+    }
+}
+
+void
+CycleModel::advanceTo(long target)
+{
+    if (target > cycle_) {
+        cycle_ = target;
+        slots_ = 0;
+        branchSlots_ = 0;
+    }
+}
+
+/** Drain outstanding writes (used at call boundaries). */
+void
+CycleModel::drain()
+{
+    long latest = cycle_;
+    for (const auto &[reg, ready] : regReady_)
+        latest = std::max(latest, ready);
+    regReady_.clear();
+    advanceTo(latest);
+}
+
+void
+CycleModel::handleControl(const StaticOp &op, bool taken)
+{
+    // A taken transfer redirects fetch: its target instructions
+    // issue from the next cycle (they were not in this fetch
+    // group). Mispredictions additionally cost the 2-cycle
+    // penalty of §4.1. Correctly-predicted not-taken branches
+    // are free beyond their branch slot.
+    switch (op.kind) {
+      case StaticOp::Kind::CondBranch: {
+        result_.branches += 1;
+        result_.condBranches += 1;
+        bool predicted = btb_.predictTaken(op.addr);
+        btb_.update(op.addr, taken);
+        if (predicted != taken) {
+            result_.mispredicts += 1;
+            advanceTo(cycle_ + 1 + config_.machine.mispredictPenalty);
+        } else if (taken) {
+            advanceTo(cycle_ + 1);
+        }
+        return;
+      }
+      case StaticOp::Kind::Jump:
+        result_.branches += 1;
+        advanceTo(cycle_ + 1);
+        return;
+      case StaticOp::Kind::CallRet:
+        // Calls and returns: frame changes; drain outstanding
+        // writes.
+        drain();
+        advanceTo(cycle_ + 1);
+        return;
+      case StaticOp::Kind::Plain:
+        return;
     }
 }
 
 namespace
 {
 
-/** The in-order pipeline model fed by the emulator. */
-class Pipeline : public TraceSink
+/** Fused producer: interns each emulator record and prices it. */
+class InlineSink : public TraceSink
 {
   public:
-    Pipeline(const Program &prog, const SimConfig &config)
-        : config_(config), addresses_(prog),
-          icache_(config.cacheSizeBytes, config.cacheLineBytes),
-          dcache_(config.cacheSizeBytes, config.cacheLineBytes),
-          btb_(config.btbEntries)
+    InlineSink(const Program &prog, const SimConfig &config)
+        : index_(prog), model_(index_, config)
     {}
 
     void
-    onInstr(const DynRecord &rec) override
+    onInstr(const DynRecord &record) override
     {
-        const Instruction *instr = rec.instr;
-        result_.dynInstrs += 1;
-        if (rec.nullified)
-            result_.nullified += 1;
-
-        std::int64_t addr = addresses_.addressOf(rec.fn, instr);
-
-        // --- fetch: instruction cache ---
-        if (!config_.perfectCaches) {
-            if (!icache_.access(addr)) {
-                result_.icacheMisses += 1;
-                advanceTo(cycle_ + config_.cacheMissPenalty);
-            }
-        }
-
-        // --- operand readiness (register interlocks) ---
-        long t = cycle_;
-        if (instr->guarded())
-            t = std::max(t, readyAt(instr->guard()));
-        if (!rec.nullified) {
-            // A squashed instruction is suppressed at decode and
-            // never reads its data operands.
-            for (const auto &src : instr->srcs()) {
-                if (src.isReg())
-                    t = std::max(t, readyAt(src.reg()));
-            }
-            // OR/AND-type defines merge with the old value, but
-            // same-sense accumulations issue simultaneously
-            // (wired-OR, paper §2.1): no stall on the destination.
-        }
-        advanceTo(t);
-
-        // --- issue slot allocation ---
-        bool isBranch =
-            instr->isControlTransfer() || instr->isCall();
-        while (slots_ >= config_.machine.issueWidth ||
-               (isBranch &&
-                branchSlots_ >= config_.machine.branchesPerCycle)) {
-            advanceTo(cycle_ + 1);
-        }
-        slots_ += 1;
-        if (isBranch)
-            branchSlots_ += 1;
-
-        // --- execution / destination readiness ---
-        int latency = config_.machine.latencyOf(*instr);
-        if (!rec.nullified) {
-            if (instr->isLoad()) {
-                result_.loads += 1;
-                if (!config_.perfectCaches && rec.hasMemAddr &&
-                    !dcache_.access(rec.memAddr)) {
-                    result_.dcacheMisses += 1;
-                    latency += config_.cacheMissPenalty;
-                }
-            } else if (instr->isStore()) {
-                result_.stores += 1;
-                if (!config_.perfectCaches && rec.hasMemAddr &&
-                    !dcache_.writeAccess(rec.memAddr)) {
-                    result_.dcacheMisses += 1;
-                    // Write-through with a write buffer: no stall.
-                }
-            }
-            setReady(rec, cycle_ + latency);
-        }
-
-        // --- control ---
-        if (!rec.nullified && isBranch)
-            handleControl(rec, addr);
+        std::uint32_t id = index_.intern(record.fn, record.instr);
+        model_.onRecord(id, traceFlagsOf(record), record.memAddr);
     }
 
     SimResult
     finish(const RunResult &run)
     {
-        result_.cycles = static_cast<std::uint64_t>(cycle_ + 1);
-        result_.exitValue = run.exitValue;
-        result_.output = run.output;
-        return result_;
+        return model_.finish(run.exitValue, run.output);
     }
 
   private:
-    long
-    readyAt(Reg reg) const
-    {
-        auto it = regReady_.find(reg);
-        return it == regReady_.end() ? 0 : it->second;
-    }
-
-    void
-    setReady(const DynRecord &rec, long when)
-    {
-        const Instruction *instr = rec.instr;
-        if (instr->dest().valid())
-            regReady_[instr->dest()] = when;
-        for (const auto &pd : instr->predDests()) {
-            // Accumulated predicates become ready when the *latest*
-            // contribution completes.
-            long &ready = regReady_[pd.reg];
-            ready = std::max(ready, when);
-        }
-        if (instr->isPredAll()) {
-            // Whole-file write: conservatively mark every predicate
-            // register known so far.
-            for (auto &[reg, ready] : regReady_) {
-                if (reg.cls() == RegClass::Pred)
-                    ready = when;
-            }
-        }
-    }
-
-    void
-    advanceTo(long target)
-    {
-        if (target > cycle_) {
-            cycle_ = target;
-            slots_ = 0;
-            branchSlots_ = 0;
-        }
-    }
-
-    /** Drain outstanding writes (used at call boundaries). */
-    void
-    drain()
-    {
-        long latest = cycle_;
-        for (const auto &[reg, ready] : regReady_)
-            latest = std::max(latest, ready);
-        regReady_.clear();
-        advanceTo(latest);
-    }
-
-    void
-    handleControl(const DynRecord &rec, std::int64_t addr)
-    {
-        const Instruction *instr = rec.instr;
-        // A taken transfer redirects fetch: its target instructions
-        // issue from the next cycle (they were not in this fetch
-        // group). Mispredictions additionally cost the 2-cycle
-        // penalty of §4.1. Correctly-predicted not-taken branches
-        // are free beyond their branch slot.
-        if (instr->isCondBranch()) {
-            result_.branches += 1;
-            result_.condBranches += 1;
-            bool predicted = btb_.predictTaken(addr);
-            btb_.update(addr, rec.taken);
-            if (predicted != rec.taken) {
-                result_.mispredicts += 1;
-                advanceTo(cycle_ + 1 +
-                          config_.machine.mispredictPenalty);
-            } else if (rec.taken) {
-                advanceTo(cycle_ + 1);
-            }
-            return;
-        }
-        if (instr->isJump()) {
-            result_.branches += 1;
-            advanceTo(cycle_ + 1);
-            return;
-        }
-        // Calls and returns: frame changes; drain outstanding writes.
-        drain();
-        advanceTo(cycle_ + 1);
-    }
-
-    const SimConfig &config_;
-    AddressMap addresses_;
-    DirectMappedCache icache_;
-    DirectMappedCache dcache_;
-    BranchTargetBuffer btb_;
-    std::unordered_map<Reg, long> regReady_;
-    long cycle_ = 0;
-    int slots_ = 0;
-    int branchSlots_ = 0;
-    SimResult result_;
+    StaticIndex index_;
+    CycleModel model_;
 };
 
 } // namespace
@@ -223,13 +238,25 @@ SimResult
 simulate(const Program &prog, const std::string &input,
          const SimConfig &config)
 {
-    Pipeline pipeline(prog, config);
+    InlineSink sink(prog, config);
     EmuOptions opts;
-    opts.sink = &pipeline;
+    opts.sink = &sink;
     opts.maxDynInstrs = config.maxDynInstrs;
     Emulator emu(prog);
     RunResult run = emu.run(input, opts);
-    return pipeline.finish(run);
+    return sink.finish(run);
+}
+
+SimResult
+replay(const TraceBuffer &trace, const SimConfig &config)
+{
+    CycleModel model(trace.index(), config);
+    TraceBuffer::Cursor cursor(trace);
+    TraceEntry entry;
+    std::int64_t memAddr = 0;
+    while (cursor.next(entry, memAddr))
+        model.onRecord(entry.staticId, entry.flags, memAddr);
+    return model.finish(trace.run().exitValue, trace.run().output);
 }
 
 } // namespace predilp

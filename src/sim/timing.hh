@@ -5,18 +5,27 @@
  * pipeline model with register interlocks, limited branch slots, a
  * 1K-entry 2-bit BTB with a 2-cycle misprediction penalty, and
  * optional 64K direct-mapped instruction/data caches.
+ *
+ * The cycle model (CycleModel) consumes an abstract record stream —
+ * an interned static-instruction id plus per-record dynamic flags —
+ * so "produce trace" and "price trace" are fully separated. Two
+ * producers exist: simulate() fuses emulation and pricing in one
+ * pass (no trace materialized), and replay() (trace/replay.hh)
+ * prices a previously captured TraceBuffer. Both yield bit-identical
+ * SimResults for the same program, input, and configuration.
  */
 
 #ifndef PREDILP_SIM_TIMING_HH
 #define PREDILP_SIM_TIMING_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
-#include "emu/emulator.hh"
-#include "ir/program.hh"
 #include "sched/machine.hh"
+#include "sim/cache.hh"
+#include "trace/trace.hh"
 
 namespace predilp
 {
@@ -66,31 +75,62 @@ struct SimResult
 };
 
 /**
- * Instruction address assignment: 4 bytes per instruction, functions
- * and blocks laid out in program/layout order. Used by the I-cache
- * and BTB models.
+ * The in-order pipeline pricing model. Stateless about *how* records
+ * are produced: feed it interned records via onRecord() — from the
+ * live emulator (simulate()) or a captured buffer (replay()) — then
+ * collect the SimResult with finish().
+ *
+ * Decode information comes from the StaticIndex; per-machine
+ * instruction latencies are computed once per static instruction and
+ * memoized in a dense table, so the per-record path performs no map
+ * lookups and never touches IR data structures.
  */
-class AddressMap
+class CycleModel
 {
   public:
-    explicit AddressMap(const Program &prog);
+    /**
+     * @param index decode tables; may still be growing (the fused
+     * simulate() path interns lazily), so it is consulted by value
+     * index on every record and latencies extend on demand.
+     */
+    CycleModel(const StaticIndex &index, const SimConfig &config);
 
-    /** Address of @p instr inside @p fn. */
-    std::int64_t
-    addressOf(const Function *fn, const Instruction *instr) const
-    {
-        const auto &table = tables_.at(fn);
-        return table[static_cast<std::size_t>(instr->id())];
-    }
+    /** Price one dynamic record. */
+    void onRecord(std::uint32_t staticId, std::uint32_t flags,
+                  std::int64_t memAddr);
+
+    /** Finalize: attach the functional run's outcome. */
+    SimResult finish(std::int64_t exitValue, std::string output);
 
   private:
-    std::map<const Function *, std::vector<std::int64_t>> tables_;
+    int latencyFor(std::uint32_t staticId);
+    long readyAt(Reg reg) const;
+    void setReady(const StaticOp &op, long when);
+    void advanceTo(long target);
+    void drain();
+    void handleControl(const StaticOp &op, bool taken);
+
+    const StaticIndex &index_;
+    const SimConfig &config_;
+    std::vector<int> latencies_; ///< dense, indexed by static id.
+    DirectMappedCache icache_;
+    DirectMappedCache dcache_;
+    BranchTargetBuffer btb_;
+    std::unordered_map<Reg, long> regReady_;
+    long cycle_ = 0;
+    int slots_ = 0;
+    int branchSlots_ = 0;
+    SimResult result_;
 };
 
 /**
  * Run @p prog on @p input under the timing model @p config.
  * The program must be fully compiled (scheduled + laid out) for the
  * cycle counts to be meaningful, but any executable program works.
+ *
+ * Emulation and pricing run fused in a single pass; use capture() +
+ * replay() instead when the same program will be priced under more
+ * than one configuration.
  */
 SimResult simulate(const Program &prog, const std::string &input,
                    const SimConfig &config);

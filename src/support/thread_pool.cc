@@ -1,0 +1,131 @@
+#include "support/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+/** Identifies the pool (if any) the current thread works for. */
+thread_local const ThreadPool *currentPool = nullptr;
+
+} // namespace
+
+int
+resolveThreadCount(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PREDILP_THREADS")) {
+        int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+        warn("ignoring invalid PREDILP_THREADS value '" +
+             std::string(env) + "'");
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(resolveThreadCount(threads))
+{
+    if (threads_ <= 1)
+        return;
+    workers_.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return currentPool == this;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    currentPool = this;
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained.
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the task's future.
+    }
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    std::packaged_task<void()> packaged(std::move(task));
+    std::future<void> future = packaged.get_future();
+    // Inline execution keeps a serial pool allocation-free and makes
+    // nested submission from a worker deadlock-free: a worker waiting
+    // on its own pool's queue could starve when every other worker is
+    // doing the same.
+    if (workers_.empty() || onWorkerThread()) {
+        packaged();
+        return future;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panicIf(stopping_, "submit on a stopping thread pool");
+        queue_.push_back(std::move(packaged));
+    }
+    wake_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (workers_.empty() || onWorkerThread() || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        futures.push_back(submit([&body, i] { body(i); }));
+    std::exception_ptr first;
+    for (auto &future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace predilp

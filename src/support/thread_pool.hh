@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A small fixed-size thread pool used to parallelize suite
+ * evaluation. Tasks are plain std::function thunks; submit() returns
+ * a future so callers can join and observe exceptions. parallelFor()
+ * is the main entry point: it fans a loop body out over the pool and
+ * blocks until every iteration finished, rethrowing the first
+ * exception any iteration raised.
+ *
+ * Nested use is safe: parallelFor() called from inside a worker
+ * thread degrades to a serial loop instead of deadlocking on the
+ * pool's own queue.
+ */
+
+#ifndef PREDILP_SUPPORT_THREAD_POOL_HH
+#define PREDILP_SUPPORT_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace predilp
+{
+
+/**
+ * Resolve a requested thread count: a positive request is taken
+ * as-is; 0 (auto) consults the PREDILP_THREADS environment variable
+ * and falls back to std::thread::hardware_concurrency(). The result
+ * is always at least 1.
+ */
+int resolveThreadCount(int requested);
+
+/** Fixed-size worker pool. A count of 1 executes tasks inline. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count request, resolved via
+     * resolveThreadCount(); the pool spawns no threads when the
+     * resolved count is 1 and every task runs inline.
+     */
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Resolved parallelism (1 means serial/inline). */
+    int threadCount() const { return threads_; }
+
+    /**
+     * Enqueue one task. With a serial pool, or when called from one
+     * of this pool's own workers, the task runs inline before
+     * returning (the future is already ready).
+     */
+    std::future<void> submit(std::function<void()> task);
+
+    /**
+     * Run body(i) for every i in [0, count) across the pool and wait
+     * for all iterations. The first exception thrown by any
+     * iteration is rethrown here after every iteration finished.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &body);
+
+  private:
+    void workerLoop();
+    bool onWorkerThread() const;
+
+    int threads_ = 1;
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+};
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_THREAD_POOL_HH

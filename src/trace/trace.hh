@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Trace capture for trace-once/replay-many simulation.
+ *
+ * The paper's methodology (§4.1) decouples functional execution from
+ * timing: benchmarks were traced once on PA-RISC hardware and the
+ * trace drove the cycle-level simulator. This module is that
+ * decoupling for PredILP: capture() runs the functional emulator once
+ * per compiled program and records the dynamic instruction stream in
+ * a compact TraceBuffer; replay() (declared in trace/replay.hh,
+ * implemented next to the cycle model in src/sim/timing.cc) then
+ * prices the same buffer under any number of SimConfigs — issue
+ * widths, branch slots, perfect vs. real caches, BTB sizes — without
+ * re-emulating.
+ *
+ * Buffer format: one fixed-width 8-byte POD TraceEntry per dynamic
+ * instruction, holding an interned static-instruction id plus
+ * nullified/taken/has-memory flags. Memory addresses, present for
+ * only a fraction of records, live in a parallel side stream
+ * consumed in order during replay. Both streams use chunked storage
+ * so multi-million-instruction captures never reallocate or copy.
+ *
+ * Interning: a StaticIndex maps each (function, instruction) pair to
+ * a dense uint32 id on first dynamic appearance, using per-function
+ * vectors indexed by instruction id (no per-record map lookups), and
+ * precomputes everything the timing model needs per static
+ * instruction — fetch address, opcode, guard/source/destination
+ * registers, and branch classification — exactly once.
+ */
+
+#ifndef PREDILP_TRACE_TRACE_HH
+#define PREDILP_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "ir/program.hh"
+
+namespace predilp
+{
+
+/**
+ * Instruction address assignment: 4 bytes per instruction, functions
+ * and blocks laid out in program/layout order. Used by the I-cache
+ * and BTB models. Lookup is a per-function ordinal plus a dense
+ * per-function vector indexed by instruction id; the StaticIndex
+ * calls it once per *static* instruction, never per record.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const Program &prog);
+
+    /** Address of @p instr inside @p fn. */
+    std::int64_t
+    addressOf(const Function *fn, const Instruction *instr) const
+    {
+        const auto &table = tables_[fnOrdinals_.at(fn)];
+        return table[static_cast<std::size_t>(instr->id())];
+    }
+
+  private:
+    std::unordered_map<const Function *, std::size_t> fnOrdinals_;
+    std::vector<std::vector<std::int64_t>> tables_;
+};
+
+/**
+ * Machine-independent decode summary of one static instruction,
+ * precomputed at interning time so the cycle model never touches IR
+ * data structures on the per-record path. Latency is *not* stored
+ * here: it depends on the MachineConfig, so each replay prices
+ * opcodes against its own machine (see CycleModel).
+ */
+struct StaticOp
+{
+    /** Control-flow classification used by the timing model. */
+    enum class Kind : std::uint8_t
+    {
+        Plain,      ///< no control transfer.
+        CondBranch, ///< conditional branch (BTB-predicted).
+        Jump,       ///< unconditional jump.
+        CallRet,    ///< call or return (drains interlocks).
+    };
+
+    std::int64_t addr = 0;   ///< fetch address (AddressMap).
+    Opcode op = Opcode::Nop; ///< for per-machine latency pricing.
+    Reg guard;               ///< invalid when unguarded.
+    Reg dest;                ///< invalid when no register result.
+    std::uint32_t regBegin = 0;      ///< offset into the reg pool.
+    std::uint16_t srcRegCount = 0;   ///< register sources.
+    std::uint16_t predDestCount = 0; ///< pred dests (after sources).
+    Kind kind = Kind::Plain;
+    bool isBranch = false; ///< consumes a branch issue slot.
+    bool isLoad = false;
+    bool isStore = false;
+    bool isPredAll = false; ///< pred_clear / pred_set.
+};
+
+/**
+ * Dense interner of (function, instruction) pairs. Mutable only
+ * while a capture (or inline simulation) is producing records;
+ * read-only — and therefore safely shareable across threads — once
+ * the trace is complete.
+ */
+class StaticIndex
+{
+  public:
+    /** Marker for "not interned yet". */
+    static constexpr std::uint32_t invalidId = 0xFFFFFFFFu;
+
+    explicit StaticIndex(const Program &prog);
+
+    /** Id of @p instr, interning it on first use. */
+    std::uint32_t
+    intern(const Function *fn, const Instruction *instr)
+    {
+        // Consecutive records overwhelmingly share a function; cache
+        // the last table so the hot path is one vector index.
+        if (fn != lastFn_) {
+            lastFn_ = fn;
+            lastTable_ = &idTables_[fnOrdinals_.at(fn)];
+        }
+        std::uint32_t &slot =
+            (*lastTable_)[static_cast<std::size_t>(instr->id())];
+        if (slot == invalidId)
+            slot = addOp(fn, instr);
+        return slot;
+    }
+
+    const StaticOp &
+    op(std::uint32_t id) const
+    {
+        return ops_[id];
+    }
+
+    /**
+     * Pooled register operands of @p op: srcRegCount source
+     * registers followed by predDestCount predicate destinations.
+     */
+    const Reg *
+    regs(const StaticOp &op) const
+    {
+        return regPool_.data() + op.regBegin;
+    }
+
+    /** Number of interned static instructions. */
+    std::uint32_t
+    size() const
+    {
+        return static_cast<std::uint32_t>(ops_.size());
+    }
+
+  private:
+    std::uint32_t addOp(const Function *fn, const Instruction *instr);
+
+    AddressMap addresses_;
+    std::unordered_map<const Function *, std::size_t> fnOrdinals_;
+    std::vector<std::vector<std::uint32_t>> idTables_;
+    std::vector<StaticOp> ops_;
+    std::vector<Reg> regPool_;
+    const Function *lastFn_ = nullptr;
+    std::vector<std::uint32_t> *lastTable_ = nullptr;
+};
+
+/** One captured dynamic instruction: fixed-width POD. */
+struct TraceEntry
+{
+    std::uint32_t staticId = 0;
+    std::uint32_t flags = 0;
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEntry> &&
+                  sizeof(TraceEntry) == 8,
+              "TraceEntry must stay a compact fixed-width POD");
+
+/** TraceEntry::flags bits (mirroring DynRecord). */
+constexpr std::uint32_t traceNullified = 1u << 0;
+constexpr std::uint32_t traceTaken = 1u << 1;
+constexpr std::uint32_t traceHasMemAddr = 1u << 2;
+
+/**
+ * A captured dynamic trace: the interner, the entry stream, the
+ * memory-address side stream, and the functional run's result.
+ * Append-only during capture; immutable afterwards.
+ */
+class TraceBuffer
+{
+  public:
+    /** Entries per storage chunk (64K entries = 512KiB). */
+    static constexpr std::size_t chunkEntries = std::size_t{1} << 16;
+
+    explicit TraceBuffer(const Program &prog) : index_(prog) {}
+
+    StaticIndex &index() { return index_; }
+    const StaticIndex &index() const { return index_; }
+
+    /** Append one record. @p memAddr is stored only when flagged. */
+    void
+    append(std::uint32_t staticId, std::uint32_t flags,
+           std::int64_t memAddr)
+    {
+        if (chunks_.empty() || chunks_.back().size() == chunkEntries) {
+            chunks_.emplace_back();
+            chunks_.back().reserve(chunkEntries);
+        }
+        chunks_.back().push_back(TraceEntry{staticId, flags});
+        count_ += 1;
+        if ((flags & traceHasMemAddr) != 0) {
+            if (memChunks_.empty() ||
+                memChunks_.back().size() == chunkEntries) {
+                memChunks_.emplace_back();
+                memChunks_.back().reserve(chunkEntries);
+            }
+            memChunks_.back().push_back(memAddr);
+        }
+    }
+
+    /** Total captured records. */
+    std::uint64_t size() const { return count_; }
+
+    /** Approximate resident bytes of the two streams. */
+    std::uint64_t
+    memoryBytes() const
+    {
+        std::uint64_t bytes = 0;
+        for (const auto &chunk : chunks_)
+            bytes += chunk.capacity() * sizeof(TraceEntry);
+        for (const auto &chunk : memChunks_)
+            bytes += chunk.capacity() * sizeof(std::int64_t);
+        return bytes;
+    }
+
+    /** Functional result of the capturing emulation run. */
+    const RunResult &run() const { return run_; }
+    void setRun(RunResult run) { run_ = std::move(run); }
+
+    /** Forward iterator over the two streams, for replay. */
+    class Cursor
+    {
+      public:
+        explicit Cursor(const TraceBuffer &buffer) : buffer_(buffer)
+        {}
+
+        /**
+         * Fetch the next record. @p memAddr is set only when the
+         * entry's traceHasMemAddr flag is set.
+         * @return false at end of trace.
+         */
+        bool
+        next(TraceEntry &entry, std::int64_t &memAddr)
+        {
+            if (chunk_ >= buffer_.chunks_.size())
+                return false;
+            const auto &chunk = buffer_.chunks_[chunk_];
+            entry = chunk[offset_];
+            if ((entry.flags & traceHasMemAddr) != 0) {
+                memAddr =
+                    buffer_.memChunks_[memChunk_][memOffset_];
+                if (++memOffset_ ==
+                    buffer_.memChunks_[memChunk_].size()) {
+                    memChunk_ += 1;
+                    memOffset_ = 0;
+                }
+            }
+            if (++offset_ == chunk.size()) {
+                chunk_ += 1;
+                offset_ = 0;
+            }
+            return true;
+        }
+
+      private:
+        const TraceBuffer &buffer_;
+        std::size_t chunk_ = 0;
+        std::size_t offset_ = 0;
+        std::size_t memChunk_ = 0;
+        std::size_t memOffset_ = 0;
+    };
+
+  private:
+    StaticIndex index_;
+    std::vector<std::vector<TraceEntry>> chunks_;
+    std::vector<std::vector<std::int64_t>> memChunks_;
+    std::uint64_t count_ = 0;
+    RunResult run_;
+};
+
+/** Pack a DynRecord's dynamic bits into TraceEntry flags. */
+inline std::uint32_t
+traceFlagsOf(const DynRecord &record)
+{
+    std::uint32_t flags = 0;
+    if (record.nullified)
+        flags |= traceNullified;
+    if (record.taken)
+        flags |= traceTaken;
+    if (record.hasMemAddr)
+        flags |= traceHasMemAddr;
+    return flags;
+}
+
+/**
+ * Emulate @p prog on @p input once, recording the dynamic trace.
+ * The returned buffer is self-contained: it does not reference
+ * @p prog and may outlive it.
+ *
+ * @param maxDynInstrs emulator fuel limit.
+ */
+std::unique_ptr<TraceBuffer>
+capture(const Program &prog, const std::string &input,
+        std::uint64_t maxDynInstrs = 2'000'000'000ull);
+
+} // namespace predilp
+
+#endif // PREDILP_TRACE_TRACE_HH

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * SuiteEvaluator tests: results are identical for every thread
+ * count, repeated evaluation hits the caches instead of recompiling,
+ * and one evaluator reuses captured traces across simulation
+ * configurations (the trace-once/replay-many contract).
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/evaluator.hh"
+
+namespace predilp
+{
+namespace
+{
+
+const std::vector<std::string> subset = {"cmp", "qsort", "wc"};
+
+SuiteConfig
+smallConfig()
+{
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+    config.perfectCaches = true;
+    return config;
+}
+
+void
+expectResultsEq(const std::vector<BenchmarkResult> &a,
+                const std::vector<BenchmarkResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].baseCycles, b[i].baseCycles);
+        ASSERT_EQ(a[i].models.size(), b[i].models.size());
+        for (const auto &[model, sim] : a[i].models) {
+            const SimResult &other = b[i].models.at(model);
+            EXPECT_EQ(sim.cycles, other.cycles);
+            EXPECT_EQ(sim.dynInstrs, other.dynInstrs);
+            EXPECT_EQ(sim.nullified, other.nullified);
+            EXPECT_EQ(sim.branches, other.branches);
+            EXPECT_EQ(sim.condBranches, other.condBranches);
+            EXPECT_EQ(sim.mispredicts, other.mispredicts);
+            EXPECT_EQ(sim.loads, other.loads);
+            EXPECT_EQ(sim.stores, other.stores);
+            EXPECT_EQ(sim.icacheMisses, other.icacheMisses);
+            EXPECT_EQ(sim.dcacheMisses, other.dcacheMisses);
+            EXPECT_EQ(sim.exitValue, other.exitValue);
+            EXPECT_EQ(sim.output, other.output);
+        }
+    }
+}
+
+TEST(SuiteEvaluator, ThreadCountDoesNotChangeResults)
+{
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator serial(1);
+    SuiteEvaluator parallel(4);
+    EXPECT_EQ(serial.threadCount(), 1);
+    EXPECT_EQ(parallel.threadCount(), 4);
+    auto a = serial.evaluateSuite(config, subset);
+    auto b = parallel.evaluateSuite(config, subset);
+    expectResultsEq(a, b);
+    // Order follows the requested names, not completion order.
+    ASSERT_EQ(a.size(), subset.size());
+    for (std::size_t i = 0; i < subset.size(); ++i)
+        EXPECT_EQ(a[i].name, subset[i]);
+}
+
+TEST(SuiteEvaluator, RepeatHitsResultCache)
+{
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator evaluator(1);
+    auto first = evaluator.evaluateSuite(config, subset);
+    BenchTiming cold = evaluator.timing();
+    EXPECT_GT(cold.compiles, 0u);
+    EXPECT_EQ(cold.resultCacheHits, 0u);
+
+    auto second = evaluator.evaluateSuite(config, subset);
+    BenchTiming warm = evaluator.timing();
+    expectResultsEq(first, second);
+    // The repeat did no new work: every cell was a result-cache hit.
+    EXPECT_EQ(warm.compiles, cold.compiles);
+    EXPECT_EQ(warm.captures, cold.captures);
+    EXPECT_EQ(warm.replays, cold.replays);
+    EXPECT_EQ(warm.resultCacheHits,
+              cold.resultCacheHits + 4 * subset.size());
+}
+
+TEST(SuiteEvaluator, TracesReusedAcrossSimConfigs)
+{
+    SuiteConfig perfect = smallConfig();
+    SuiteConfig real = smallConfig();
+    real.perfectCaches = false;
+
+    SuiteEvaluator evaluator(1);
+    evaluator.evaluateSuite(perfect, subset);
+    BenchTiming cold = evaluator.timing();
+
+    evaluator.evaluateSuite(real, subset);
+    BenchTiming warm = evaluator.timing();
+    // Real caches change only the pricing: no recompilation or
+    // re-emulation, every cell replayed from the cached trace.
+    EXPECT_EQ(warm.compiles, cold.compiles);
+    EXPECT_EQ(warm.captures, cold.captures);
+    EXPECT_EQ(warm.traceCacheHits,
+              cold.traceCacheHits + 4 * subset.size());
+    EXPECT_EQ(warm.replays, cold.replays + 4 * subset.size());
+}
+
+TEST(SuiteEvaluator, ModelSubsetEvaluatesOnlyThatModel)
+{
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator evaluator(1);
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    BenchmarkResult r =
+        evaluator.evaluate(*workload, config, {Model::FullPred});
+    EXPECT_EQ(r.models.size(), 1u);
+    EXPECT_GT(r.baseCycles, 0u);
+    EXPECT_GT(r.speedup(Model::FullPred), 0.0);
+    // Baseline + one model: exactly two compiles.
+    EXPECT_EQ(evaluator.timing().compiles, 2u);
+}
+
+TEST(SuiteEvaluator, ReleaseTracesKeepsResults)
+{
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator evaluator(1);
+    auto first = evaluator.evaluateSuite(config, subset);
+    EXPECT_GT(evaluator.timing().traceBytes, 0u);
+    evaluator.releaseTraces();
+    EXPECT_EQ(evaluator.timing().traceBytes, 0u);
+    // Priced results survive the trace drop.
+    auto second = evaluator.evaluateSuite(config, subset);
+    expectResultsEq(first, second);
+    // Per workload: 4 capturing emulations + 1 reference run.
+    EXPECT_EQ(evaluator.timing().captures, first.size() * 5);
+}
+
+TEST(SuiteEvaluator, UnknownWorkloadPanics)
+{
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator evaluator(1);
+    EXPECT_ANY_THROW(evaluator.evaluateSuite(config, {"nope"}));
+}
+
+} // namespace
+} // namespace predilp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * ThreadPool tests: parallelFor correctness for serial and parallel
+ * pools, exception propagation, inline execution on serial pools,
+ * nested parallelFor safety, and thread-count resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <thread>
+
+#include "support/thread_pool.hh"
+
+namespace predilp
+{
+namespace
+{
+
+TEST(ResolveThreadCount, PositivePassesThrough)
+{
+    EXPECT_EQ(resolveThreadCount(1), 1);
+    EXPECT_EQ(resolveThreadCount(7), 7);
+}
+
+TEST(ResolveThreadCount, AutoHonorsEnvironment)
+{
+    ASSERT_EQ(setenv("PREDILP_THREADS", "3", 1), 0);
+    EXPECT_EQ(resolveThreadCount(0), 3);
+    ASSERT_EQ(unsetenv("PREDILP_THREADS"), 0);
+    EXPECT_GE(resolveThreadCount(0), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    for (int threads : {1, 2, 4}) {
+        ThreadPool pool(threads);
+        std::vector<std::uint64_t> out(1000, 0);
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = static_cast<std::uint64_t>(i) * i;
+        });
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], static_cast<std::uint64_t>(i) * i);
+    }
+}
+
+TEST(ThreadPool, SerialPoolRunsInline)
+{
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.threadCount(), 1);
+    std::thread::id main = std::this_thread::get_id();
+    pool.parallelFor(16, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), main);
+    });
+    bool ran = false;
+    auto future = pool.submit([&] { ran = true; });
+    EXPECT_TRUE(ran); // inline: done before submit returned.
+    future.get();
+}
+
+TEST(ThreadPool, ExceptionPropagates)
+{
+    for (int threads : {1, 4}) {
+        ThreadPool pool(threads);
+        EXPECT_THROW(pool.parallelFor(32,
+                                      [&](std::size_t i) {
+                                          if (i == 7)
+                                              throw std::runtime_error(
+                                                  "boom");
+                                      }),
+                     std::runtime_error);
+    }
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    pool.parallelFor(8, [&](std::size_t) {
+        // Called from a worker: must degrade to serial, not block
+        // on the pool's own queue.
+        pool.parallelFor(16, [&](std::size_t) {
+            count.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SubmitRunsEverything)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit(
+            [&] { count.fetch_add(1, std::memory_order_relaxed); }));
+    for (auto &future : futures)
+        future.get();
+    EXPECT_EQ(count.load(), 100);
+}
+
+} // namespace
+} // namespace predilp

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Trace capture/replay tests: replay(capture(prog)) must be
+ * field-for-field identical to the fused simulate() path for every
+ * model, replaying one buffer twice must agree, one buffer must be
+ * replayable under many SimConfigs, and the chunked storage must
+ * survive chunk-boundary rollover in both streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hh"
+#include "sim/timing.hh"
+#include "trace/replay.hh"
+#include "trace/trace.hh"
+#include "workloads/workloads.hh"
+
+namespace predilp
+{
+namespace
+{
+
+void
+expectSimEq(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.nullified, b.nullified);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    EXPECT_EQ(a.output, b.output);
+}
+
+std::unique_ptr<Program>
+compiledWorkload(const Workload &workload, Model model,
+                 const std::string &input)
+{
+    CompileOptions opts;
+    opts.model = model;
+    opts.machine = issue8Branch1();
+    opts.profileInput = input;
+    return compileForModel(workload.source, opts);
+}
+
+TEST(Replay, MatchesInlineSimulateEveryModel)
+{
+    for (const char *name : {"cmp", "wc"}) {
+        const Workload *workload = findWorkload(name);
+        ASSERT_NE(workload, nullptr);
+        std::string input = workload->makeInput(1);
+        for (Model model : {Model::Superblock, Model::CondMove,
+                            Model::FullPred}) {
+            auto prog = compiledWorkload(*workload, model, input);
+            SimConfig sim;
+            sim.machine = issue8Branch1();
+            SimResult inlined = simulate(*prog, input, sim);
+            auto buffer = capture(*prog, input);
+            SimResult replayed = replay(*buffer, sim);
+            SCOPED_TRACE(workload->name + "/" + modelName(model));
+            expectSimEq(inlined, replayed);
+        }
+    }
+}
+
+TEST(Replay, SameBufferTwiceAgrees)
+{
+    const Workload *workload = findWorkload("qsort");
+    ASSERT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    auto prog =
+        compiledWorkload(*workload, Model::FullPred, input);
+    auto buffer = capture(*prog, input);
+    SimConfig sim;
+    sim.machine = issue8Branch1();
+    expectSimEq(replay(*buffer, sim), replay(*buffer, sim));
+}
+
+TEST(Replay, OneBufferManyConfigs)
+{
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    auto prog =
+        compiledWorkload(*workload, Model::FullPred, input);
+    auto buffer = capture(*prog, input);
+
+    // The trace stream never depends on the SimConfig: replaying the
+    // one buffer must match a fresh fused simulation per config.
+    SimConfig real;
+    real.machine = issue8Branch1();
+    real.perfectCaches = false;
+    expectSimEq(replay(*buffer, real), simulate(*prog, input, real));
+
+    SimConfig narrow;
+    narrow.machine = issue1();
+    expectSimEq(replay(*buffer, narrow),
+                simulate(*prog, input, narrow));
+
+    SimConfig smallBtb;
+    smallBtb.machine = issue8Branch2();
+    smallBtb.btbEntries = 16;
+    expectSimEq(replay(*buffer, smallBtb),
+                simulate(*prog, input, smallBtb));
+}
+
+TEST(Replay, BufferIsSelfContained)
+{
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    auto prog =
+        compiledWorkload(*workload, Model::Superblock, input);
+    SimConfig sim;
+    sim.machine = issue8Branch1();
+    SimResult inlined = simulate(*prog, input, sim);
+    auto buffer = capture(*prog, input);
+    prog.reset(); // replay must not touch the IR.
+    expectSimEq(inlined, replay(*buffer, sim));
+}
+
+TEST(TraceBuffer, CursorSurvivesChunkRollover)
+{
+    Program prog;
+    TraceBuffer buffer(prog);
+    // Enough records to roll both streams over several chunks; every
+    // third record carries a memory address.
+    const std::uint64_t n = 3 * TraceBuffer::chunkEntries + 17;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint32_t flags =
+            (i % 3 == 0) ? traceHasMemAddr : traceTaken;
+        buffer.append(static_cast<std::uint32_t>(i % 977), flags,
+                      static_cast<std::int64_t>(i * 8));
+    }
+    EXPECT_EQ(buffer.size(), n);
+
+    TraceBuffer::Cursor cursor(buffer);
+    TraceEntry entry;
+    std::int64_t memAddr = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(cursor.next(entry, memAddr));
+        EXPECT_EQ(entry.staticId, i % 977);
+        if (i % 3 == 0) {
+            EXPECT_EQ(entry.flags, traceHasMemAddr);
+            EXPECT_EQ(memAddr, static_cast<std::int64_t>(i * 8));
+        } else {
+            EXPECT_EQ(entry.flags, traceTaken);
+        }
+    }
+    EXPECT_FALSE(cursor.next(entry, memAddr));
+}
+
+TEST(TraceBuffer, RecordsFunctionalRun)
+{
+    const Workload *workload = findWorkload("wc");
+    ASSERT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    auto prog =
+        compiledWorkload(*workload, Model::Superblock, input);
+    auto buffer = capture(*prog, input);
+    RunResult reference = runReference(workload->source, input);
+    EXPECT_EQ(buffer->run().output, reference.output);
+    EXPECT_EQ(buffer->run().exitValue, reference.exitValue);
+    EXPECT_GT(buffer->size(), 0u);
+    EXPECT_GT(buffer->memoryBytes(), 0u);
+}
+
+} // namespace
+} // namespace predilp
