@@ -69,29 +69,29 @@ main()
 
     {
         SuiteConfig c = base;
-        c.enablePromotion = false;
+        c.ablation.promotion = false;
         row("no-promotion", c, Model::FullPred);
         row("no-promotion", c, Model::CondMove);
     }
     {
         SuiteConfig c = base;
-        c.enableBranchCombining = false;
+        c.ablation.branchCombining = false;
         row("no-combining", c, Model::FullPred);
     }
     {
         SuiteConfig c = base;
-        c.enableHeightReduction = false;
+        c.ablation.heightReduction = false;
         row("no-height-red", c, Model::FullPred);
         row("no-height-red", c, Model::CondMove);
     }
     {
         SuiteConfig c = base;
-        c.enableOrTree = false;
+        c.ablation.orTree = false;
         row("no-or-tree", c, Model::CondMove);
     }
     {
         SuiteConfig c = base;
-        c.useSelect = true;
+        c.ablation.useSelect = true;
         row("with-select", c, Model::CondMove);
     }
 
@@ -101,6 +101,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("ablations", allResults, timing, wall.seconds(),
-                   evaluator.threadCount());
+                   evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

@@ -27,6 +27,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("fig08_issue8_br1", results, timing,
-                   wall.seconds(), evaluator.threadCount());
+                   wall.seconds(), evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

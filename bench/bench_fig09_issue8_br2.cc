@@ -28,6 +28,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("fig09_issue8_br2", results, timing,
-                   wall.seconds(), evaluator.threadCount());
+                   wall.seconds(), evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

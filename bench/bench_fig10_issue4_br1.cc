@@ -28,6 +28,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("fig10_issue4_br1", results, timing,
-                   wall.seconds(), evaluator.threadCount());
+                   wall.seconds(), evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

@@ -29,6 +29,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("fig11_realcache", results, timing,
-                   wall.seconds(), evaluator.threadCount());
+                   wall.seconds(), evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

@@ -78,6 +78,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("figures_all", all, timing, wall.seconds(),
-                   evaluator.threadCount());
+                   evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

@@ -26,6 +26,7 @@ main()
     printPhaseTiming(std::cout, timing, wall.seconds(),
                      evaluator.threadCount());
     writeBenchJson("table2_dyncount", results, timing,
-                   wall.seconds(), evaluator.threadCount());
+                   wall.seconds(), evaluator.threadCount(),
+                   evaluator.compileStats());
     return 0;
 }

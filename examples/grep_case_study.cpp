@@ -28,7 +28,7 @@ run(const Workload &grep, const std::string &input, Model model,
     opts.model = model;
     opts.machine = issue8Branch1();
     opts.profileInput = input;
-    opts.enableBranchCombining = combining;
+    opts.ablation.branchCombining = combining;
     opts.partial.orTree = orTree;
     SimConfig sim;
     sim.machine = opts.machine;

@@ -93,7 +93,7 @@ main()
         opts.model = model;
         opts.machine = sim.machine;
         opts.profileInput = input;
-        opts.enableUnrolling = false; // keep the listings readable.
+        opts.ablation.unrolling = false; // keep the listings readable.
         auto prog = compileForModel(source, opts);
         show(modelName(model), *prog);
 

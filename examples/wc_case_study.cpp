@@ -66,7 +66,7 @@ main()
         opts.model = model;
         opts.machine = sim.machine;
         opts.profileInput = input;
-        opts.enableUnrolling = false; // show the plain schedule.
+        opts.ablation.unrolling = false; // show the plain schedule.
         auto prog = compileForModel(wc->source, opts);
 
         if (model != Model::Superblock) {

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run a bench binary and validate every BENCH_*.json it emits (the
+# StatsSnapshot-serialized observability payload) with a strict JSON
+# parser. Usage: scripts/bench_json.sh [bench-binary...]; defaults to
+# the Figure 8 benchmark. Assumes scripts/tier1.sh already built.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+if [ "${#benches[@]}" -eq 0 ]; then
+    benches=(bench_fig08_issue8_br1)
+fi
+
+mkdir -p bench-out
+cd bench-out
+for bench in "${benches[@]}"; do
+    "../build/bench/${bench}"
+done
+
+shopt -s nullglob
+jsons=(BENCH_*.json)
+if [ "${#jsons[@]}" -eq 0 ]; then
+    echo "error: no BENCH_*.json produced" >&2
+    exit 1
+fi
+for json in "${jsons[@]}"; do
+    python3 -m json.tool "${json}" > /dev/null
+    echo "ok: ${json}"
+done

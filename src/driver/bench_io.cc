@@ -1,7 +1,6 @@
 #include "driver/bench_io.hh"
 
 #include <fstream>
-#include <iomanip>
 
 #include "support/logging.hh"
 #include "support/string_utils.hh"
@@ -26,31 +25,43 @@ modelJsonKey(Model model)
     return "unknown";
 }
 
-void
-writeTiming(std::ostream &os, const BenchTiming &timing,
-            double wallSeconds, int threads, const char *indent)
+StatsSnapshot
+timingSnapshot(const BenchTiming &timing, double wallSeconds,
+               int threads)
 {
-    os << indent << "\"elapsed_seconds\": " << wallSeconds << ",\n"
-       << indent << "\"threads\": " << threads << ",\n"
-       << indent << "\"phases\": {\n"
-       << indent << "  \"compile_seconds\": "
-       << timing.compileSeconds << ",\n"
-       << indent << "  \"emulate_seconds\": "
-       << timing.captureSeconds << ",\n"
-       << indent << "  \"simulate_seconds\": "
-       << timing.replaySeconds << "\n"
-       << indent << "},\n"
-       << indent << "\"counters\": {\n"
-       << indent << "  \"compiles\": " << timing.compiles << ",\n"
-       << indent << "  \"captures\": " << timing.captures << ",\n"
-       << indent << "  \"replays\": " << timing.replays << ",\n"
-       << indent << "  \"trace_cache_hits\": "
-       << timing.traceCacheHits << ",\n"
-       << indent << "  \"result_cache_hits\": "
-       << timing.resultCacheHits << ",\n"
-       << indent << "  \"trace_bytes\": " << timing.traceBytes
-       << "\n"
-       << indent << "},\n";
+    StatsSnapshot s;
+    s.setSeconds("elapsed_seconds", wallSeconds);
+    s.setCounter("threads", static_cast<std::uint64_t>(threads));
+    s.setSeconds("phases.compile_seconds", timing.compileSeconds);
+    s.setSeconds("phases.emulate_seconds", timing.captureSeconds);
+    s.setSeconds("phases.simulate_seconds", timing.replaySeconds);
+    s.setCounter("counters.compiles", timing.compiles);
+    s.setCounter("counters.captures", timing.captures);
+    s.setCounter("counters.replays", timing.replays);
+    s.setCounter("counters.trace_cache_hits", timing.traceCacheHits);
+    s.setCounter("counters.result_cache_hits",
+                 timing.resultCacheHits);
+    s.setCounter("counters.trace_bytes", timing.traceBytes);
+    return s;
+}
+
+StatsSnapshot
+cellSnapshot(const BenchmarkResult &r, Model model,
+             const SimResult &sim)
+{
+    // Start from the simulator's detailed sim.* counters and add the
+    // headline numbers as top-level leaves of the same snapshot.
+    StatsSnapshot s = sim.stats;
+    s.setCounter("cycles", sim.cycles);
+    s.setCounter("dyn_instrs", sim.dynInstrs);
+    s.setCounter("nullified", sim.nullified);
+    s.setCounter("branches", sim.branches);
+    s.setCounter("cond_branches", sim.condBranches);
+    s.setCounter("mispredicts", sim.mispredicts);
+    s.setCounter("loads", sim.loads);
+    s.setCounter("stores", sim.stores);
+    s.setSeconds("speedup", r.speedup(model));
+    return s;
 }
 
 } // namespace
@@ -77,15 +88,17 @@ std::string
 writeBenchJson(const std::string &benchName,
                const std::vector<BenchmarkResult> &results,
                const BenchTiming &timing, double wallSeconds,
-               int threads)
+               int threads, const StatsSnapshot &compilerStats)
 {
     std::string path = "BENCH_" + benchName + ".json";
     std::ofstream os(path);
     panicIf(!os, "cannot write ", path);
-    os << std::setprecision(12);
-    os << "{\n  \"bench\": \"" << benchName << "\",\n";
-    writeTiming(os, timing, wallSeconds, threads, "  ");
-    os << "  \"benchmarks\": [\n";
+    os << "{\n  \"bench\": \"" << benchName << "\",\n"
+       << "  \"timing\": "
+       << timingSnapshot(timing, wallSeconds, threads).toJson(2)
+       << ",\n"
+       << "  \"compiler\": " << compilerStats.toJson(2) << ",\n"
+       << "  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchmarkResult &r = results[i];
         os << "    {\n      \"name\": \"" << r.name << "\",\n"
@@ -93,16 +106,8 @@ writeBenchJson(const std::string &benchName,
            << "      \"models\": {\n";
         std::size_t m = 0;
         for (const auto &[model, sim] : r.models) {
-            os << "        \"" << modelJsonKey(model) << "\": {\n"
-               << "          \"cycles\": " << sim.cycles << ",\n"
-               << "          \"dyn_instrs\": " << sim.dynInstrs
-               << ",\n"
-               << "          \"branches\": " << sim.branches
-               << ",\n"
-               << "          \"mispredicts\": " << sim.mispredicts
-               << ",\n"
-               << "          \"speedup\": " << r.speedup(model)
-               << "\n        }"
+            os << "        \"" << modelJsonKey(model) << "\": "
+               << cellSnapshot(r, model, sim).toJson(8)
                << (++m == r.models.size() ? "\n" : ",\n");
         }
         os << "      }\n    }"

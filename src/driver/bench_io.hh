@@ -24,16 +24,21 @@ void printPhaseTiming(std::ostream &os, const BenchTiming &timing,
                       double wallSeconds, int threads);
 
 /**
- * Write BENCH_<benchName>.json (in the working directory): phase
- * timing plus, per benchmark, baseline cycles and per-model cycles,
- * dynamic instructions, branches, mispredictions, and speedup.
+ * Write BENCH_<benchName>.json (in the working directory). All
+ * numeric payloads are StatsSnapshots rendered by toJson(): the
+ * harness timing/cache section, the merged per-pass compiler stats
+ * (pass @p compilerStats = SuiteEvaluator::compileStats()), and one
+ * snapshot per (benchmark, model) cell combining the headline
+ * numbers (cycles, dyn_instrs, speedup, ...) with the simulator's
+ * detailed `sim.*` counters.
  * @return the path written.
  */
 std::string
 writeBenchJson(const std::string &benchName,
                const std::vector<BenchmarkResult> &results,
                const BenchTiming &timing, double wallSeconds,
-               int threads);
+               int threads,
+               const StatsSnapshot &compilerStats = StatsSnapshot());
 
 } // namespace predilp
 

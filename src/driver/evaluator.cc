@@ -19,11 +19,7 @@ makeCompileOptions(const SuiteConfig &config, Model model,
     opts.model = model;
     opts.machine = machine;
     opts.profileInput = input;
-    opts.enablePromotion = config.enablePromotion;
-    opts.enableBranchCombining = config.enableBranchCombining;
-    opts.enableHeightReduction = config.enableHeightReduction;
-    opts.partial.orTree = config.enableOrTree;
-    opts.partial.useSelect = config.useSelect;
+    opts.ablation = config.ablation;
     return opts;
 }
 
@@ -41,36 +37,15 @@ machineKey(const MachineConfig &m)
 
 /**
  * Ablation flags that can affect @p model's compilation, in
- * canonical form. Flags the pipeline ignores for a model are pinned
- * to their defaults so e.g. a no-or-tree sweep reuses the Superblock
- * and Full Predication traces of the default configuration.
+ * canonical form (AblationFlags::canonicalFor pins flags the
+ * pipeline ignores for a model to their defaults), so e.g. a
+ * no-or-tree sweep reuses the Superblock and Full Predication traces
+ * of the default configuration.
  */
 std::string
 flagsKey(const SuiteConfig &config, Model model)
 {
-    bool promotion = true;
-    bool combining = true;
-    bool heightRed = true;
-    bool orTree = true;
-    bool useSelect = false;
-    switch (model) {
-      case Model::Superblock:
-        break; // none of the ablation flags reach this pipeline.
-      case Model::FullPred:
-        promotion = config.enablePromotion;
-        combining = config.enableBranchCombining;
-        heightRed = config.enableHeightReduction;
-        break;
-      case Model::CondMove:
-        promotion = config.enablePromotion;
-        heightRed = config.enableHeightReduction;
-        orTree = config.enableOrTree;
-        useSelect = config.useSelect;
-        break;
-    }
-    std::ostringstream os;
-    os << promotion << combining << heightRed << orTree << useSelect;
-    return os.str();
+    return config.ablation.canonicalFor(model).key();
 }
 
 std::string
@@ -172,7 +147,14 @@ SuiteEvaluator::traceFor(const Workload &workload,
             std::unique_ptr<Program> prog;
             {
                 PhaseTimer timer(compileTime_);
-                prog = compileForModel(workload.source, opts);
+                // Each compile records into its own registry (the
+                // worker owns it, unsynchronized); the additive
+                // merge below makes the aggregate independent of
+                // thread count and completion order.
+                StatsRegistry perCompile;
+                prog = compileForModel(workload.source, opts,
+                                       &perCompile);
+                compileStats_.merge(perCompile);
                 compiles_.fetch_add(1, std::memory_order_relaxed);
             }
             std::unique_ptr<TraceBuffer> buffer;
@@ -289,6 +271,12 @@ SuiteEvaluator::releaseTraces()
     std::lock_guard<std::mutex> lock(mutex_);
     traces_.clear();
     traceBytes_.store(0, std::memory_order_relaxed);
+}
+
+StatsSnapshot
+SuiteEvaluator::compileStats() const
+{
+    return compileStats_.snapshot();
 }
 
 BenchTiming

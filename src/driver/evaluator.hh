@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "driver/report.hh"
+#include "support/stats_registry.hh"
 #include "support/thread_pool.hh"
 #include "support/timer.hh"
 #include "trace/replay.hh"
@@ -88,6 +89,16 @@ class SuiteEvaluator
     /** Accumulated phase timing and cache counters so far. */
     BenchTiming timing() const;
 
+    /**
+     * Per-pass compiler counters and timers (opt.*, superblock.*,
+     * hyperblock.*, partial.*, sched.*, driver.profile.*) summed
+     * over every compilation this evaluator performed. Counter
+     * totals are deterministic for every thread count (each compile
+     * records into a private registry, merged additively); the
+     * *.seconds timer leaves are wall-clock and naturally vary.
+     */
+    StatsSnapshot compileStats() const;
+
   private:
     using TracePtr = std::shared_ptr<const TraceBuffer>;
 
@@ -123,6 +134,9 @@ class SuiteEvaluator
     std::atomic<std::uint64_t> resultCacheHits_{0};
     std::atomic<std::uint64_t> referenceCacheHits_{0};
     std::atomic<std::uint64_t> traceBytes_{0};
+
+    /** Merged per-compile pass stats (internally synchronized). */
+    StatsRegistry compileStats_;
 };
 
 } // namespace predilp

@@ -25,31 +25,123 @@ modelName(Model model)
     return "?";
 }
 
-std::unique_ptr<Program>
-compileForModel(const std::string &source, const CompileOptions &opts)
+AblationFlags
+AblationFlags::canonicalFor(Model model) const
 {
-    std::unique_ptr<Program> prog = compileSource(source);
-    std::string err = verifyProgram(*prog);
-    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
-
-    inlineFunctions(*prog);
-    optimizeProgram(*prog);
-    licmProgram(*prog);
-    optimizeProgram(*prog);
-
-    // Profile-run the optimized pre-formation code.
-    ProgramProfile profile(*prog);
-    {
-        EmuOptions emuOpts;
-        emuOpts.profile = &profile;
-        emuOpts.maxDynInstrs = opts.maxProfileInstrs;
-        Emulator emu(*prog);
-        emu.run(opts.profileInput, emuOpts);
+    AblationFlags canonical;
+    // Unrolling runs in every model's pipeline; everything else is
+    // read only where the switch below says so.
+    canonical.unrolling = unrolling;
+    switch (model) {
+      case Model::Superblock:
+        break; // no predication passes reach this pipeline.
+      case Model::FullPred:
+        canonical.promotion = promotion;
+        canonical.branchCombining = branchCombining;
+        canonical.heightReduction = heightReduction;
+        break;
+      case Model::CondMove:
+        canonical.promotion = promotion;
+        canonical.heightReduction = heightReduction;
+        canonical.orTree = orTree;
+        canonical.useSelect = useSelect;
+        break;
     }
+    return canonical;
+}
+
+std::string
+AblationFlags::key() const
+{
+    std::string key;
+    key.reserve(6);
+    for (bool flag : {promotion, branchCombining, heightReduction,
+                      unrolling, orTree, useSelect}) {
+        key.push_back(flag ? '1' : '0');
+    }
+    return key;
+}
+
+bool
+AblationFlags::operator==(const AblationFlags &other) const
+{
+    return promotion == other.promotion &&
+           branchCombining == other.branchCombining &&
+           heightReduction == other.heightReduction &&
+           unrolling == other.unrolling && orTree == other.orTree &&
+           useSelect == other.useSelect;
+}
+
+namespace
+{
+
+/**
+ * Measure an execution profile by emulating the current program on
+ * the pipeline's profile input. The Primary slot fills
+ * PassContext::profile (pre-formation: consumed by region selection
+ * and final layout); the Region slot fills
+ * PassContext::regionProfile (re-measured on formed code, whose
+ * fresh instruction ids the primary profile has never seen —
+ * consumed by branch combining and unrolling).
+ */
+class ProfilePass : public Pass
+{
+  public:
+    enum class Slot
+    {
+        Primary,
+        Region,
+    };
+
+    explicit ProfilePass(Slot slot) : slot_(slot) {}
+
+    std::string
+    name() const override
+    {
+        return slot_ == Slot::Primary ? "driver.profile"
+                                      : "driver.reprofile";
+    }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        auto profile = std::make_unique<ProgramProfile>(prog);
+        EmuOptions emuOpts;
+        emuOpts.profile = profile.get();
+        emuOpts.maxDynInstrs = ctx.profileFuel;
+        Emulator emu(prog);
+        RunResult run = emu.run(ctx.profileInput, emuOpts);
+        ctx.stats.counter(name() + ".dyn_instrs")
+            .add(run.dynInstrs);
+        if (slot_ == Slot::Primary)
+            ctx.profile = std::move(profile);
+        else
+            ctx.regionProfile = std::move(profile);
+        return {};
+    }
+
+  private:
+    Slot slot_;
+};
+
+} // namespace
+
+PassManager
+buildPassPipeline(const CompileOptions &opts)
+{
+    const AblationFlags &ablation = opts.ablation;
+    PassManager pm;
+    pm.add(createInlinePass());
+    pm.addFixpoint("opt.scalar", scalarPassList());
+    pm.add(createLicmPass());
+    pm.addFixpoint("opt.scalar", scalarPassList());
+
+    // Profile the optimized pre-formation code.
+    pm.add(std::make_unique<ProfilePass>(ProfilePass::Slot::Primary));
 
     switch (opts.model) {
       case Model::Superblock:
-        formSuperblocks(*prog, profile, opts.superblock);
+        pm.add(createSuperblockFormationPass(opts.superblock));
         break;
       case Model::FullPred:
       case Model::CondMove: {
@@ -63,50 +155,63 @@ compileForModel(const std::string &source, const CompileOptions &opts)
             hbOpts.saturationFactor =
                 std::min(hbOpts.saturationFactor, 1.25);
         }
-        formHyperblocks(*prog, profile, hbOpts);
-        if (opts.enableHeightReduction)
-            reducePredicateHeight(*prog);
-        if (opts.enablePromotion)
-            promotePredicates(*prog);
+        pm.add(createHyperblockFormationPass(hbOpts));
+        if (ablation.heightReduction)
+            pm.add(createHeightReductionPass());
+        if (ablation.promotion)
+            pm.add(createPromotionPass());
         // Branch combining pays off for full predication (parallel
         // OR defines, one exit slot); under the cmov model the
         // lowered OR chain plus decode-block bubbles cost more than
         // the saved slots on this machine, so the "extremely
         // intelligent" cmov compiler the paper calls for skips it.
-        if (opts.enableBranchCombining &&
+        if (ablation.branchCombining &&
             opts.model == Model::FullPred) {
-            // Re-profile the formed code: exit jumps created by
-            // if-conversion carry fresh instruction ids, so the
-            // pre-formation profile says nothing about them.
-            ProgramProfile formed(*prog);
-            EmuOptions emuOpts;
-            emuOpts.profile = &formed;
-            emuOpts.maxDynInstrs = opts.maxProfileInstrs;
-            Emulator emu(*prog);
-            emu.run(opts.profileInput, emuOpts);
-            combineExitBranches(*prog, formed, opts.branchCombine);
+            pm.add(std::make_unique<ProfilePass>(
+                ProfilePass::Slot::Region));
+            pm.add(createBranchCombinePass(opts.branchCombine));
         }
-        if (opts.model == Model::CondMove)
-            lowerToPartial(*prog, opts.partial);
+        if (opts.model == Model::CondMove) {
+            PartialOptions partial = opts.partial;
+            partial.orTree = ablation.orTree;
+            partial.useSelect = ablation.useSelect;
+            pm.add(createPartialLoweringPass(partial));
+        }
         break;
       }
     }
 
-    optimizeProgram(*prog);
-    if (opts.enableUnrolling) {
+    pm.addFixpoint("opt.scalar", scalarPassList());
+    if (ablation.unrolling) {
         // Re-profile the formed code so unrolling sees the final
         // loop blocks, then unroll hot tight loops in place.
-        ProgramProfile formedProfile(*prog);
-        EmuOptions emuOpts;
-        emuOpts.profile = &formedProfile;
-        emuOpts.maxDynInstrs = opts.maxProfileInstrs;
-        Emulator emu(*prog);
-        emu.run(opts.profileInput, emuOpts);
-        unrollLoops(*prog, formedProfile);
-        optimizeProgram(*prog);
+        pm.add(std::make_unique<ProfilePass>(
+            ProfilePass::Slot::Region));
+        pm.add(createUnrollPass());
+        pm.addFixpoint("opt.scalar", scalarPassList());
     }
-    layoutProgram(*prog, &profile);
-    scheduleProgram(*prog, opts.machine, opts.schedulerSpeculation);
+    pm.add(createLayoutPass());
+    pm.add(createSchedulePass(opts.machine,
+                              opts.schedulerSpeculation));
+    return pm;
+}
+
+std::unique_ptr<Program>
+compileForModel(const std::string &source, const CompileOptions &opts,
+                StatsRegistry *stats)
+{
+    std::unique_ptr<Program> prog = compileSource(source);
+    std::string err = verifyProgram(*prog);
+    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
+
+    StatsRegistry localStats;
+    StatsRegistry &registry = stats != nullptr ? *stats : localStats;
+    PassContext ctx(registry);
+    ctx.profileInput = opts.profileInput;
+    ctx.profileFuel = opts.maxProfileInstrs;
+
+    PassManager pipeline = buildPassPipeline(opts);
+    pipeline.run(*prog, ctx);
 
     err = verifyProgram(*prog);
     panicIf(!err.empty(), "pipeline produced invalid IR (",

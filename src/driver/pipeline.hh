@@ -4,6 +4,11 @@
  * the paper (§4.1): Superblock (baseline), Conditional Move (partial
  * predication), and Full Predication. Shared by the benchmark
  * harness, the examples, and the integration tests.
+ *
+ * Each model's pipeline is a declarative pass list (see
+ * buildPassPipeline) run by a PassManager, so every stage reports
+ * wall time, change counts, and IR-size deltas through the shared
+ * StatsRegistry observability seam.
  */
 
 #ifndef PREDILP_DRIVER_PIPELINE_HH
@@ -31,6 +36,40 @@ enum class Model
 /** @return "Superblock" / "Cond. Move" / "Full Pred.". */
 std::string modelName(Model model);
 
+/**
+ * On/off switches for the optional predication optimizations — the
+ * ablation axes of the paper's evaluation. One struct shared by
+ * CompileOptions, SuiteConfig, and the evaluator's cache-key
+ * canonicalization, so a flag added here is automatically part of
+ * every compile, every sweep, and every trace-cache key.
+ */
+struct AblationFlags
+{
+    bool promotion = true;       ///< predicate promotion (§3.2).
+    bool branchCombining = true; ///< exit-branch combining (§4.2).
+    bool heightReduction = true; ///< control height reduction (§2.1).
+    bool unrolling = true;       ///< post-formation loop unrolling.
+    bool orTree = true;          ///< OR-tree rebalancing (partial).
+    bool useSelect = false;      ///< select formation (partial).
+
+    /**
+     * Canonical form for @p model: flags the model's pipeline never
+     * reads are pinned to their defaults, so e.g. a no-or-tree sweep
+     * shares the Superblock and Full Predication traces of the
+     * default configuration.
+     */
+    AblationFlags canonicalFor(Model model) const;
+
+    /** Stable cache-key fragment, one character per flag. */
+    std::string key() const;
+
+    bool operator==(const AblationFlags &other) const;
+    bool operator!=(const AblationFlags &other) const
+    {
+        return !(*this == other);
+    }
+};
+
 /** Everything configurable about one compilation. */
 struct CompileOptions
 {
@@ -39,11 +78,14 @@ struct CompileOptions
     SuperblockOptions superblock;
     HyperblockOptions hyperblock;
     BranchCombineOptions branchCombine;
+    /**
+     * Partial-lowering knobs. orTree/useSelect are driven by
+     * `ablation` (the values here are overwritten when the pipeline
+     * is built); only nonExcepting is read from this field.
+     */
     PartialOptions partial;
-    bool enablePromotion = true;
-    bool enableBranchCombining = true;
-    bool enableHeightReduction = true;
-    bool enableUnrolling = true;
+    /** Optional-optimization switches (one shared struct). */
+    AblationFlags ablation;
     /** Allow cross-branch speculation in the scheduler. */
     bool schedulerSpeculation = true;
     /** Input used for the profiling run. */
@@ -53,13 +95,25 @@ struct CompileOptions
 };
 
 /**
- * Compile ILC source for one model: frontend, classical
- * optimization, profiling, region formation for the chosen model,
- * re-optimization, layout, and scheduling. The result verifies
- * cleanly and is ready for simulation.
+ * The declarative pass list for @p opts.model: classical cleanup to
+ * fixpoint, profiling, model-specific region formation and lowering,
+ * post-formation re-optimization, layout, and scheduling. Running it
+ * through PassManager::run records the uniform per-pass
+ * instrumentation into the PassContext's StatsRegistry.
+ */
+PassManager buildPassPipeline(const CompileOptions &opts);
+
+/**
+ * Compile ILC source for one model: frontend, then the
+ * buildPassPipeline pass list. The result verifies cleanly and is
+ * ready for simulation. When @p stats is non-null, per-pass timing
+ * and change counters (opt.*, superblock.*, hyperblock.*, partial.*,
+ * sched.*, driver.profile.*) are recorded into it.
  */
 std::unique_ptr<Program> compileForModel(const std::string &source,
-                                         const CompileOptions &opts);
+                                         const CompileOptions &opts,
+                                         StatsRegistry *stats =
+                                             nullptr);
 
 /** Compile + simulate in one step. */
 SimResult runModel(const std::string &source,

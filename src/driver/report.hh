@@ -44,13 +44,11 @@ struct SuiteConfig
 {
     MachineConfig machine;         ///< the k-issue machine.
     bool perfectCaches = true;
-    /** Use select instructions in the partial model (ablation). */
-    bool useSelect = false;
-    /** Disable passes for ablations. */
-    bool enablePromotion = true;
-    bool enableBranchCombining = true;
-    bool enableHeightReduction = true;
-    bool enableOrTree = true;
+    /**
+     * Optional-optimization switches (shared AblationFlags struct;
+     * also the basis of the evaluator's trace-cache keys).
+     */
+    AblationFlags ablation;
     /** Input scale multiplier applied to every workload. */
     int scaleMultiplier = 1;
     /**

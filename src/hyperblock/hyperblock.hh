@@ -12,6 +12,7 @@
 
 #include "analysis/profile.hh"
 #include "ir/program.hh"
+#include "opt/pass.hh"
 
 namespace predilp
 {
@@ -124,6 +125,35 @@ int combineExitBranches(Function &fn, const FunctionProfile &profile,
 /** combineExitBranches over every profiled function. */
 int combineExitBranches(Program &prog, const ProgramProfile &profile,
                         const BranchCombineOptions &opts = {});
+
+/**
+ * "hyperblock.form": formation as a Pass consuming the pre-formation
+ * PassContext::profile (no-op when no profile ran). Counters:
+ * hyperblock.form.formed / .blocks_if_converted / .branches_removed
+ * / .pred_defines.
+ */
+std::unique_ptr<Pass>
+createHyperblockFormationPass(HyperblockOptions opts = {});
+
+/**
+ * "hyperblock.promote": predicate promotion.
+ * Counter: hyperblock.promote.promoted.
+ */
+std::unique_ptr<Pass> createPromotionPass();
+
+/**
+ * "hyperblock.height": control height reduction.
+ * Counter: hyperblock.height.chains.
+ */
+std::unique_ptr<Pass> createHeightReductionPass();
+
+/**
+ * "hyperblock.combine": exit-branch combining, consuming the
+ * post-formation PassContext::regionProfile (no-op when no region
+ * re-profile ran). Counter: hyperblock.combine.branches_combined.
+ */
+std::unique_ptr<Pass>
+createBranchCombinePass(BranchCombineOptions opts = {});
 
 } // namespace predilp
 

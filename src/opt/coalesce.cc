@@ -114,10 +114,10 @@ coalesceBlock(Function &fn, BasicBlock &bb,
 
 } // namespace
 
-bool
+int
 coalesceCopies(Function &fn)
 {
-    bool any = false;
+    int coalesced = 0;
     bool changed = true;
     while (changed) {
         changed = false;
@@ -127,12 +127,40 @@ coalesceCopies(Function &fn)
         for (BlockId id : fn.layout()) {
             if (coalesceBlock(fn, *fn.block(id), defs, uses)) {
                 changed = true;
-                any = true;
+                coalesced += 1;
                 break; // re-count occurrences.
             }
         }
     }
-    return any;
+    return coalesced;
+}
+
+namespace
+{
+
+class CoalescePass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.coalesce"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto coalesced =
+            static_cast<std::uint64_t>(coalesceCopies(fn));
+        if (coalesced != 0)
+            ctx.stats.counter("opt.coalesce.coalesced")
+                .add(coalesced);
+        return coalesced;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createCoalescePass()
+{
+    return std::make_unique<CoalescePass>();
 }
 
 } // namespace predilp

@@ -144,10 +144,10 @@ simplifyIdentity(Instruction &instr)
 
 } // namespace
 
-bool
+int
 constantFold(Function &fn)
 {
-    bool changed = false;
+    int changes = 0;
     for (BlockId id : fn.layout()) {
         BasicBlock *bb = fn.block(id);
         auto &instrs = bb->instrs();
@@ -174,7 +174,7 @@ constantFold(Function &fn)
                                  static_cast<std::ptrdiff_t>(i));
                     i -= 1;
                 }
-                changed = true;
+                changes += 1;
                 continue;
             }
 
@@ -192,16 +192,42 @@ constantFold(Function &fn)
                     instr.setOp(Opcode::Mov);
                     instr.srcs().clear();
                     instr.addSrc(Operand::imm(out));
-                    changed = true;
+                    changes += 1;
                     continue;
                 }
             }
 
             if (!instr.isMemory() && simplifyIdentity(instr))
-                changed = true;
+                changes += 1;
         }
     }
-    return changed;
+    return changes;
+}
+
+namespace
+{
+
+class ConstantFoldPass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.fold"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto folded = static_cast<std::uint64_t>(constantFold(fn));
+        if (folded != 0)
+            ctx.stats.counter("opt.fold.folded").add(folded);
+        return folded;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createConstantFoldPass()
+{
+    return std::make_unique<ConstantFoldPass>();
 }
 
 } // namespace predilp

@@ -52,10 +52,10 @@ class CopyEnv
 
 } // namespace
 
-bool
+int
 copyPropagate(Function &fn)
 {
-    bool changed = false;
+    int changes = 0;
     std::vector<Reg> defs;
 
     for (BlockId id : fn.layout()) {
@@ -68,7 +68,7 @@ copyPropagate(Function &fn)
                 Operand resolved = env.resolve(instr.src(s));
                 if (resolved != instr.src(s)) {
                     instr.setSrc(s, resolved);
-                    changed = true;
+                    changes += 1;
                 }
             }
 
@@ -87,7 +87,35 @@ copyPropagate(Function &fn)
             }
         }
     }
-    return changed;
+    return changes;
+}
+
+namespace
+{
+
+class CopyPropagatePass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.copyprop"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto propagated =
+            static_cast<std::uint64_t>(copyPropagate(fn));
+        if (propagated != 0)
+            ctx.stats.counter("opt.copyprop.propagated")
+                .add(propagated);
+        return propagated;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createCopyPropagatePass()
+{
+    return std::make_unique<CopyPropagatePass>();
 }
 
 } // namespace predilp

@@ -51,10 +51,10 @@ makeKey(const Instruction &instr, int memEpoch)
 
 } // namespace
 
-bool
+int
 localCSE(Function &fn)
 {
-    bool changed = false;
+    int changes = 0;
     std::vector<Reg> defs;
 
     for (BlockId id : fn.layout()) {
@@ -79,7 +79,7 @@ localCSE(Function &fn)
                     instr.setDest(dest);
                     instr.setGuard(guard);
                     instr.setSpeculative(false);
-                    changed = true;
+                    changes += 1;
                     key.clear(); // the mov defines dest; fall through
                 }
             }
@@ -119,7 +119,33 @@ localCSE(Function &fn)
                 available[key] = instr.dest();
         }
     }
-    return changed;
+    return changes;
+}
+
+namespace
+{
+
+class CSEPass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.cse"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto removed = static_cast<std::uint64_t>(localCSE(fn));
+        if (removed != 0)
+            ctx.stats.counter("opt.cse.removed").add(removed);
+        return removed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createCSEPass()
+{
+    return std::make_unique<CSEPass>();
 }
 
 } // namespace predilp

@@ -28,14 +28,14 @@ hasObservableEffect(const Instruction &instr)
     return false;
 }
 
-/** One backward sweep; @return true when instructions were removed. */
-bool
+/** One backward sweep; @return number of instructions removed. */
+int
 sweepOnce(Function &fn)
 {
     CfgInfo cfg(fn);
     Liveness liveness(fn, cfg);
     const RegIndexer &indexer = liveness.indexer();
-    bool changed = false;
+    int removed = 0;
     std::vector<Reg> regs;
 
     for (BlockId id : fn.layout()) {
@@ -68,28 +68,55 @@ sweepOnce(Function &fn)
             if (removable) {
                 instrs.erase(instrs.begin() +
                              static_cast<std::ptrdiff_t>(i - 1));
-                changed = true;
+                removed += 1;
                 continue;
             }
 
             liveness.backwardStep(instr, fn, live);
         }
     }
-    return changed;
+    return removed;
 }
 
 } // namespace
 
-bool
+int
 deadCodeElim(Function &fn)
 {
-    bool any = false;
+    int total = 0;
     for (int iter = 0; iter < 20; ++iter) {
-        if (!sweepOnce(fn))
+        int removed = sweepOnce(fn);
+        if (removed == 0)
             break;
-        any = true;
+        total += removed;
     }
-    return any;
+    return total;
+}
+
+namespace
+{
+
+class DCEPass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.dce"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto removed = static_cast<std::uint64_t>(deadCodeElim(fn));
+        if (removed != 0)
+            ctx.stats.counter("opt.dce.removed").add(removed);
+        return removed;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createDCEPass()
+{
+    return std::make_unique<DCEPass>();
 }
 
 } // namespace predilp

@@ -214,4 +214,39 @@ inlineFunctions(Program &prog, std::size_t maxCalleeInstrs)
     return inlined;
 }
 
+namespace
+{
+
+class InlinePass : public Pass
+{
+  public:
+    explicit InlinePass(std::size_t maxCalleeInstrs)
+        : maxCalleeInstrs_(maxCalleeInstrs)
+    {}
+
+    std::string name() const override { return "opt.inline"; }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        PassResult result;
+        result.changes = static_cast<std::uint64_t>(
+            inlineFunctions(prog, maxCalleeInstrs_));
+        if (result.changed())
+            ctx.stats.counter("opt.inline.sites").add(result.changes);
+        return result;
+    }
+
+  private:
+    std::size_t maxCalleeInstrs_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createInlinePass(std::size_t maxCalleeInstrs)
+{
+    return std::make_unique<InlinePass>(maxCalleeInstrs);
+}
+
 } // namespace predilp

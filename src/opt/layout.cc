@@ -149,4 +149,38 @@ layoutProgram(Program &prog, const ProgramProfile *profile)
     }
 }
 
+namespace
+{
+
+/**
+ * Final block layout. Deliberately reads PassContext::profile — the
+ * pre-formation profile — not freshestProfile(): chain layout keys
+ * off the original branch weights even after formation rewrote the
+ * regions.
+ */
+class LayoutPass : public Pass
+{
+  public:
+    std::string name() const override { return "opt.layout"; }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        PassResult result;
+        layoutProgram(prog, ctx.profile.get());
+        result.changes = prog.functions().size();
+        ctx.stats.counter("opt.layout.functions")
+            .add(result.changes);
+        return result;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createLayoutPass()
+{
+    return std::make_unique<LayoutPass>();
+}
+
 } // namespace predilp

@@ -32,10 +32,10 @@ slotOf(const Instruction &instr, SlotKey &key)
 
 } // namespace
 
-bool
+int
 forwardMemory(Function &fn)
 {
-    bool changed = false;
+    int forwarded = 0;
     std::vector<Reg> defs;
 
     for (BlockId id : fn.layout()) {
@@ -60,7 +60,7 @@ forwardMemory(Function &fn)
                         instr.setDest(dest);
                         instr.setGuard(guard);
                         instr.setSpeculative(false);
-                        changed = true;
+                        forwarded += 1;
                         // Fall through to def-invalidations below.
                     } else if (!instr.guarded()) {
                         // Remember the loaded value.
@@ -101,7 +101,34 @@ forwardMemory(Function &fn)
             }
         }
     }
-    return changed;
+    return forwarded;
+}
+
+namespace
+{
+
+class MemoryForwardPass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.memfwd"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto forwarded =
+            static_cast<std::uint64_t>(forwardMemory(fn));
+        if (forwarded != 0)
+            ctx.stats.counter("opt.memfwd.forwarded").add(forwarded);
+        return forwarded;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createMemoryForwardPass()
+{
+    return std::make_unique<MemoryForwardPass>();
 }
 
 } // namespace predilp

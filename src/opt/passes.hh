@@ -1,147 +1,80 @@
 /**
  * @file
- * Classical scalar optimizations and CFG cleanups. The paper's
- * partial-predication flow (§3.2) applies "common subexpression
- * elimination, copy propagation, and dead code removal" after the
- * basic conversions; these passes are that substrate, and they also
- * clean up frontend output before region formation.
+ * Pass-object API of the classical optimizer. The raw algorithms
+ * live in opt/transforms.hh (the unit-test seam); this header wraps
+ * each one as a Pass (opt/pass.hh) so pipelines are declarative pass
+ * lists run by a PassManager, with wall-time/change/IR-size
+ * instrumentation recorded per pass into a StatsRegistry. Each pass
+ * additionally owns detail counters under its own scope
+ * (`opt.cse.removed`, `opt.licm.hoisted`, ...).
  */
 
 #ifndef PREDILP_OPT_PASSES_HH
 #define PREDILP_OPT_PASSES_HH
 
-#include "analysis/profile.hh"
-#include "ir/program.hh"
+#include "opt/pass.hh"
+#include "opt/transforms.hh"
 
 namespace predilp
 {
 
+/** "opt.fold": constant folding. Counter: opt.fold.folded. */
+std::unique_ptr<Pass> createConstantFoldPass();
+
+/** "opt.copyprop": copy propagation. Counter: opt.copyprop.propagated. */
+std::unique_ptr<Pass> createCopyPropagatePass();
+
+/** "opt.cse": local CSE. Counter: opt.cse.removed. */
+std::unique_ptr<Pass> createCSEPass();
+
+/** "opt.memfwd": memory forwarding. Counter: opt.memfwd.forwarded. */
+std::unique_ptr<Pass> createMemoryForwardPass();
+
+/** "opt.coalesce": copy coalescing. Counter: opt.coalesce.coalesced. */
+std::unique_ptr<Pass> createCoalescePass();
+
+/** "opt.dce": dead code elimination. Counter: opt.dce.removed. */
+std::unique_ptr<Pass> createDCEPass();
+
+/** "opt.simplifycfg": CFG cleanup. Counter: opt.simplifycfg.simplified. */
+std::unique_ptr<Pass> createSimplifyCfgPass();
+
+/** "opt.inline": leaf inlining. Counter: opt.inline.sites. */
+std::unique_ptr<Pass>
+createInlinePass(std::size_t maxCalleeInstrs = 32);
+
+/** "opt.licm": invariant code motion. Counter: opt.licm.hoisted. */
+std::unique_ptr<Pass> createLicmPass();
+
 /**
- * Fold instructions whose sources are all constants, and turn
- * constant-condition branches into jumps or nothing.
- * @return true when anything changed.
+ * "opt.unroll": hot-loop unrolling. Requires a fresh
+ * PassContext::regionProfile (run a region ProfilePass first).
+ * Counter: opt.unroll.copies.
  */
-bool constantFold(Function &fn);
+std::unique_ptr<Pass> createUnrollPass(UnrollOptions opts = {});
 
 /**
- * Block-local copy and constant propagation: forward the sources of
- * unguarded mov/fmov instructions into later uses within the block.
- * @return true when anything changed.
+ * "opt.layout": profile-guided final block layout, using the
+ * pre-formation PassContext::profile (static heuristics when no
+ * profile ran). Counter: opt.layout.functions.
  */
-bool copyPropagate(Function &fn);
+std::unique_ptr<Pass> createLayoutPass();
 
 /**
- * Block-local common subexpression elimination over pure operations
- * and loads (loads are invalidated by stores and calls). Guarded
- * instructions participate only when guards match exactly.
- * @return true when anything changed.
+ * The scalar cleanup group (fold, copyprop, CSE, memfwd, coalesce,
+ * DCE, simplifycfg) in canonical order, for
+ * PassManager::addFixpoint("opt.scalar", scalarPassList()).
  */
-bool localCSE(Function &fn);
+std::vector<std::unique_ptr<Pass>> scalarPassList();
 
 /**
- * Remove instructions whose results are never used and which have no
- * side effects, using global liveness.
- * @return true when anything changed.
- */
-bool deadCodeElim(Function &fn);
-
-/**
- * CFG cleanup: thread jumps through empty blocks, merge straight-line
- * block pairs, and prune unreachable blocks.
- * @return true when anything changed.
- */
-bool simplifyCfg(Function &fn);
-
-/**
- * Function inlining: splice small leaf callees (at most
- * @p maxCalleeInstrs instructions, no calls of their own) into their
- * call sites. Run before region formation — hyperblocks exclude
- * call-containing blocks, so inlining hot helpers (stdio-style
- * getchar, comparison kernels) is what lets the paper's loops
- * if-convert at all.
- * @return number of call sites inlined.
- */
-int inlineFunctions(Program &prog, std::size_t maxCalleeInstrs = 32);
-
-/**
- * Copy coalescing: fold "op t, ...; mov x, t" pairs (the frontend's
- * assignment pattern) into "op x, ..." when t is a single-def,
- * single-use temporary. Shrinks every model's code, and especially
- * the partial-predication lowering's expansion.
- * @return true when anything changed.
- */
-bool coalesceCopies(Function &fn);
-
-/**
- * Loop-invariant code motion (header-resident instructions only):
- * loads and pure operations whose sources are loop-invariant move to
- * a freshly created preheader; hoisted trapping instructions become
- * speculative (silent). Loads are only hoisted from loops free of
- * stores and calls.
- * @return number of instructions hoisted.
- */
-int licmFunction(Function &fn);
-
-/** licmFunction over every function. */
-int licmProgram(Program &prog);
-
-/**
- * Block-local memory forwarding: a load from a statically known slot
- * (immediate base + offset) whose current contents are known — from
- * a preceding store or load to the same slot — becomes a register
- * move. Breaks the store-to-load recurrences of stdio-style buffer
- * bookkeeping.
- * @return true when anything changed.
- */
-bool forwardMemory(Function &fn);
-
-/** Loop unrolling knobs. */
-struct UnrollOptions
-{
-    std::uint64_t minCount = 256;    ///< minimum loop weight.
-    std::size_t maxBodyInstrs = 40;  ///< only tight loops unroll.
-    std::size_t targetInstrs = 96;   ///< unrolled body budget.
-    std::size_t maxFactor = 4;
-};
-
-/**
- * Unroll hot self-loop blocks (formed superblock/hyperblock loops or
- * tight plain loops) in place, as the IMPACT compiler does during
- * superblock ILP optimization. Run after region formation, before
- * scheduling.
- * @return number of extra body copies created.
- */
-int unrollLoops(Function &fn, const FunctionProfile &profile,
-                const UnrollOptions &opts = {});
-
-/** unrollLoops over every profiled function. */
-int unrollLoops(Program &prog, const ProgramProfile &profile,
-                const UnrollOptions &opts = {});
-
-/**
- * Run the full scalar pipeline (fold, propagate, CSE, coalesce, DCE,
- * CFG simplify) to a fixpoint, on one function.
+ * Convenience fixpoint of the scalar group on one function / one
+ * program, without external instrumentation — the classic
+ * optimize-to-quiescence entry point used by tests, examples, and
+ * the reference (oracle) pipeline.
  */
 void optimizeFunction(Function &fn);
-
-/** optimizeFunction() over every function of a program. */
 void optimizeProgram(Program &prog);
-
-/**
- * Profile-guided code layout. Orders blocks so that likely successors
- * follow their predecessors, converts jumps-to-next into
- * fallthroughs, and inverts branch conditions so that off-path
- * targets are the taken direction where that saves a jump. After this
- * pass the function is in its final emission order, ready for
- * scheduling and timing simulation.
- *
- * @param profile profile for this function, or nullptr for static
- * heuristics.
- */
-void layoutFunction(Function &fn, const FunctionProfile *profile);
-
-/** layoutFunction() over every function. */
-void layoutProgram(Program &prog, const ProgramProfile *profile);
 
 } // namespace predilp
 

@@ -31,10 +31,10 @@ threadTarget(Function &fn, BlockId id)
     return cur;
 }
 
-bool
+int
 threadJumps(Function &fn)
 {
-    bool changed = false;
+    int threaded = 0;
     for (BlockId id : fn.layout()) {
         BasicBlock *bb = fn.block(id);
         for (auto &instr : bb->instrs()) {
@@ -43,7 +43,7 @@ threadJumps(Function &fn)
                 BlockId dest = threadTarget(fn, instr.target());
                 if (dest != instr.target()) {
                     instr.setTarget(dest);
-                    changed = true;
+                    threaded += 1;
                 }
             }
         }
@@ -51,11 +51,11 @@ threadJumps(Function &fn)
             BlockId dest = threadTarget(fn, bb->fallthrough());
             if (dest != bb->fallthrough()) {
                 bb->setFallthrough(dest);
-                changed = true;
+                threaded += 1;
             }
         }
     }
-    return changed;
+    return threaded;
 }
 
 /** Merge straight-line pairs: B -> C where C has exactly one pred. */
@@ -114,34 +114,74 @@ mergePairs(Function &fn)
 
 } // namespace
 
-bool
+int
 simplifyCfg(Function &fn)
 {
-    bool changed = false;
-    if (threadJumps(fn))
-        changed = true;
+    int changes = threadJumps(fn);
     fn.pruneUnreachable();
     for (int iter = 0; iter < 200; ++iter) {
         if (!mergePairs(fn))
             break;
-        changed = true;
+        changes += 1;
     }
-    return changed;
+    return changes;
+}
+
+namespace
+{
+
+class SimplifyCfgPass : public FunctionPass
+{
+  public:
+    std::string name() const override { return "opt.simplifycfg"; }
+
+    std::uint64_t
+    runOnFunction(Function &fn, PassContext &ctx) override
+    {
+        auto simplified =
+            static_cast<std::uint64_t>(simplifyCfg(fn));
+        if (simplified != 0)
+            ctx.stats.counter("opt.simplifycfg.simplified")
+                .add(simplified);
+        return simplified;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSimplifyCfgPass()
+{
+    return std::make_unique<SimplifyCfgPass>();
+}
+
+std::vector<std::unique_ptr<Pass>>
+scalarPassList()
+{
+    std::vector<std::unique_ptr<Pass>> passes;
+    passes.push_back(createConstantFoldPass());
+    passes.push_back(createCopyPropagatePass());
+    passes.push_back(createCSEPass());
+    passes.push_back(createMemoryForwardPass());
+    passes.push_back(createCoalescePass());
+    passes.push_back(createDCEPass());
+    passes.push_back(createSimplifyCfgPass());
+    return passes;
 }
 
 void
 optimizeFunction(Function &fn)
 {
     for (int iter = 0; iter < 10; ++iter) {
-        bool changed = false;
-        changed |= constantFold(fn);
-        changed |= copyPropagate(fn);
-        changed |= localCSE(fn);
-        changed |= forwardMemory(fn);
-        changed |= coalesceCopies(fn);
-        changed |= deadCodeElim(fn);
-        changed |= simplifyCfg(fn);
-        if (!changed)
+        int changes = 0;
+        changes += constantFold(fn);
+        changes += copyPropagate(fn);
+        changes += localCSE(fn);
+        changes += forwardMemory(fn);
+        changes += coalesceCopies(fn);
+        changes += deadCodeElim(fn);
+        changes += simplifyCfg(fn);
+        if (changes == 0)
             break;
     }
 }

@@ -150,4 +150,46 @@ unrollLoops(Program &prog, const ProgramProfile &profile,
     return unrolled;
 }
 
+namespace
+{
+
+/**
+ * Hot self-loop unrolling. Consumes PassContext::regionProfile (the
+ * post-formation re-profile) — unrolling keys off block counts of
+ * blocks created during formation, which the pre-formation profile
+ * has never seen. A no-op when no region profile is available.
+ */
+class UnrollPass : public Pass
+{
+  public:
+    explicit UnrollPass(UnrollOptions opts) : opts_(opts) {}
+
+    std::string name() const override { return "opt.unroll"; }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        PassResult result;
+        if (!ctx.regionProfile)
+            return result;
+        result.changes = static_cast<std::uint64_t>(
+            unrollLoops(prog, *ctx.regionProfile, opts_));
+        if (result.changed())
+            ctx.stats.counter("opt.unroll.copies")
+                .add(result.changes);
+        return result;
+    }
+
+  private:
+    UnrollOptions opts_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createUnrollPass(UnrollOptions opts)
+{
+    return std::make_unique<UnrollPass>(opts);
+}
+
 } // namespace predilp

@@ -13,6 +13,7 @@
 #define PREDILP_PARTIAL_PARTIAL_HH
 
 #include "ir/program.hh"
+#include "opt/pass.hh"
 
 namespace predilp
 {
@@ -75,6 +76,14 @@ int rebalanceReductionTrees(Function &fn);
  * @return number of selects formed.
  */
 int formSelects(Function &fn);
+
+/**
+ * "partial.lower": full-to-partial lowering as a Pass. Counters:
+ * partial.lower.pred_defines / .guarded / .stores_redirected /
+ * .branches / .or_trees / .selects.
+ */
+std::unique_ptr<Pass>
+createPartialLoweringPass(PartialOptions opts = {});
 
 } // namespace predilp
 

@@ -1,0 +1,53 @@
+#include "partial/partial.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+class PartialLoweringPass : public Pass
+{
+  public:
+    explicit PartialLoweringPass(PartialOptions opts) : opts_(opts) {}
+
+    std::string name() const override { return "partial.lower"; }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        PartialStats stats = lowerToPartial(prog, opts_);
+        auto record = [&ctx](const char *leaf, int value) {
+            if (value != 0) {
+                ctx.stats
+                    .counter(std::string("partial.lower.") + leaf)
+                    .add(static_cast<std::uint64_t>(value));
+            }
+        };
+        record("pred_defines", stats.predDefinesLowered);
+        record("guarded", stats.guardedLowered);
+        record("stores_redirected", stats.storesRedirected);
+        record("branches", stats.branchesLowered);
+        record("or_trees", stats.orTreesRebalanced);
+        record("selects", stats.selectsFormed);
+        PassResult result;
+        result.changes = static_cast<std::uint64_t>(
+            stats.predDefinesLowered + stats.guardedLowered +
+            stats.storesRedirected + stats.branchesLowered +
+            stats.orTreesRebalanced + stats.selectsFormed);
+        return result;
+    }
+
+  private:
+    PartialOptions opts_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createPartialLoweringPass(PartialOptions opts)
+{
+    return std::make_unique<PartialLoweringPass>(opts);
+}
+
+} // namespace predilp

@@ -9,6 +9,7 @@
 #define PREDILP_SCHED_SCHEDULER_HH
 
 #include "ir/program.hh"
+#include "opt/pass.hh"
 #include "sched/machine.hh"
 
 namespace predilp
@@ -38,6 +39,13 @@ ScheduleStats scheduleFunction(Function &fn,
 ScheduleStats scheduleProgram(Program &prog,
                               const MachineConfig &config,
                               bool allowSpeculation = true);
+
+/**
+ * "sched.schedule": list scheduling as a Pass. Counters:
+ * sched.schedule.cycles / .instrs / .speculated.
+ */
+std::unique_ptr<Pass>
+createSchedulePass(MachineConfig config, bool allowSpeculation = true);
 
 } // namespace predilp
 

@@ -29,6 +29,16 @@ DirectMappedCache::tagOf(std::int64_t addr) const
            static_cast<std::int64_t>(numLines_);
 }
 
+void
+DirectMappedCache::classifyMiss(std::size_t index)
+{
+    misses_ += 1;
+    if (valid_[index])
+        conflictMisses_ += 1;
+    else
+        coldMisses_ += 1;
+}
+
 bool
 DirectMappedCache::access(std::int64_t addr)
 {
@@ -37,7 +47,7 @@ DirectMappedCache::access(std::int64_t addr)
         hits_ += 1;
         return true;
     }
-    misses_ += 1;
+    classifyMiss(index);
     valid_[index] = true;
     tags_[index] = tagOf(addr);
     return false;
@@ -52,7 +62,7 @@ DirectMappedCache::writeAccess(std::int64_t addr)
         return true;
     }
     // Write-through, no write-allocate: the line is not filled.
-    misses_ += 1;
+    classifyMiss(index);
     return false;
 }
 
@@ -69,10 +79,13 @@ DirectMappedCache::reset()
     std::fill(valid_.begin(), valid_.end(), false);
     hits_ = 0;
     misses_ = 0;
+    coldMisses_ = 0;
+    conflictMisses_ = 0;
 }
 
 BranchTargetBuffer::BranchTargetBuffer(std::size_t entries)
-    : counters_(entries, 1) // weakly not-taken.
+    : counters_(entries, 1), // weakly not-taken.
+      owners_(entries, 0), ownerValid_(entries, false)
 {
     panicIf(entries == 0, "BTB needs at least one entry");
 }
@@ -92,7 +105,16 @@ BranchTargetBuffer::predictTaken(std::int64_t addr) const
 void
 BranchTargetBuffer::update(std::int64_t addr, bool taken)
 {
-    std::uint8_t &counter = counters_[indexOf(addr)];
+    std::size_t index = indexOf(addr);
+    lookups_ += 1;
+    if (!ownerValid_[index]) {
+        ownerValid_[index] = true;
+        owners_[index] = addr;
+    } else if (owners_[index] != addr) {
+        replacements_ += 1;
+        owners_[index] = addr;
+    }
+    std::uint8_t &counter = counters_[index];
     if (taken) {
         if (counter < 3)
             counter += 1;
@@ -106,6 +128,9 @@ void
 BranchTargetBuffer::reset()
 {
     std::fill(counters_.begin(), counters_.end(), 1);
+    std::fill(ownerValid_.begin(), ownerValid_.end(), false);
+    lookups_ = 0;
+    replacements_ = 0;
 }
 
 } // namespace predilp

@@ -41,12 +41,22 @@ class DirectMappedCache
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
 
+    /** Misses to lines never filled (cold/compulsory). */
+    std::uint64_t coldMisses() const { return coldMisses_; }
+
+    /**
+     * Misses that evicted or bypassed a valid line holding a
+     * different tag — direct-mapped set conflicts.
+     */
+    std::uint64_t conflictMisses() const { return conflictMisses_; }
+
     /** Empty the cache and zero statistics. */
     void reset();
 
   private:
     std::size_t indexOf(std::int64_t addr) const;
     std::int64_t tagOf(std::int64_t addr) const;
+    void classifyMiss(std::size_t index);
 
     std::int64_t lineBytes_;
     std::size_t numLines_;
@@ -54,6 +64,8 @@ class DirectMappedCache
     std::vector<bool> valid_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t coldMisses_ = 0;
+    std::uint64_t conflictMisses_ = 0;
 };
 
 /**
@@ -71,12 +83,27 @@ class BranchTargetBuffer
     /** Train with the actual outcome. */
     void update(std::int64_t addr, bool taken);
 
+    /** Branches trained (one per executed conditional branch). */
+    std::uint64_t lookups() const { return lookups_; }
+
+    /**
+     * Trainings whose entry last belonged to a different branch
+     * address — counter aliasing in the direct-mapped table. Tracked
+     * with a stats-only tag array; predictions are unaffected (the
+     * real table is tagless, as in §4.1).
+     */
+    std::uint64_t replacements() const { return replacements_; }
+
     void reset();
 
   private:
     std::size_t indexOf(std::int64_t addr) const;
 
     std::vector<std::uint8_t> counters_;
+    std::vector<std::int64_t> owners_;  ///< stats only; not consulted.
+    std::vector<bool> ownerValid_;
+    std::uint64_t lookups_ = 0;
+    std::uint64_t replacements_ = 0;
 };
 
 } // namespace predilp

@@ -18,10 +18,14 @@ CycleModel::CycleModel(const StaticIndex &index,
     // Price everything interned so far up front; the fused path
     // extends on demand as new static instructions appear.
     latencies_.reserve(index_.size());
+    classes_.reserve(index_.size());
     while (latencies_.size() < index_.size()) {
-        latencies_.push_back(config_.machine.latencyOf(
+        Opcode op =
             index_.op(static_cast<std::uint32_t>(latencies_.size()))
-                .op));
+                .op;
+        latencies_.push_back(config_.machine.latencyOf(op));
+        classes_.push_back(
+            static_cast<std::uint8_t>(opcodeInfo(op).latency));
     }
 }
 
@@ -29,9 +33,12 @@ int
 CycleModel::latencyFor(std::uint32_t staticId)
 {
     while (latencies_.size() <= staticId) {
-        latencies_.push_back(config_.machine.latencyOf(
+        Opcode op =
             index_.op(static_cast<std::uint32_t>(latencies_.size()))
-                .op));
+                .op;
+        latencies_.push_back(config_.machine.latencyOf(op));
+        classes_.push_back(
+            static_cast<std::uint8_t>(opcodeInfo(op).latency));
     }
     return latencies_[staticId];
 }
@@ -75,6 +82,10 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
     while (slots_ >= config_.machine.issueWidth ||
            (op.isBranch &&
             branchSlots_ >= config_.machine.branchesPerCycle)) {
+        if (slots_ >= config_.machine.issueWidth)
+            widthStallCycles_ += 1;
+        else
+            branchStallCycles_ += 1;
         advanceTo(cycle_ + 1);
     }
     slots_ += 1;
@@ -83,6 +94,7 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
 
     // --- execution / destination readiness ---
     int latency = latencyFor(staticId);
+    issuedByClass_[classes_[staticId]] += 1;
     if (!nullified) {
         if (op.isLoad) {
             result_.loads += 1;
@@ -107,12 +119,49 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
         handleControl(op, (flags & traceTaken) != 0);
 }
 
+namespace
+{
+
+/** Counter-name leaf for each LatencyClass, in enum order. */
+constexpr const char *latencyClassNames[] = {
+    "int_alu", "int_mul", "int_div", "fp_alu", "fp_div",
+    "load",    "store",   "branch",  "pred_define",
+};
+
+} // namespace
+
 SimResult
 CycleModel::finish(std::int64_t exitValue, std::string output)
 {
     result_.cycles = static_cast<std::uint64_t>(cycle_ + 1);
     result_.exitValue = exitValue;
     result_.output = std::move(output);
+
+    StatsSnapshot &stats = result_.stats;
+    static_assert(std::size(latencyClassNames) == 9,
+                  "one name per LatencyClass");
+    for (std::size_t i = 0; i < numLatencyClasses; ++i) {
+        stats.setCounter(std::string("sim.issue.") +
+                             latencyClassNames[i],
+                         issuedByClass_[i]);
+    }
+    stats.setCounter("sim.btb.lookups", btb_.lookups());
+    stats.setCounter("sim.btb.mispredicts", result_.mispredicts);
+    stats.setCounter("sim.btb.replacements", btb_.replacements());
+    stats.setCounter("sim.icache.hits", icache_.hits());
+    stats.setCounter("sim.icache.misses", icache_.misses());
+    stats.setCounter("sim.icache.cold_misses", icache_.coldMisses());
+    stats.setCounter("sim.icache.conflict_misses",
+                     icache_.conflictMisses());
+    stats.setCounter("sim.dcache.hits", dcache_.hits());
+    stats.setCounter("sim.dcache.misses", dcache_.misses());
+    stats.setCounter("sim.dcache.cold_misses", dcache_.coldMisses());
+    stats.setCounter("sim.dcache.conflict_misses",
+                     dcache_.conflictMisses());
+    stats.setCounter("sim.slots.width_stall_cycles",
+                     widthStallCycles_);
+    stats.setCounter("sim.slots.branch_stall_cycles",
+                     branchStallCycles_);
     return result_;
 }
 

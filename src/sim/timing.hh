@@ -18,6 +18,7 @@
 #ifndef PREDILP_SIM_TIMING_HH
 #define PREDILP_SIM_TIMING_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -25,6 +26,7 @@
 
 #include "sched/machine.hh"
 #include "sim/cache.hh"
+#include "support/stats_registry.hh"
 #include "trace/trace.hh"
 
 namespace predilp
@@ -62,6 +64,16 @@ struct SimResult
     std::uint64_t dcacheMisses = 0;
     std::int64_t exitValue = 0;
     std::string output;
+
+    /**
+     * Detailed machine counters under the `sim.` scope: per-class
+     * issue counts (sim.issue.<class>), BTB training and aliasing
+     * (sim.btb.*), cold/conflict-split cache misses (sim.icache.*,
+     * sim.dcache.*), and issue-slot stall cycles by cause
+     * (sim.slots.*). Fully determined by the record stream and
+     * configuration, so replays agree bit-for-bit with fused runs.
+     */
+    StatsSnapshot stats;
 
     /** Misprediction rate over executed conditional branches. */
     double
@@ -110,9 +122,16 @@ class CycleModel
     void drain();
     void handleControl(const StaticOp &op, bool taken);
 
+    static constexpr std::size_t numLatencyClasses = 9;
+
     const StaticIndex &index_;
-    const SimConfig &config_;
+    /**
+     * Stored by value: callers routinely build a SimConfig inline
+     * (or on a worker's stack) and the model must outlive it.
+     */
+    const SimConfig config_;
     std::vector<int> latencies_; ///< dense, indexed by static id.
+    std::vector<std::uint8_t> classes_; ///< LatencyClass per id.
     DirectMappedCache icache_;
     DirectMappedCache dcache_;
     BranchTargetBuffer btb_;
@@ -120,6 +139,9 @@ class CycleModel
     long cycle_ = 0;
     int slots_ = 0;
     int branchSlots_ = 0;
+    std::array<std::uint64_t, numLatencyClasses> issuedByClass_{};
+    std::uint64_t widthStallCycles_ = 0;
+    std::uint64_t branchStallCycles_ = 0;
     SimResult result_;
 };
 

@@ -1,0 +1,49 @@
+#include "superblock/superblock.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+class SuperblockFormationPass : public Pass
+{
+  public:
+    explicit SuperblockFormationPass(SuperblockOptions opts)
+        : opts_(opts)
+    {}
+
+    std::string name() const override { return "superblock.form"; }
+
+    PassResult
+    run(Program &prog, PassContext &ctx) override
+    {
+        PassResult result;
+        if (!ctx.profile)
+            return result;
+        SuperblockStats stats =
+            formSuperblocks(prog, *ctx.profile, opts_);
+        ctx.stats.counter("superblock.form.traces")
+            .add(static_cast<std::uint64_t>(stats.tracesFormed));
+        ctx.stats.counter("superblock.form.blocks_merged")
+            .add(static_cast<std::uint64_t>(stats.blocksMerged));
+        ctx.stats.counter("superblock.form.blocks_duplicated")
+            .add(static_cast<std::uint64_t>(stats.blocksDuplicated));
+        result.changes =
+            static_cast<std::uint64_t>(stats.tracesFormed);
+        return result;
+    }
+
+  private:
+    SuperblockOptions opts_;
+};
+
+} // namespace
+
+std::unique_ptr<Pass>
+createSuperblockFormationPass(SuperblockOptions opts)
+{
+    return std::make_unique<SuperblockFormationPass>(opts);
+}
+
+} // namespace predilp

@@ -12,6 +12,7 @@
 
 #include "analysis/profile.hh"
 #include "ir/program.hh"
+#include "opt/pass.hh"
 
 namespace predilp
 {
@@ -69,6 +70,14 @@ SuperblockStats formSuperblocks(Function &fn,
 SuperblockStats formSuperblocks(Program &prog,
                                 const ProgramProfile &profile,
                                 const SuperblockOptions &opts = {});
+
+/**
+ * "superblock.form": formation as a Pass consuming the pre-formation
+ * PassContext::profile (no-op when no profile ran). Counters:
+ * superblock.form.traces / .blocks_merged / .blocks_duplicated.
+ */
+std::unique_ptr<Pass>
+createSuperblockFormationPass(SuperblockOptions opts = {});
 
 } // namespace predilp
 

@@ -1,0 +1,371 @@
+#include "support/stats_registry.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+void
+StatsSnapshot::setCounter(const std::string &name,
+                          std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+void
+StatsSnapshot::addCounter(const std::string &name,
+                          std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatsSnapshot::setSeconds(const std::string &name, double seconds)
+{
+    timers_[name] = seconds;
+}
+
+std::uint64_t
+StatsSnapshot::counter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatsSnapshot::seconds(const std::string &name) const
+{
+    auto it = timers_.find(name);
+    return it == timers_.end() ? 0.0 : it->second;
+}
+
+void
+StatsSnapshot::merge(const StatsSnapshot &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : other.timers_)
+        timers_[name] += value;
+}
+
+bool
+StatsSnapshot::operator==(const StatsSnapshot &other) const
+{
+    return counters_ == other.counters_ && timers_ == other.timers_;
+}
+
+namespace
+{
+
+/** One scope of the dotted-name tree built for serialization. */
+struct JsonNode
+{
+    // Children in lexicographic order (deterministic output).
+    std::map<std::string, JsonNode> children;
+    bool isLeaf = false;
+    bool isCounter = false;
+    std::uint64_t counterValue = 0;
+    double timerValue = 0.0;
+};
+
+void
+insertLeaf(JsonNode &root, const std::string &name, bool isCounter,
+           std::uint64_t counterValue, double timerValue)
+{
+    JsonNode *node = &root;
+    std::size_t begin = 0;
+    while (true) {
+        std::size_t dot = name.find('.', begin);
+        std::string part = name.substr(
+            begin, dot == std::string::npos ? dot : dot - begin);
+        panicIf(part.empty(), "empty scope segment in stat name '",
+                name, "'");
+        panicIf(node->isLeaf, "stat name '", name,
+                "' descends through a leaf");
+        node = &node->children[part];
+        if (dot == std::string::npos)
+            break;
+        begin = dot + 1;
+    }
+    panicIf(node->isLeaf || !node->children.empty(), "stat name '",
+            name, "' is both a leaf and a scope");
+    node->isLeaf = true;
+    node->isCounter = isCounter;
+    node->counterValue = counterValue;
+    node->timerValue = timerValue;
+}
+
+/**
+ * Format a double so fromJson() reads back the identical value and
+ * classifies it as a timer (always contains '.' or an exponent).
+ */
+std::string
+formatDouble(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    std::string text = os.str();
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find('E') == std::string::npos &&
+        text.find("inf") == std::string::npos &&
+        text.find("nan") == std::string::npos) {
+        text += ".0";
+    }
+    return text;
+}
+
+void
+emitNode(std::ostream &os, const JsonNode &node, int indent)
+{
+    os << "{";
+    std::size_t i = 0;
+    for (const auto &[key, child] : node.children) {
+        os << (i == 0 ? "\n" : ",\n")
+           << std::string(static_cast<std::size_t>(indent) + 2, ' ')
+           << '"' << key << "\": ";
+        if (child.isLeaf) {
+            if (child.isCounter)
+                os << child.counterValue;
+            else
+                os << formatDouble(child.timerValue);
+        } else {
+            emitNode(os, child, indent + 2);
+        }
+        i += 1;
+    }
+    if (i > 0)
+        os << "\n" << std::string(static_cast<std::size_t>(indent), ' ');
+    os << "}";
+}
+
+/** Minimal recursive-descent parser for toJson()'s output subset. */
+class SnapshotParser
+{
+  public:
+    SnapshotParser(const std::string &text, StatsSnapshot &out)
+        : text_(text), out_(out)
+    {}
+
+    void
+    run()
+    {
+        parseObject("");
+        skipSpace();
+        panicIf(pos_ != text_.size(),
+                "trailing characters after stats JSON object");
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                text_[pos_] == '\r' || text_[pos_] == '\t')) {
+            pos_ += 1;
+        }
+    }
+
+    char
+    peek()
+    {
+        panicIf(pos_ >= text_.size(),
+                "unexpected end of stats JSON");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        panicIf(peek() != c, "expected '", std::string(1, c),
+                "' in stats JSON at offset ", pos_);
+        pos_ += 1;
+    }
+
+    std::string
+    parseKey()
+    {
+        expect('"');
+        std::size_t end = text_.find('"', pos_);
+        panicIf(end == std::string::npos,
+                "unterminated key in stats JSON");
+        std::string key = text_.substr(pos_, end - pos_);
+        panicIf(key.empty() || key.find('\\') != std::string::npos,
+                "unsupported key in stats JSON: '", key, "'");
+        pos_ = end + 1;
+        return key;
+    }
+
+    void
+    parseNumber(const std::string &name)
+    {
+        skipSpace();
+        std::size_t end = pos_;
+        bool isInteger = true;
+        while (end < text_.size()) {
+            char c = text_[end];
+            if (c == '.' || c == 'e' || c == 'E') {
+                isInteger = false;
+            } else if (!(c == '-' || c == '+' ||
+                         (c >= '0' && c <= '9'))) {
+                break;
+            }
+            end += 1;
+        }
+        std::string token = text_.substr(pos_, end - pos_);
+        panicIf(token.empty(), "expected number in stats JSON for '",
+                name, "'");
+        if (isInteger) {
+            out_.setCounter(name,
+                            std::strtoull(token.c_str(), nullptr, 10));
+        } else {
+            out_.setSeconds(name, std::strtod(token.c_str(), nullptr));
+        }
+        pos_ = end;
+    }
+
+    void
+    parseObject(const std::string &prefix)
+    {
+        expect('{');
+        skipSpace();
+        if (peek() == '}') {
+            pos_ += 1;
+            return;
+        }
+        while (true) {
+            skipSpace();
+            std::string key = parseKey();
+            std::string name =
+                prefix.empty() ? key : prefix + '.' + key;
+            expect(':');
+            skipSpace();
+            if (peek() == '{')
+                parseObject(name);
+            else
+                parseNumber(name);
+            skipSpace();
+            if (peek() == ',') {
+                pos_ += 1;
+                continue;
+            }
+            expect('}');
+            return;
+        }
+    }
+
+    const std::string &text_;
+    StatsSnapshot &out_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string
+StatsSnapshot::toJson(int indent) const
+{
+    JsonNode root;
+    for (const auto &[name, value] : counters_)
+        insertLeaf(root, name, true, value, 0.0);
+    for (const auto &[name, value] : timers_) {
+        panicIf(counters_.count(name) != 0, "stat name '", name,
+                "' is both a counter and a timer");
+        insertLeaf(root, name, false, 0, value);
+    }
+    std::ostringstream os;
+    emitNode(os, root, indent);
+    return os.str();
+}
+
+StatsSnapshot
+StatsSnapshot::fromJson(const std::string &json)
+{
+    StatsSnapshot snapshot;
+    SnapshotParser(json, snapshot).run();
+    return snapshot;
+}
+
+Counter &
+StatsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+TimerTotal &
+StatsRegistry::timer(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timers_[name];
+}
+
+Histogram &
+StatsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_[name];
+}
+
+void
+StatsRegistry::merge(const StatsRegistry &other)
+{
+    // Lock ordering: callers merge per-worker registries into one
+    // aggregate, never two aggregates into each other concurrently.
+    std::scoped_lock lock(mutex_, other.mutex_);
+    for (const auto &[name, counter] : other.counters_)
+        counters_[name].add(counter.value());
+    for (const auto &[name, timer] : other.timers_)
+        timers_[name].addNanos(timer.nanos());
+    for (const auto &[name, histogram] : other.histograms_)
+        histograms_[name].merge(histogram);
+}
+
+StatsSnapshot
+StatsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    StatsSnapshot snapshot;
+    for (const auto &[name, counter] : counters_)
+        snapshot.setCounter(name, counter.value());
+    for (const auto &[name, timer] : timers_)
+        snapshot.setSeconds(name, timer.seconds());
+    for (const auto &[name, histogram] : histograms_) {
+        snapshot.setCounter(name + ".count", histogram.count());
+        snapshot.setCounter(name + ".sum", histogram.sum());
+        snapshot.setCounter(name + ".min", histogram.min());
+        snapshot.setCounter(name + ".max", histogram.max());
+    }
+    return snapshot;
+}
+
+namespace
+{
+
+std::uint64_t
+nowNanos()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+ScopedTimer::ScopedTimer(TimerTotal &total)
+    : total_(total), startNanos_(nowNanos())
+{}
+
+ScopedTimer::~ScopedTimer()
+{
+    total_.addNanos(nowNanos() - startNanos_);
+}
+
+} // namespace predilp
