@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Run a bench binary and validate every BENCH_*.json it emits (the
 # StatsSnapshot-serialized observability payload) with a strict JSON
-# parser. Usage: scripts/bench_json.sh [bench-binary...]; defaults to
-# the Figure 8 benchmark. Assumes scripts/tier1.sh already built.
+# parser, then enforce the packed-trace perf contract: the throughput
+# counters must be present and bytes-per-capture / bytes-per-entry
+# must stay under the committed thresholds (the packed 4-byte entry +
+# varint delta format sits well below them; the old 8-byte format
+# would trip both). Usage: scripts/bench_json.sh [bench-binary...];
+# defaults to the Figure 8 benchmark plus the replay-kernel
+# microbenchmark. Assumes scripts/tier1.sh already built.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ "${#benches[@]}" -eq 0 ]; then
-    benches=(bench_fig08_issue8_br1)
+    benches=(bench_fig08_issue8_br1 bench_replay_hot)
 fi
 
 mkdir -p bench-out
@@ -27,3 +32,57 @@ for json in "${jsons[@]}"; do
     python3 -m json.tool "${json}" > /dev/null
     echo "ok: ${json}"
 done
+
+python3 - "${jsons[@]}" <<'EOF'
+import json
+import sys
+
+# Committed thresholds for the packed trace format. Baselines on the
+# old 8-byte format: ~4.2 MB/capture and ~10.8 B/entry; the packed
+# format measures ~1.9 MB/capture and ~4.9 B/entry.
+MAX_TRACE_BYTES_PER_CAPTURE = 3_000_000
+MAX_TRACE_BYTES_PER_ENTRY = 6.0
+
+failed = False
+
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"error: {msg}", file=sys.stderr)
+
+
+for path in sys.argv[1:]:
+    with open(path) as f:
+        timing = json.load(f)["timing"]
+    counters = timing.get("counters", {})
+    throughput = timing.get("throughput", {})
+
+    replays = counters.get("replays", counters.get("replay_passes", 0))
+    if replays and "replay_records_per_sec" not in throughput:
+        fail(f"{path}: missing throughput.replay_records_per_sec")
+
+    records = counters.get("captured_records",
+                           counters.get("trace_records", 0))
+    if records:
+        if "trace_bytes_per_entry" not in throughput:
+            fail(f"{path}: missing throughput.trace_bytes_per_entry")
+        else:
+            bpe = throughput["trace_bytes_per_entry"]
+            if bpe > MAX_TRACE_BYTES_PER_ENTRY:
+                fail(f"{path}: trace_bytes_per_entry {bpe:.2f} exceeds "
+                     f"threshold {MAX_TRACE_BYTES_PER_ENTRY}")
+
+    captures = counters.get("captures", 0)
+    captured_bytes = counters.get("captured_bytes", 0)
+    if captures and captured_bytes:
+        per_capture = captured_bytes / captures
+        if per_capture > MAX_TRACE_BYTES_PER_CAPTURE:
+            fail(f"{path}: {per_capture:.0f} trace bytes/capture exceeds "
+                 f"threshold {MAX_TRACE_BYTES_PER_CAPTURE}")
+        else:
+            print(f"ok: {path} trace bytes/capture {per_capture:.0f} "
+                  f"<= {MAX_TRACE_BYTES_PER_CAPTURE}")
+
+sys.exit(1 if failed else 0)
+EOF

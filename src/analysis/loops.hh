@@ -36,10 +36,16 @@ class LoopInfo
     /** Loops sorted innermost-first (deepest nesting first). */
     const std::vector<Loop> &loops() const { return loops_; }
 
-    /** Nesting depth of @p id; 0 when not in any loop. */
+    /**
+     * Nesting depth of @p id; 0 when not in any loop. Ids minted
+     * after this analysis ran (e.g. blocks split mid-transform) are
+     * in no loop it knows about, so they report depth 0 instead of
+     * indexing past the table.
+     */
     int depth(BlockId id) const
     {
-        return depth_[static_cast<std::size_t>(id)];
+        auto idx = static_cast<std::size_t>(id);
+        return idx < depth_.size() ? depth_[idx] : 0;
     }
 
   private:

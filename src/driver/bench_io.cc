@@ -36,12 +36,32 @@ timingSnapshot(const BenchTiming &timing, double wallSeconds,
     s.setSeconds("phases.emulate_seconds", timing.captureSeconds);
     s.setSeconds("phases.simulate_seconds", timing.replaySeconds);
     s.setCounter("counters.compiles", timing.compiles);
+    s.setCounter("counters.prefix_compiles", timing.prefixCompiles);
+    s.setCounter("counters.prefix_cache_hits",
+                 timing.prefixCacheHits);
     s.setCounter("counters.captures", timing.captures);
     s.setCounter("counters.replays", timing.replays);
     s.setCounter("counters.trace_cache_hits", timing.traceCacheHits);
     s.setCounter("counters.result_cache_hits",
                  timing.resultCacheHits);
     s.setCounter("counters.trace_bytes", timing.traceBytes);
+    s.setCounter("counters.trace_peak_bytes", timing.tracePeakBytes);
+    s.setCounter("counters.captured_bytes", timing.capturedBytes);
+    s.setCounter("counters.captured_records",
+                 timing.capturedRecords);
+    s.setCounter("counters.replayed_records",
+                 timing.replayedRecords);
+    if (timing.replaySeconds > 0) {
+        s.setSeconds("throughput.replay_records_per_sec",
+                     static_cast<double>(timing.replayedRecords) /
+                         timing.replaySeconds);
+    }
+    if (timing.capturedRecords > 0) {
+        s.setSeconds("throughput.trace_bytes_per_entry",
+                     static_cast<double>(timing.capturedBytes) /
+                         static_cast<double>(
+                             timing.capturedRecords));
+    }
     return s;
 }
 
@@ -75,13 +95,14 @@ printPhaseTiming(std::ostream &os, const BenchTiming &timing,
        << formatFixed(timing.compileSeconds, 2) << "s | emulate "
        << formatFixed(timing.captureSeconds, 2) << "s | simulate "
        << formatFixed(timing.replaySeconds, 2) << "s\n"
-       << "-- cache: " << timing.compiles << " compiles, "
+       << "-- cache: " << timing.compiles << " compiles (+"
+       << timing.prefixCompiles << " prefix), "
        << timing.captures << " emulations, " << timing.replays
        << " replays, " << timing.traceCacheHits
        << " trace hits, " << timing.resultCacheHits
        << " result hits, "
-       << timing.traceBytes / (1024 * 1024)
-       << " MiB traces\n";
+       << timing.tracePeakBytes / (1024 * 1024)
+       << " MiB traces peak\n";
 }
 
 std::string

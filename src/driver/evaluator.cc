@@ -118,6 +118,28 @@ cachedCompute(
 
 } // namespace
 
+SuiteEvaluator::SnapshotPtr
+SuiteEvaluator::snapshotFor(const Workload &workload,
+                            const std::string &input, int scale,
+                            std::uint64_t profileFuel)
+{
+    std::string key =
+        workload.name + "|prefix|s" + std::to_string(scale);
+    return cachedCompute(
+        mutex_, snapshots_, key, prefixCacheHits_,
+        [&]() -> SnapshotPtr {
+            PhaseTimer timer(compileTime_);
+            StatsRegistry perPrefix;
+            auto snapshot = std::make_shared<FrontendSnapshot>(
+                compilePrefix(workload.source, input, profileFuel,
+                              &perPrefix));
+            compileStats_.merge(perPrefix);
+            prefixCompiles_.fetch_add(1,
+                                      std::memory_order_relaxed);
+            return snapshot;
+        });
+}
+
 RunResult
 SuiteEvaluator::referenceFor(const Workload &workload,
                              const std::string &input, int scale)
@@ -144,6 +166,12 @@ SuiteEvaluator::traceFor(const Workload &workload,
         mutex_, traces_, key, traceCacheHits_, [&]() -> TracePtr {
             CompileOptions opts =
                 makeCompileOptions(config, model, machine, input);
+            // All models of a cell resume from one shared
+            // front-end snapshot; only the model-specific pass
+            // suffix runs per compile.
+            SnapshotPtr snapshot =
+                snapshotFor(workload, input, config.scaleMultiplier,
+                            opts.maxProfileInstrs);
             std::unique_ptr<Program> prog;
             {
                 PhaseTimer timer(compileTime_);
@@ -152,8 +180,8 @@ SuiteEvaluator::traceFor(const Workload &workload,
                 // merge below makes the aggregate independent of
                 // thread count and completion order.
                 StatsRegistry perCompile;
-                prog = compileForModel(workload.source, opts,
-                                       &perCompile);
+                prog = compileFromSnapshot(*snapshot, opts,
+                                           &perCompile);
                 compileStats_.merge(perCompile);
                 compiles_.fetch_add(1, std::memory_order_relaxed);
             }
@@ -168,8 +196,21 @@ SuiteEvaluator::traceFor(const Workload &workload,
             panicIf(buffer->run().output != reference.output,
                     modelName(model), " diverged on ",
                     workload.name);
-            traceBytes_.fetch_add(buffer->memoryBytes(),
-                                  std::memory_order_relaxed);
+            std::uint64_t bytes = buffer->memoryBytes();
+            capturedBytes_.fetch_add(bytes,
+                                     std::memory_order_relaxed);
+            capturedRecords_.fetch_add(
+                buffer->size(), std::memory_order_relaxed);
+            std::uint64_t resident =
+                traceBytes_.fetch_add(bytes,
+                                      std::memory_order_relaxed) +
+                bytes;
+            std::uint64_t peak =
+                tracePeakBytes_.load(std::memory_order_relaxed);
+            while (resident > peak &&
+                   !tracePeakBytes_.compare_exchange_weak(
+                       peak, resident, std::memory_order_relaxed)) {
+            }
             return TracePtr(std::move(buffer));
         });
 }
@@ -191,6 +232,8 @@ SuiteEvaluator::cellResult(const Workload &workload,
                          sim.maxDynInstrs, tkey);
             PhaseTimer timer(replayTime_);
             replays_.fetch_add(1, std::memory_order_relaxed);
+            replayedRecords_.fetch_add(
+                trace->size(), std::memory_order_relaxed);
             return replay(*trace, sim);
         });
 }
@@ -287,6 +330,10 @@ SuiteEvaluator::timing() const
     timing.captureSeconds = captureTime_.seconds();
     timing.replaySeconds = replayTime_.seconds();
     timing.compiles = compiles_.load(std::memory_order_relaxed);
+    timing.prefixCompiles =
+        prefixCompiles_.load(std::memory_order_relaxed);
+    timing.prefixCacheHits =
+        prefixCacheHits_.load(std::memory_order_relaxed);
     timing.captures = captures_.load(std::memory_order_relaxed);
     timing.replays = replays_.load(std::memory_order_relaxed);
     timing.traceCacheHits =
@@ -295,6 +342,14 @@ SuiteEvaluator::timing() const
         resultCacheHits_.load(std::memory_order_relaxed);
     timing.traceBytes =
         traceBytes_.load(std::memory_order_relaxed);
+    timing.tracePeakBytes =
+        tracePeakBytes_.load(std::memory_order_relaxed);
+    timing.capturedBytes =
+        capturedBytes_.load(std::memory_order_relaxed);
+    timing.capturedRecords =
+        capturedRecords_.load(std::memory_order_relaxed);
+    timing.replayedRecords =
+        replayedRecords_.load(std::memory_order_relaxed);
     return timing;
 }
 

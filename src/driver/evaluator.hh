@@ -12,6 +12,12 @@
  * sively. Reference (oracle) runs and priced SimResults are cached
  * too.
  *
+ * Compilation itself is split: the model-independent front end
+ * (parse + classical opt + primary profiling) is computed once per
+ * (workload, scale) as a FrontendSnapshot and deep-cloned per model,
+ * so the three models of a cell only pay for their model-specific
+ * pass suffixes.
+ *
  * Evaluation fans out over a ThreadPool — across workloads in
  * evaluateSuite() and across model cells inside evaluate() — with
  * results assembled by index, so output is deterministic and
@@ -42,15 +48,21 @@ namespace predilp
 /** Per-phase wall-clock totals and cache counters. */
 struct BenchTiming
 {
-    double compileSeconds = 0;  ///< compileForModel (incl. profiling).
+    double compileSeconds = 0;  ///< prefix + model compiles.
     double captureSeconds = 0;  ///< trace-producing emulation + refs.
     double replaySeconds = 0;   ///< pricing captured traces.
-    std::uint64_t compiles = 0; ///< programs compiled.
+    std::uint64_t compiles = 0; ///< model compilations finished.
+    std::uint64_t prefixCompiles = 0; ///< front-end snapshots built.
+    std::uint64_t prefixCacheHits = 0; ///< snapshot-cache hits.
     std::uint64_t captures = 0; ///< emulation runs (traces + refs).
     std::uint64_t replays = 0;  ///< replay passes priced.
     std::uint64_t traceCacheHits = 0;
     std::uint64_t resultCacheHits = 0;
     std::uint64_t traceBytes = 0; ///< resident captured-trace bytes.
+    std::uint64_t tracePeakBytes = 0; ///< high-water resident bytes.
+    std::uint64_t capturedBytes = 0;  ///< cumulative trace bytes.
+    std::uint64_t capturedRecords = 0; ///< records ever captured.
+    std::uint64_t replayedRecords = 0; ///< records priced by replays.
 };
 
 /** Cached parallel evaluator; see file comment. */
@@ -101,6 +113,19 @@ class SuiteEvaluator
 
   private:
     using TracePtr = std::shared_ptr<const TraceBuffer>;
+    using SnapshotPtr = std::shared_ptr<const FrontendSnapshot>;
+
+    /**
+     * The shared front-end snapshot for (workload, scale): parse +
+     * classical optimization + primary profiling, computed once and
+     * resumed by every model/ablation compile of the cell
+     * (compileFromSnapshot). Keyed only by workload and scale —
+     * nothing in the prefix reads the model, machine, or ablation
+     * flags.
+     */
+    SnapshotPtr snapshotFor(const Workload &workload,
+                            const std::string &input, int scale,
+                            std::uint64_t profileFuel);
 
     TracePtr traceFor(const Workload &workload,
                       const SuiteConfig &config, Model model,
@@ -123,17 +148,25 @@ class SuiteEvaluator
         references_;
     std::unordered_map<std::string, std::shared_future<SimResult>>
         results_;
+    std::unordered_map<std::string, std::shared_future<SnapshotPtr>>
+        snapshots_;
 
     PhaseAccumulator compileTime_;
     PhaseAccumulator captureTime_;
     PhaseAccumulator replayTime_;
     std::atomic<std::uint64_t> compiles_{0};
+    std::atomic<std::uint64_t> prefixCompiles_{0};
+    std::atomic<std::uint64_t> prefixCacheHits_{0};
     std::atomic<std::uint64_t> captures_{0};
     std::atomic<std::uint64_t> replays_{0};
     std::atomic<std::uint64_t> traceCacheHits_{0};
     std::atomic<std::uint64_t> resultCacheHits_{0};
     std::atomic<std::uint64_t> referenceCacheHits_{0};
     std::atomic<std::uint64_t> traceBytes_{0};
+    std::atomic<std::uint64_t> tracePeakBytes_{0};
+    std::atomic<std::uint64_t> capturedBytes_{0};
+    std::atomic<std::uint64_t> capturedRecords_{0};
+    std::atomic<std::uint64_t> replayedRecords_{0};
 
     /** Merged per-compile pass stats (internally synchronized). */
     StatsRegistry compileStats_;

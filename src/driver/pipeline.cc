@@ -126,11 +126,13 @@ class ProfilePass : public Pass
 
 } // namespace
 
-PassManager
-buildPassPipeline(const CompileOptions &opts)
+namespace
 {
-    const AblationFlags &ablation = opts.ablation;
-    PassManager pm;
+
+/** The model-independent prefix (see buildPrefixPipeline). */
+void
+addPrefixPasses(PassManager &pm)
+{
     pm.add(createInlinePass());
     pm.addFixpoint("opt.scalar", scalarPassList());
     pm.add(createLicmPass());
@@ -138,7 +140,13 @@ buildPassPipeline(const CompileOptions &opts)
 
     // Profile the optimized pre-formation code.
     pm.add(std::make_unique<ProfilePass>(ProfilePass::Slot::Primary));
+}
 
+/** The model-specific suffix (see buildModelPipeline). */
+void
+addModelPasses(PassManager &pm, const CompileOptions &opts)
+{
+    const AblationFlags &ablation = opts.ablation;
     switch (opts.model) {
       case Model::Superblock:
         pm.add(createSuperblockFormationPass(opts.superblock));
@@ -193,6 +201,32 @@ buildPassPipeline(const CompileOptions &opts)
     pm.add(createLayoutPass());
     pm.add(createSchedulePass(opts.machine,
                               opts.schedulerSpeculation));
+}
+
+} // namespace
+
+PassManager
+buildPassPipeline(const CompileOptions &opts)
+{
+    PassManager pm;
+    addPrefixPasses(pm);
+    addModelPasses(pm, opts);
+    return pm;
+}
+
+PassManager
+buildPrefixPipeline()
+{
+    PassManager pm;
+    addPrefixPasses(pm);
+    return pm;
+}
+
+PassManager
+buildModelPipeline(const CompileOptions &opts)
+{
+    PassManager pm;
+    addModelPasses(pm, opts);
     return pm;
 }
 
@@ -214,6 +248,57 @@ compileForModel(const std::string &source, const CompileOptions &opts,
     pipeline.run(*prog, ctx);
 
     err = verifyProgram(*prog);
+    panicIf(!err.empty(), "pipeline produced invalid IR (",
+            modelName(opts.model), "): ", err);
+    return prog;
+}
+
+FrontendSnapshot
+compilePrefix(const std::string &source,
+              const std::string &profileInput,
+              std::uint64_t maxProfileInstrs, StatsRegistry *stats)
+{
+    std::unique_ptr<Program> prog = compileSource(source);
+    std::string err = verifyProgram(*prog);
+    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
+
+    StatsRegistry localStats;
+    StatsRegistry &registry = stats != nullptr ? *stats : localStats;
+    PassContext ctx(registry);
+    ctx.profileInput = profileInput;
+    ctx.profileFuel = maxProfileInstrs;
+
+    PassManager prefix = buildPrefixPipeline();
+    prefix.run(*prog, ctx);
+    panicIf(ctx.profile == nullptr,
+            "prefix pipeline produced no profile");
+
+    FrontendSnapshot snapshot;
+    snapshot.prog = std::move(prog);
+    snapshot.profile = std::move(*ctx.profile);
+    return snapshot;
+}
+
+std::unique_ptr<Program>
+compileFromSnapshot(const FrontendSnapshot &snapshot,
+                    const CompileOptions &opts, StatsRegistry *stats)
+{
+    panicIf(snapshot.prog == nullptr,
+            "compileFromSnapshot: empty snapshot");
+    std::unique_ptr<Program> prog = snapshot.prog->clone();
+
+    StatsRegistry localStats;
+    StatsRegistry &registry = stats != nullptr ? *stats : localStats;
+    PassContext ctx(registry);
+    ctx.profileInput = opts.profileInput;
+    ctx.profileFuel = opts.maxProfileInstrs;
+    ctx.profile =
+        std::make_unique<ProgramProfile>(snapshot.profile);
+
+    PassManager suffix = buildModelPipeline(opts);
+    suffix.run(*prog, ctx);
+
+    std::string err = verifyProgram(*prog);
     panicIf(!err.empty(), "pipeline produced invalid IR (",
             modelName(opts.model), "): ", err);
     return prog;

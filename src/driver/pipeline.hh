@@ -17,7 +17,9 @@
 #include <memory>
 #include <string>
 
+#include "analysis/profile.hh"
 #include "hyperblock/hyperblock.hh"
+#include "opt/pass.hh"
 #include "partial/partial.hh"
 #include "sim/timing.hh"
 #include "superblock/superblock.hh"
@@ -100,8 +102,66 @@ struct CompileOptions
  * post-formation re-optimization, layout, and scheduling. Running it
  * through PassManager::run records the uniform per-pass
  * instrumentation into the PassContext's StatsRegistry.
+ *
+ * Equal to buildPrefixPipeline() followed by
+ * buildModelPipeline(opts).
  */
 PassManager buildPassPipeline(const CompileOptions &opts);
+
+/**
+ * The model-independent front half shared by every pipeline:
+ * inlining, classical cleanup to fixpoint, LICM, and the primary
+ * profiling run. Nothing in it reads the model, machine, or ablation
+ * flags, which is what makes the front-end snapshot cache sound: the
+ * post-prefix Program (plus the profile it measured) is one
+ * canonical artifact per (source, profile input).
+ */
+PassManager buildPrefixPipeline();
+
+/**
+ * The model-specific back half: region formation, predication /
+ * lowering, post-formation re-optimization, unrolling, layout, and
+ * scheduling for @p opts.
+ */
+PassManager buildModelPipeline(const CompileOptions &opts);
+
+/**
+ * The cached front-end artifact: the program as the prefix pipeline
+ * left it, plus the primary execution profile measured on it.
+ * Immutable once built — model compiles deep-clone the program
+ * (Program::clone) and copy the profile, so any number of
+ * compileFromSnapshot calls (including concurrent ones) can resume
+ * from one snapshot.
+ */
+struct FrontendSnapshot
+{
+    std::unique_ptr<Program> prog;
+    ProgramProfile profile;
+};
+
+/**
+ * Run the frontend and the prefix pipeline once, producing the
+ * snapshot every model of this (source, input) pair can resume from.
+ * When @p stats is non-null, the prefix passes' counters/timers are
+ * recorded into it.
+ */
+FrontendSnapshot compilePrefix(const std::string &source,
+                               const std::string &profileInput,
+                               std::uint64_t maxProfileInstrs =
+                                   2'000'000'000ull,
+                               StatsRegistry *stats = nullptr);
+
+/**
+ * Finish a compilation from @p snapshot: clone the prefix program,
+ * seed the pass context with a copy of the prefix profile, and run
+ * only buildModelPipeline(opts). Produces a Program bit-identical
+ * (printProgram) to compileForModel on the same source/options —
+ * the snapshot path merely skips recomputing the shared prefix.
+ */
+std::unique_ptr<Program>
+compileFromSnapshot(const FrontendSnapshot &snapshot,
+                    const CompileOptions &opts,
+                    StatsRegistry *stats = nullptr);
 
 /**
  * Compile ILC source for one model: frontend, then the

@@ -91,4 +91,21 @@ Function::instructionCount() const
     return total;
 }
 
+std::unique_ptr<Function>
+Function::clone() const
+{
+    auto copy = std::make_unique<Function>(name_);
+    copy->retKind_ = retKind_;
+    copy->params_ = params_;
+    copy->blocks_.reserve(blocks_.size());
+    for (const auto &bb : blocks_)
+        copy->blocks_.push_back(std::make_unique<BasicBlock>(*bb));
+    copy->layout_ = layout_;
+    copy->numIntRegs_ = numIntRegs_;
+    copy->numFloatRegs_ = numFloatRegs_;
+    copy->numPredRegs_ = numPredRegs_;
+    copy->nextInstrId_ = nextInstrId_;
+    return copy;
+}
+
 } // namespace predilp

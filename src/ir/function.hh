@@ -93,6 +93,14 @@ class Function
      */
     std::size_t instructionCount() const;
 
+    /**
+     * Deep copy: blocks, layout, params, and — critically for
+     * resuming compilation from a snapshot — the register and
+     * instruction-id counters, so passes run on the clone allocate
+     * exactly the ids they would have allocated on the original.
+     */
+    std::unique_ptr<Function> clone() const;
+
   private:
     std::string name_;
     RetKind retKind_ = RetKind::None;

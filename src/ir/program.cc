@@ -66,4 +66,18 @@ Program::global(const std::string &name)
     return it == globalIndex_.end() ? nullptr : &globals_[it->second];
 }
 
+std::unique_ptr<Program>
+Program::clone() const
+{
+    auto copy = std::make_unique<Program>();
+    copy->functions_.reserve(functions_.size());
+    for (const auto &fn : functions_)
+        copy->functions_.push_back(fn->clone());
+    copy->functionIndex_ = functionIndex_;
+    copy->globals_ = globals_;
+    copy->globalIndex_ = globalIndex_;
+    copy->dataSize_ = dataSize_;
+    return copy;
+}
+
 } // namespace predilp

@@ -87,6 +87,16 @@ class Program
     /** Size of the static data segment in bytes. */
     std::int64_t dataSize() const { return dataSize_; }
 
+    /**
+     * Deep copy of the whole program: functions (Function::clone),
+     * globals, and the data-segment layout. The clone shares no
+     * state with the original, and every id/counter is preserved, so
+     * continuing a pass pipeline on the clone behaves exactly as it
+     * would have on the original (the front-end snapshot-cache
+     * contract).
+     */
+    std::unique_ptr<Program> clone() const;
+
   private:
     std::vector<std::unique_ptr<Function>> functions_;
     std::map<std::string, std::size_t> functionIndex_;

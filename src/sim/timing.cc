@@ -13,7 +13,7 @@ CycleModel::CycleModel(const StaticIndex &index,
     : index_(index), config_(config),
       icache_(config.cacheSizeBytes, config.cacheLineBytes),
       dcache_(config.cacheSizeBytes, config.cacheLineBytes),
-      btb_(config.btbEntries)
+      btb_(config.btbEntries), scoreboard_(index)
 {
     // Price everything interned so far up front; the fused path
     // extends on demand as new static instructions appear.
@@ -65,13 +65,13 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
     // --- operand readiness (register interlocks) ---
     long t = cycle_;
     if (op.guard.valid())
-        t = std::max(t, readyAt(op.guard));
+        t = std::max(t, scoreboard_.readyAt(op.guard));
     if (!nullified) {
         // A squashed instruction is suppressed at decode and never
         // reads its data operands.
         const Reg *srcs = index_.regs(op);
         for (std::uint16_t i = 0; i < op.srcRegCount; ++i)
-            t = std::max(t, readyAt(srcs[i]));
+            t = std::max(t, scoreboard_.readyAt(srcs[i]));
         // OR/AND-type defines merge with the old value, but
         // same-sense accumulations issue simultaneously (wired-OR,
         // paper §2.1): no stall on the destination.
@@ -117,6 +117,23 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
     // --- control ---
     if (!nullified && op.isBranch)
         handleControl(op, (flags & traceTaken) != 0);
+}
+
+void
+CycleModel::onChunk(const TraceEntry *entries, std::size_t count,
+                    const std::int64_t *addrs)
+{
+    // One bounds check per chunk instead of two per record; the
+    // address run was decoded once by the ChunkCursor, so the only
+    // per-record memory-stream work left is a pointer bump.
+    for (std::size_t i = 0; i < count; ++i) {
+        const TraceEntry entry = entries[i];
+        const std::uint32_t flags = entry.flags();
+        std::int64_t memAddr = 0;
+        if ((flags & traceHasMemAddr) != 0)
+            memAddr = *addrs++;
+        onRecord(entry.staticId(), flags, memAddr);
+    }
 }
 
 namespace
@@ -165,32 +182,21 @@ CycleModel::finish(std::int64_t exitValue, std::string output)
     return result_;
 }
 
-long
-CycleModel::readyAt(Reg reg) const
-{
-    auto it = regReady_.find(reg);
-    return it == regReady_.end() ? 0 : it->second;
-}
-
 void
 CycleModel::setReady(const StaticOp &op, long when)
 {
     if (op.dest.valid())
-        regReady_[op.dest] = when;
+        scoreboard_.setDest(op.dest, when);
     const Reg *predDests = index_.regs(op) + op.srcRegCount;
     for (std::uint16_t i = 0; i < op.predDestCount; ++i) {
         // Accumulated predicates become ready when the *latest*
         // contribution completes.
-        long &ready = regReady_[predDests[i]];
-        ready = std::max(ready, when);
+        scoreboard_.accumulate(predDests[i], when);
     }
     if (op.isPredAll) {
         // Whole-file write: conservatively mark every predicate
         // register known so far.
-        for (auto &[reg, ready] : regReady_) {
-            if (reg.cls() == RegClass::Pred)
-                ready = when;
-        }
+        scoreboard_.setAllPred(when);
     }
 }
 
@@ -208,10 +214,8 @@ CycleModel::advanceTo(long target)
 void
 CycleModel::drain()
 {
-    long latest = cycle_;
-    for (const auto &[reg, ready] : regReady_)
-        latest = std::max(latest, ready);
-    regReady_.clear();
+    long latest = scoreboard_.maxOutstanding(cycle_);
+    scoreboard_.clear();
     advanceTo(latest);
 }
 
@@ -300,11 +304,12 @@ SimResult
 replay(const TraceBuffer &trace, const SimConfig &config)
 {
     CycleModel model(trace.index(), config);
-    TraceBuffer::Cursor cursor(trace);
-    TraceEntry entry;
-    std::int64_t memAddr = 0;
-    while (cursor.next(entry, memAddr))
-        model.onRecord(entry.staticId, entry.flags, memAddr);
+    TraceBuffer::ChunkCursor cursor(trace);
+    const TraceEntry *entries = nullptr;
+    std::size_t count = 0;
+    const std::int64_t *addrs = nullptr;
+    while (cursor.next(entries, count, addrs))
+        model.onChunk(entries, count, addrs);
     return model.finish(trace.run().exitValue, trace.run().output);
 }
 

@@ -21,11 +21,11 @@
 #include <array>
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sched/machine.hh"
 #include "sim/cache.hh"
+#include "sim/scoreboard.hh"
 #include "support/stats_registry.hh"
 #include "trace/trace.hh"
 
@@ -111,12 +111,21 @@ class CycleModel
     void onRecord(std::uint32_t staticId, std::uint32_t flags,
                   std::int64_t memAddr);
 
+    /**
+     * Price a span of packed trace entries in one call — the chunked
+     * replay hot path. @p addrs is the span's pre-decoded absolute
+     * address run: one address per traceHasMemAddr-flagged entry, in
+     * entry order (TraceBuffer::ChunkCursor produces exactly this).
+     * Behaviour is record-for-record identical to calling onRecord.
+     */
+    void onChunk(const TraceEntry *entries, std::size_t count,
+                 const std::int64_t *addrs);
+
     /** Finalize: attach the functional run's outcome. */
     SimResult finish(std::int64_t exitValue, std::string output);
 
   private:
     int latencyFor(std::uint32_t staticId);
-    long readyAt(Reg reg) const;
     void setReady(const StaticOp &op, long when);
     void advanceTo(long target);
     void drain();
@@ -135,7 +144,7 @@ class CycleModel
     DirectMappedCache icache_;
     DirectMappedCache dcache_;
     BranchTargetBuffer btb_;
-    std::unordered_map<Reg, long> regReady_;
+    RegScoreboard scoreboard_;
     long cycle_ = 0;
     int slots_ = 0;
     int branchSlots_ = 0;

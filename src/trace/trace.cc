@@ -1,5 +1,7 @@
 #include "trace/trace.hh"
 
+#include <algorithm>
+
 #include "support/logging.hh"
 
 namespace predilp
@@ -31,13 +33,23 @@ StaticIndex::StaticIndex(const Program &prog) : addresses_(prog)
         fnOrdinals_.emplace(fn.get(), idTables_.size());
         idTables_.emplace_back(
             static_cast<std::size_t>(fn->instrIdBound()), invalidId);
+        auto bound = [this](RegClass cls, int n) {
+            auto i = static_cast<std::size_t>(cls);
+            regBounds_[i] = std::max(regBounds_[i], n);
+        };
+        bound(RegClass::Int, fn->numIntRegs());
+        bound(RegClass::Float, fn->numFloatRegs());
+        bound(RegClass::Pred, fn->numPredRegs());
     }
 }
 
 std::uint32_t
 StaticIndex::addOp(const Function *fn, const Instruction *instr)
 {
-    panicIf(ops_.size() >= invalidId, "static index overflow");
+    panicIf(ops_.size() > traceMaxStaticId,
+            "static index overflow: more than ", traceMaxStaticId + 1,
+            " static instructions cannot be packed into ",
+            traceIdBits, "-bit trace entries");
     StaticOp op;
     op.addr = addresses_.addressOf(fn, instr);
     op.op = instr->op();

@@ -13,24 +13,31 @@
  * widths, branch slots, perfect vs. real caches, BTB sizes — without
  * re-emulating.
  *
- * Buffer format: one fixed-width 8-byte POD TraceEntry per dynamic
- * instruction, holding an interned static-instruction id plus
- * nullified/taken/has-memory flags. Memory addresses, present for
- * only a fraction of records, live in a parallel side stream
- * consumed in order during replay. Both streams use chunked storage
- * so multi-million-instruction captures never reallocate or copy.
+ * Buffer format: one packed 4-byte TraceEntry per dynamic
+ * instruction — the interned static-instruction id in the low 29
+ * bits, the nullified/taken/has-memory flags in the top 3. Memory
+ * addresses, present for only a fraction of records, live in a
+ * parallel side stream of zigzag-varint *deltas* (consecutive
+ * accesses are usually nearby, so most deltas fit in one or two
+ * bytes). Both streams use chunked storage, split at the same entry
+ * boundaries, so multi-million-instruction captures never reallocate
+ * or copy and replay can consume whole chunks at a time
+ * (ChunkCursor).
  *
  * Interning: a StaticIndex maps each (function, instruction) pair to
  * a dense uint32 id on first dynamic appearance, using per-function
  * vectors indexed by instruction id (no per-record map lookups), and
  * precomputes everything the timing model needs per static
  * instruction — fetch address, opcode, guard/source/destination
- * registers, and branch classification — exactly once.
+ * registers, and branch classification — exactly once. It also
+ * publishes per-class register-index bounds so the cycle model can
+ * size its dense scoreboard once (sim/scoreboard.hh).
  */
 
 #ifndef PREDILP_TRACE_TRACE_HH
 #define PREDILP_TRACE_TRACE_HH
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -40,6 +47,7 @@
 
 #include "emu/emulator.hh"
 #include "ir/program.hh"
+#include "support/logging.hh"
 
 namespace predilp
 {
@@ -155,6 +163,18 @@ class StaticIndex
         return static_cast<std::uint32_t>(ops_.size());
     }
 
+    /**
+     * Exclusive upper bound on register indices of class @p cls
+     * anywhere in the program (computed once from the per-function
+     * virtual-register counters). Sizes the cycle model's dense
+     * scoreboard.
+     */
+    int
+    regBound(RegClass cls) const
+    {
+        return regBounds_[static_cast<std::size_t>(cls)];
+    }
+
   private:
     std::uint32_t addOp(const Function *fn, const Instruction *instr);
 
@@ -163,35 +183,112 @@ class StaticIndex
     std::vector<std::vector<std::uint32_t>> idTables_;
     std::vector<StaticOp> ops_;
     std::vector<Reg> regPool_;
+    std::array<int, 3> regBounds_{};
     const Function *lastFn_ = nullptr;
     std::vector<std::uint32_t> *lastTable_ = nullptr;
 };
 
-/** One captured dynamic instruction: fixed-width POD. */
-struct TraceEntry
-{
-    std::uint32_t staticId = 0;
-    std::uint32_t flags = 0;
-};
-
-static_assert(std::is_trivially_copyable_v<TraceEntry> &&
-                  sizeof(TraceEntry) == 8,
-              "TraceEntry must stay a compact fixed-width POD");
-
-/** TraceEntry::flags bits (mirroring DynRecord). */
+/** TraceEntry flag bits (mirroring DynRecord). */
 constexpr std::uint32_t traceNullified = 1u << 0;
 constexpr std::uint32_t traceTaken = 1u << 1;
 constexpr std::uint32_t traceHasMemAddr = 1u << 2;
 
+/** Bits of a packed TraceEntry holding the static id. */
+constexpr std::uint32_t traceIdBits = 29;
+
+/** Largest static-instruction id a packed TraceEntry can hold. */
+constexpr std::uint32_t traceMaxStaticId =
+    (1u << traceIdBits) - 1;
+
 /**
- * A captured dynamic trace: the interner, the entry stream, the
- * memory-address side stream, and the functional run's result.
- * Append-only during capture; immutable afterwards.
+ * One captured dynamic instruction, packed into 4 bytes: the
+ * interned static id in the low 29 bits, the three dynamic flags in
+ * the top 3. Construct via makeTraceEntry so out-of-range ids are
+ * rejected instead of silently corrupting the flag bits.
+ */
+struct TraceEntry
+{
+    std::uint32_t packed = 0;
+
+    /** Interned static-instruction id (low 29 bits). */
+    std::uint32_t staticId() const { return packed & traceMaxStaticId; }
+
+    /** Dynamic flags (traceNullified / traceTaken / traceHasMemAddr). */
+    std::uint32_t flags() const { return packed >> traceIdBits; }
+};
+
+static_assert(std::is_trivially_copyable_v<TraceEntry> &&
+                  sizeof(TraceEntry) == 4,
+              "TraceEntry must stay a packed 4-byte POD");
+
+/** Pack @p staticId and @p flags; panics when the id does not fit. */
+inline TraceEntry
+makeTraceEntry(std::uint32_t staticId, std::uint32_t flags)
+{
+    panicIf(staticId > traceMaxStaticId, "static id ", staticId,
+            " exceeds the ", traceIdBits,
+            "-bit packed TraceEntry limit");
+    return TraceEntry{(flags << traceIdBits) | staticId};
+}
+
+// --- zigzag varint coding (memory-address side stream) ---
+
+/** Map a signed delta to an unsigned value with small magnitudes. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Inverse of zigzagEncode. */
+inline std::int64_t
+zigzagDecode(std::uint64_t u)
+{
+    return static_cast<std::int64_t>(u >> 1) ^
+           -static_cast<std::int64_t>(u & 1);
+}
+
+/** Append @p v to @p out as a little-endian base-128 varint. */
+inline void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/** Decode one varint at @p p, advancing it past the last byte. */
+inline std::uint64_t
+decodeVarint(const std::uint8_t *&p)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (*p & 0x80) {
+        v |= static_cast<std::uint64_t>(*p++ & 0x7F) << shift;
+        shift += 7;
+    }
+    v |= static_cast<std::uint64_t>(*p++) << shift;
+    return v;
+}
+
+/**
+ * A captured dynamic trace: the interner, the packed entry stream,
+ * the varint-delta memory side stream, and the functional run's
+ * result. Append-only during capture; immutable afterwards.
+ *
+ * The side stream is split at the same boundaries as the entry
+ * chunks: memory bytes of the addresses flagged inside entry chunk i
+ * live in mem chunk i, so a chunk-at-a-time consumer can pre-decode
+ * exactly the address run its entry span needs. Deltas chain across
+ * chunk boundaries (decoding is sequential either way).
  */
 class TraceBuffer
 {
   public:
-    /** Entries per storage chunk (64K entries = 512KiB). */
+    /** Entries per storage chunk (64K entries = 256KiB packed). */
     static constexpr std::size_t chunkEntries = std::size_t{1} << 16;
 
     explicit TraceBuffer(const Program &prog) : index_(prog) {}
@@ -207,16 +304,16 @@ class TraceBuffer
         if (chunks_.empty() || chunks_.back().size() == chunkEntries) {
             chunks_.emplace_back();
             chunks_.back().reserve(chunkEntries);
+            memChunks_.emplace_back();
+            memCounts_.push_back(0);
         }
-        chunks_.back().push_back(TraceEntry{staticId, flags});
+        chunks_.back().push_back(makeTraceEntry(staticId, flags));
         count_ += 1;
         if ((flags & traceHasMemAddr) != 0) {
-            if (memChunks_.empty() ||
-                memChunks_.back().size() == chunkEntries) {
-                memChunks_.emplace_back();
-                memChunks_.back().reserve(chunkEntries);
-            }
-            memChunks_.back().push_back(memAddr);
+            appendVarint(memChunks_.back(),
+                         zigzagEncode(memAddr - lastMemAddr_));
+            lastMemAddr_ = memAddr;
+            memCounts_.back() += 1;
         }
     }
 
@@ -231,7 +328,7 @@ class TraceBuffer
         for (const auto &chunk : chunks_)
             bytes += chunk.capacity() * sizeof(TraceEntry);
         for (const auto &chunk : memChunks_)
-            bytes += chunk.capacity() * sizeof(std::int64_t);
+            bytes += chunk.capacity();
         return bytes;
     }
 
@@ -239,7 +336,7 @@ class TraceBuffer
     const RunResult &run() const { return run_; }
     void setRun(RunResult run) { run_ = std::move(run); }
 
-    /** Forward iterator over the two streams, for replay. */
+    /** Forward iterator over the two streams, record at a time. */
     class Cursor
     {
       public:
@@ -258,18 +355,19 @@ class TraceBuffer
                 return false;
             const auto &chunk = buffer_.chunks_[chunk_];
             entry = chunk[offset_];
-            if ((entry.flags & traceHasMemAddr) != 0) {
-                memAddr =
-                    buffer_.memChunks_[memChunk_][memOffset_];
-                if (++memOffset_ ==
-                    buffer_.memChunks_[memChunk_].size()) {
-                    memChunk_ += 1;
-                    memOffset_ = 0;
-                }
+            if ((entry.flags() & traceHasMemAddr) != 0) {
+                const std::uint8_t *base =
+                    buffer_.memChunks_[chunk_].data();
+                const std::uint8_t *p = base + memOffset_;
+                prevAddr_ += zigzagDecode(decodeVarint(p));
+                memOffset_ =
+                    static_cast<std::size_t>(p - base);
+                memAddr = prevAddr_;
             }
             if (++offset_ == chunk.size()) {
                 chunk_ += 1;
                 offset_ = 0;
+                memOffset_ = 0;
             }
             return true;
         }
@@ -278,14 +376,63 @@ class TraceBuffer
         const TraceBuffer &buffer_;
         std::size_t chunk_ = 0;
         std::size_t offset_ = 0;
-        std::size_t memChunk_ = 0;
         std::size_t memOffset_ = 0;
+        std::int64_t prevAddr_ = 0;
+    };
+
+    /**
+     * Chunk-at-a-time iterator for the replay hot loop: each step
+     * yields one raw TraceEntry span plus that span's pre-decoded
+     * absolute-address run (one address per flagged entry, in entry
+     * order). The address buffer is reused between steps and is
+     * valid until the next call.
+     */
+    class ChunkCursor
+    {
+      public:
+        explicit ChunkCursor(const TraceBuffer &buffer)
+            : buffer_(buffer)
+        {}
+
+        /** @return false at end of trace. */
+        bool
+        next(const TraceEntry *&entries, std::size_t &count,
+             const std::int64_t *&addrs)
+        {
+            if (chunk_ >= buffer_.chunks_.size())
+                return false;
+            const auto &chunk = buffer_.chunks_[chunk_];
+            entries = chunk.data();
+            count = chunk.size();
+            const std::uint32_t n = buffer_.memCounts_[chunk_];
+            addrBuf_.clear();
+            addrBuf_.reserve(n);
+            const std::uint8_t *p =
+                buffer_.memChunks_[chunk_].data();
+            for (std::uint32_t i = 0; i < n; ++i) {
+                prevAddr_ += zigzagDecode(decodeVarint(p));
+                addrBuf_.push_back(prevAddr_);
+            }
+            addrs = addrBuf_.data();
+            chunk_ += 1;
+            return true;
+        }
+
+      private:
+        const TraceBuffer &buffer_;
+        std::size_t chunk_ = 0;
+        std::int64_t prevAddr_ = 0;
+        std::vector<std::int64_t> addrBuf_;
     };
 
   private:
     StaticIndex index_;
     std::vector<std::vector<TraceEntry>> chunks_;
-    std::vector<std::vector<std::int64_t>> memChunks_;
+    /** Varint bytes for the addresses flagged in entry chunk i. */
+    std::vector<std::vector<std::uint8_t>> memChunks_;
+    /** Number of addresses encoded in mem chunk i. */
+    std::vector<std::uint32_t> memCounts_;
+    std::int64_t lastMemAddr_ = 0;
     std::uint64_t count_ = 0;
     RunResult run_;
 };

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The front-end snapshot cache's soundness contract (driver/pipeline):
+ * resuming a compilation from a cached FrontendSnapshot must produce
+ * a program bit-identical (printProgram) to compiling from scratch,
+ * for every model and for ablation flips — the snapshot path only
+ * skips recomputing the shared prefix, never changes the result.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hh"
+#include "ir/printer.hh"
+#include "sched/machine.hh"
+#include "workloads/workloads.hh"
+
+namespace predilp
+{
+namespace
+{
+
+std::string
+print(const Program &prog)
+{
+    std::ostringstream os;
+    printProgram(os, prog);
+    return os.str();
+}
+
+CompileOptions
+optionsFor(const Workload &workload, Model model)
+{
+    CompileOptions opts;
+    opts.model = model;
+    opts.machine = issue8Branch1();
+    opts.profileInput = workload.input();
+    return opts;
+}
+
+class SnapshotCompileTest : public ::testing::Test
+{
+  protected:
+    void
+    expectSnapshotMatchesScratch(const Workload &workload,
+                                 const CompileOptions &opts)
+    {
+        FrontendSnapshot snapshot = compilePrefix(
+            workload.source, opts.profileInput,
+            opts.maxProfileInstrs);
+        std::unique_ptr<Program> resumed =
+            compileFromSnapshot(snapshot, opts);
+        std::unique_ptr<Program> scratch =
+            compileForModel(workload.source, opts);
+        EXPECT_EQ(print(*resumed), print(*scratch));
+    }
+};
+
+TEST_F(SnapshotCompileTest, MatchesFromScratchEveryModel)
+{
+    const Workload *workload = findWorkload("wc");
+    ASSERT_NE(workload, nullptr);
+    for (Model model : {Model::Superblock, Model::CondMove,
+                        Model::FullPred}) {
+        SCOPED_TRACE(modelName(model));
+        expectSnapshotMatchesScratch(
+            *workload, optionsFor(*workload, model));
+    }
+}
+
+TEST_F(SnapshotCompileTest, MatchesFromScratchUnderAblationFlips)
+{
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+
+    // One flip per model, chosen so the flipped flag is actually
+    // read by that model's pipeline (AblationFlags::canonicalFor).
+    struct Case
+    {
+        Model model;
+        void (*flip)(AblationFlags &);
+    };
+    const Case cases[] = {
+        {Model::Superblock,
+         [](AblationFlags &a) { a.unrolling = false; }},
+        {Model::CondMove, [](AblationFlags &a) { a.orTree = false; }},
+        {Model::FullPred,
+         [](AblationFlags &a) { a.branchCombining = false; }},
+    };
+    for (const Case &c : cases) {
+        SCOPED_TRACE(modelName(c.model));
+        CompileOptions opts = optionsFor(*workload, c.model);
+        c.flip(opts.ablation);
+        expectSnapshotMatchesScratch(*workload, opts);
+    }
+}
+
+TEST_F(SnapshotCompileTest, OneSnapshotServesManyResumes)
+{
+    // The cache's actual usage pattern: one snapshot, several
+    // compileFromSnapshot calls. The snapshot must be left intact by
+    // each resume (clone, not mutate).
+    const Workload *workload = findWorkload("wc");
+    ASSERT_NE(workload, nullptr);
+    CompileOptions opts = optionsFor(*workload, Model::FullPred);
+    FrontendSnapshot snapshot = compilePrefix(
+        workload->source, opts.profileInput, opts.maxProfileInstrs);
+    std::string prefixBefore = print(*snapshot.prog);
+
+    std::string first =
+        print(*compileFromSnapshot(snapshot, opts));
+    opts.model = Model::CondMove;
+    std::string second =
+        print(*compileFromSnapshot(snapshot, opts));
+    opts.model = Model::FullPred;
+    std::string third =
+        print(*compileFromSnapshot(snapshot, opts));
+
+    EXPECT_EQ(print(*snapshot.prog), prefixBefore);
+    EXPECT_EQ(first, third);
+    EXPECT_NE(first, second);
+    EXPECT_EQ(first,
+              print(*compileForModel(workload->source, opts)));
+}
+
+} // namespace
+} // namespace predilp

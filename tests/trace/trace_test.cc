@@ -1,16 +1,21 @@
 /**
  * @file
  * Trace capture/replay tests: replay(capture(prog)) must be
- * field-for-field identical to the fused simulate() path for every
+ * bit-for-bit identical to the fused simulate() path — cycles, every
+ * headline counter, and the full sim.* stats snapshot — for every
  * model, replaying one buffer twice must agree, one buffer must be
  * replayable under many SimConfigs, and the chunked storage must
- * survive chunk-boundary rollover in both streams.
+ * survive chunk-boundary rollover in both streams. The packed
+ * 4-byte entry format and the zigzag-varint memory side stream get
+ * direct edge-case coverage: negative deltas, >32-bit addresses,
+ * and static ids beyond the 29-bit packing limit.
  */
 
 #include <gtest/gtest.h>
 
 #include "driver/pipeline.hh"
 #include "sim/timing.hh"
+#include "support/logging.hh"
 #include "trace/replay.hh"
 #include "trace/trace.hh"
 #include "workloads/workloads.hh"
@@ -35,6 +40,8 @@ expectSimEq(const SimResult &a, const SimResult &b)
     EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
     EXPECT_EQ(a.exitValue, b.exitValue);
     EXPECT_EQ(a.output, b.output);
+    // The detailed sim.* machine counters must agree leaf for leaf.
+    EXPECT_EQ(a.stats.counters(), b.stats.counters());
 }
 
 std::unique_ptr<Program>
@@ -59,6 +66,30 @@ TEST(Replay, MatchesInlineSimulateEveryModel)
             auto prog = compiledWorkload(*workload, model, input);
             SimConfig sim;
             sim.machine = issue8Branch1();
+            SimResult inlined = simulate(*prog, input, sim);
+            auto buffer = capture(*prog, input);
+            SimResult replayed = replay(*buffer, sim);
+            SCOPED_TRACE(workload->name + "/" + modelName(model));
+            expectSimEq(inlined, replayed);
+        }
+    }
+}
+
+TEST(Replay, MatchesInlineSimulateRealCachesEveryModel)
+{
+    // Real caches exercise the varint address stream on the pricing
+    // path (the d-cache sees every decoded address), so the packed
+    // side stream must reproduce each address exactly.
+    for (const char *name : {"cmp", "wc"}) {
+        const Workload *workload = findWorkload(name);
+        ASSERT_NE(workload, nullptr);
+        std::string input = workload->makeInput(1);
+        for (Model model : {Model::Superblock, Model::CondMove,
+                            Model::FullPred}) {
+            auto prog = compiledWorkload(*workload, model, input);
+            SimConfig sim;
+            sim.machine = issue8Branch1();
+            sim.perfectCaches = false;
             SimResult inlined = simulate(*prog, input, sim);
             auto buffer = capture(*prog, input);
             SimResult replayed = replay(*buffer, sim);
@@ -124,6 +155,94 @@ TEST(Replay, BufferIsSelfContained)
     expectSimEq(inlined, replay(*buffer, sim));
 }
 
+TEST(TraceEntryPacking, RoundTripsIdAndFlags)
+{
+    const std::uint32_t allFlags =
+        traceNullified | traceTaken | traceHasMemAddr;
+    for (std::uint32_t id : {0u, 1u, 976u, traceMaxStaticId}) {
+        for (std::uint32_t flags :
+             {0u, traceNullified, traceTaken, traceHasMemAddr,
+              allFlags}) {
+            TraceEntry entry = makeTraceEntry(id, flags);
+            EXPECT_EQ(entry.staticId(), id);
+            EXPECT_EQ(entry.flags(), flags);
+        }
+    }
+    EXPECT_EQ(sizeof(TraceEntry), 4u);
+}
+
+TEST(TraceEntryPacking, RejectsIdBeyond29Bits)
+{
+    // Ids at the 29-bit boundary must be rejected with a clear
+    // error, never silently truncated into the flag bits.
+    EXPECT_NO_THROW(makeTraceEntry(traceMaxStaticId, traceTaken));
+    EXPECT_THROW(makeTraceEntry(traceMaxStaticId + 1, 0),
+                 PanicError);
+    EXPECT_THROW(makeTraceEntry(0xFFFFFFFFu, 0), PanicError);
+
+    Program prog;
+    TraceBuffer buffer(prog);
+    EXPECT_THROW(buffer.append(traceMaxStaticId + 1, 0, 0),
+                 PanicError);
+}
+
+TEST(Varint, ZigzagRoundTripsExtremes)
+{
+    const std::int64_t cases[] = {
+        0,
+        1,
+        -1,
+        63,
+        -64,
+        // Deltas beyond 32 bits in both directions.
+        (std::int64_t{1} << 40) + 123,
+        -((std::int64_t{1} << 40) + 123),
+        std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min(),
+    };
+    for (std::int64_t v : cases) {
+        EXPECT_EQ(zigzagDecode(zigzagEncode(v)), v) << v;
+        std::vector<std::uint8_t> bytes;
+        appendVarint(bytes, zigzagEncode(v));
+        EXPECT_LE(bytes.size(), 10u);
+        const std::uint8_t *p = bytes.data();
+        EXPECT_EQ(zigzagDecode(decodeVarint(p)), v) << v;
+        EXPECT_EQ(p, bytes.data() + bytes.size());
+    }
+    // Small magnitudes must stay small on the wire.
+    std::vector<std::uint8_t> small;
+    appendVarint(small, zigzagEncode(-3));
+    EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(TraceBuffer, MemStreamHandlesNegativeAndWideDeltas)
+{
+    Program prog;
+    TraceBuffer buffer(prog);
+    // Address sequence exercising negative deltas, >32-bit jumps,
+    // and a return to small addresses.
+    const std::int64_t addrs[] = {
+        0x1000,
+        0x0008,                      // negative delta.
+        (std::int64_t{1} << 41) + 5, // >32-bit address.
+        (std::int64_t{1} << 41) - 3, // negative delta at altitude.
+        16,                          // huge negative delta.
+        16,                          // zero delta.
+    };
+    for (std::int64_t addr : addrs)
+        buffer.append(7, traceHasMemAddr, addr);
+
+    TraceBuffer::Cursor cursor(buffer);
+    TraceEntry entry;
+    std::int64_t memAddr = 0;
+    for (std::int64_t addr : addrs) {
+        ASSERT_TRUE(cursor.next(entry, memAddr));
+        EXPECT_EQ(entry.staticId(), 7u);
+        EXPECT_EQ(memAddr, addr);
+    }
+    EXPECT_FALSE(cursor.next(entry, memAddr));
+}
+
 TEST(TraceBuffer, CursorSurvivesChunkRollover)
 {
     Program prog;
@@ -144,15 +263,69 @@ TEST(TraceBuffer, CursorSurvivesChunkRollover)
     std::int64_t memAddr = 0;
     for (std::uint64_t i = 0; i < n; ++i) {
         ASSERT_TRUE(cursor.next(entry, memAddr));
-        EXPECT_EQ(entry.staticId, i % 977);
+        EXPECT_EQ(entry.staticId(), i % 977);
         if (i % 3 == 0) {
-            EXPECT_EQ(entry.flags, traceHasMemAddr);
+            EXPECT_EQ(entry.flags(), traceHasMemAddr);
             EXPECT_EQ(memAddr, static_cast<std::int64_t>(i * 8));
         } else {
-            EXPECT_EQ(entry.flags, traceTaken);
+            EXPECT_EQ(entry.flags(), traceTaken);
         }
     }
     EXPECT_FALSE(cursor.next(entry, memAddr));
+}
+
+TEST(TraceBuffer, ChunkCursorMatchesRecordCursor)
+{
+    Program prog;
+    TraceBuffer buffer(prog);
+    const std::uint64_t n = 2 * TraceBuffer::chunkEntries + 311;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        std::uint32_t flags = (i % 5 == 0) ? traceHasMemAddr : 0;
+        // Alternate small and large strides so deltas change sign
+        // and width across chunk boundaries.
+        std::int64_t addr = (i % 2 == 0)
+                                ? static_cast<std::int64_t>(i * 8)
+                                : (std::int64_t{1} << 36) -
+                                      static_cast<std::int64_t>(i);
+        buffer.append(static_cast<std::uint32_t>(i % 131), flags,
+                      addr);
+    }
+
+    TraceBuffer::Cursor record(buffer);
+    TraceBuffer::ChunkCursor chunks(buffer);
+    const TraceEntry *entries = nullptr;
+    std::size_t count = 0;
+    const std::int64_t *addrs = nullptr;
+    std::uint64_t seen = 0;
+    while (chunks.next(entries, count, addrs)) {
+        for (std::size_t i = 0; i < count; ++i, ++seen) {
+            TraceEntry expected;
+            std::int64_t expectedAddr = 0;
+            ASSERT_TRUE(record.next(expected, expectedAddr));
+            EXPECT_EQ(entries[i].packed, expected.packed);
+            if ((entries[i].flags() & traceHasMemAddr) != 0) {
+                EXPECT_EQ(*addrs++, expectedAddr);
+            }
+        }
+    }
+    EXPECT_EQ(seen, n);
+    TraceEntry tail;
+    std::int64_t tailAddr = 0;
+    EXPECT_FALSE(record.next(tail, tailAddr));
+}
+
+TEST(TraceBuffer, PackedFormatShrinksFootprint)
+{
+    const Workload *workload = findWorkload("wc");
+    ASSERT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    auto prog =
+        compiledWorkload(*workload, Model::Superblock, input);
+    auto buffer = capture(*prog, input);
+    ASSERT_GT(buffer->size(), 0u);
+    // 4 bytes per entry plus the varint side stream: well under the
+    // 8 bytes per entry + 8 bytes per address of the old format.
+    EXPECT_LT(buffer->memoryBytes(), buffer->size() * 6);
 }
 
 TEST(TraceBuffer, RecordsFunctionalRun)
