@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Differential-fuzz smoke stage: run the standalone fuzzer over a
+# block of seeds, comparing all three models plus ablation flips per
+# seed with the post-pass IR verifier on, and fail on any divergence,
+# verifier error, or trap. Reproducers for failing seeds land in
+# fuzz-reproducers/. Usage: scripts/fuzz.sh [--seeds N] [fuzz_main
+# flags...]; defaults to 200 seeds. Assumes scripts/tier1.sh (or any
+# build into build/) already ran.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_BIN=build/src/fuzz/fuzz_main
+if [ ! -x "$FUZZ_BIN" ]; then
+    echo "error: $FUZZ_BIN not built (run scripts/tier1.sh first)" >&2
+    exit 1
+fi
+
+have_seeds=0
+for arg in "$@"; do
+    if [ "$arg" = "--seeds" ]; then
+        have_seeds=1
+    fi
+done
+if [ "$have_seeds" -eq 0 ]; then
+    set -- --seeds 200 "$@"
+fi
+
+exec "$FUZZ_BIN" "$@"

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "driver/reproducer.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -13,13 +14,14 @@ namespace
 CompileOptions
 makeCompileOptions(const SuiteConfig &config, Model model,
                    const MachineConfig &machine,
-                   const std::string &input)
+                   const std::string &input, bool verifyEachPass)
 {
     CompileOptions opts;
     opts.model = model;
     opts.machine = machine;
     opts.profileInput = input;
     opts.ablation = config.ablation;
+    opts.verifyEachPass = verifyEachPass;
     return opts;
 }
 
@@ -81,7 +83,10 @@ namespace
  * Future-based once-per-key cache: the first requester computes
  * inline (so a running pool task never blocks on a queued one);
  * concurrent requesters block on the owner's shared_future.
- * Exceptions propagate to every waiter.
+ * Exceptions propagate to every waiter already attached, but the
+ * failed entry is evicted first, so the cache is never poisoned: a
+ * later request for the same key recomputes instead of replaying a
+ * stale failure forever.
  */
 template <typename T, typename Fn>
 T
@@ -110,6 +115,13 @@ cachedCompute(
         try {
             promise.set_value(compute());
         } catch (...) {
+            // Evict before publishing the failure: waiters holding
+            // this future still observe the exception, but the key
+            // is free for a clean retry.
+            {
+                std::lock_guard<std::mutex> lock(mutex);
+                cache.erase(key);
+            }
             promise.set_exception(std::current_exception());
         }
     }
@@ -132,7 +144,7 @@ SuiteEvaluator::snapshotFor(const Workload &workload,
             StatsRegistry perPrefix;
             auto snapshot = std::make_shared<FrontendSnapshot>(
                 compilePrefix(workload.source, input, profileFuel,
-                              &perPrefix));
+                              &perPrefix, policy_.verifyEachPass));
             compileStats_.merge(perPrefix);
             prefixCompiles_.fetch_add(1,
                                       std::memory_order_relaxed);
@@ -165,7 +177,8 @@ SuiteEvaluator::traceFor(const Workload &workload,
     return cachedCompute(
         mutex_, traces_, key, traceCacheHits_, [&]() -> TracePtr {
             CompileOptions opts =
-                makeCompileOptions(config, model, machine, input);
+                makeCompileOptions(config, model, machine, input,
+                                   policy_.verifyEachPass);
             // All models of a cell resume from one shared
             // front-end snapshot; only the model-specific pass
             // suffix runs per compile.
@@ -193,9 +206,21 @@ SuiteEvaluator::traceFor(const Workload &workload,
             }
             RunResult reference = referenceFor(
                 workload, input, config.scaleMultiplier);
-            panicIf(buffer->run().output != reference.output,
-                    modelName(model), " diverged on ",
-                    workload.name);
+            const RunResult &run = buffer->run();
+            if (run.output != reference.output ||
+                run.exitValue != reference.exitValue ||
+                run.memHash != reference.memHash) {
+                throw DivergenceError(detail::formatMessage(
+                    modelName(model), " diverged from reference on ",
+                    workload.name, ": exit ", run.exitValue, " vs ",
+                    reference.exitValue, ", output ",
+                    run.output.size(), " vs ",
+                    reference.output.size(), " bytes",
+                    run.output == reference.output ? " (equal)"
+                                                   : " (differ)",
+                    ", memHash ", run.memHash, " vs ",
+                    reference.memHash));
+            }
             std::uint64_t bytes = buffer->memoryBytes();
             capturedBytes_.fetch_add(bytes,
                                      std::memory_order_relaxed);
@@ -260,24 +285,62 @@ SuiteEvaluator::evaluate(const Workload &workload,
     // Cell 0: the 1-issue Superblock baseline denominator (paper
     // §4.1); cells 1..n: the requested models at config.machine.
     std::vector<SimResult> cells(models.size() + 1);
+    std::vector<CellError> errors;
+    std::mutex errorMutex;
     pool_.parallelFor(models.size() + 1, [&](std::size_t i) {
+        const bool baseline = i == 0;
+        const Model model =
+            baseline ? Model::Superblock : models[i - 1];
         SimConfig sim;
         sim.perfectCaches = config.perfectCaches;
-        if (i == 0) {
-            sim.machine = issue1();
-            cells[0] = cellResult(workload, config,
-                                  Model::Superblock, sim.machine,
-                                  sim, input);
-        } else {
-            sim.machine = config.machine;
-            cells[i] = cellResult(workload, config, models[i - 1],
-                                  config.machine, sim, input);
+        sim.maxDynInstrs = config.maxDynInstrs;
+        sim.machine = baseline ? issue1() : config.machine;
+        try {
+            cells[i] = cellResult(workload, config, model,
+                                  sim.machine, sim, input);
+        } catch (...) {
+            // Strict policy: let the pool rethrow the first failure.
+            if (!policy_.isolateFaults)
+                throw;
+            // Isolated policy: degrade this cell to a structured
+            // error record (plus a reproducer file when configured)
+            // and let the rest of the suite complete.
+            std::exception_ptr ep = std::current_exception();
+            CellError error;
+            error.workload = workload.name;
+            error.model = modelName(model);
+            error.baseline = baseline;
+            error.kind = classifyException(ep);
+            try {
+                std::rethrow_exception(ep);
+            } catch (const std::exception &e) {
+                error.message = e.what();
+            } catch (...) {
+                error.message = "non-standard exception";
+            }
+            if (!policy_.reproducerDir.empty()) {
+                ReproducerSpec spec;
+                spec.title = workload.name + "-" + error.model +
+                             (baseline ? "-base" : "");
+                spec.model = error.model;
+                spec.ablation = config.ablation;
+                spec.scale = config.scaleMultiplier;
+                spec.kind = error.kind;
+                spec.message = error.message;
+                spec.input = input;
+                spec.source = workload.source;
+                error.reproducerPath =
+                    writeReproducer(policy_.reproducerDir, spec);
+            }
+            std::lock_guard<std::mutex> lock(errorMutex);
+            errors.push_back(std::move(error));
         }
     });
 
     result.baseCycles = cells[0].cycles;
     for (std::size_t i = 0; i < models.size(); ++i)
         result.models[models[i]] = std::move(cells[i + 1]);
+    result.errors = std::move(errors);
     return result;
 }
 

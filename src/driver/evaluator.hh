@@ -65,6 +65,24 @@ struct BenchTiming
     std::uint64_t replayedRecords = 0; ///< records priced by replays.
 };
 
+/**
+ * How the evaluator handles failing cells. Strict (the default):
+ * the first failure propagates out of evaluate() as its typed
+ * exception. Isolated: a throwing cell degrades to a CellError
+ * record on the BenchmarkResult — with a self-contained reproducer
+ * file when reproducerDir is set — and every other cell completes
+ * normally.
+ */
+struct EvalPolicy
+{
+    /** Degrade failing cells to CellError records. */
+    bool isolateFaults = false;
+    /** Run the IR verifier after every compiler pass. */
+    bool verifyEachPass = false;
+    /** Directory for reproducer files ("" = don't write any). */
+    std::string reproducerDir;
+};
+
 /** Cached parallel evaluator; see file comment. */
 class SuiteEvaluator
 {
@@ -74,6 +92,12 @@ class SuiteEvaluator
 
     /** Resolved parallelism. */
     int threadCount() const { return pool_.threadCount(); }
+
+    /** Replace the failure-handling policy (default: strict). */
+    void setPolicy(EvalPolicy policy) { policy_ = std::move(policy); }
+
+    /** The active failure-handling policy. */
+    const EvalPolicy &policy() const { return policy_; }
 
     /**
      * Evaluate one workload: 1-issue Superblock baseline plus the
@@ -140,6 +164,7 @@ class SuiteEvaluator
                          const SimConfig &sim,
                          const std::string &input);
 
+    EvalPolicy policy_;
     ThreadPool pool_;
     std::mutex mutex_;
     std::unordered_map<std::string, std::shared_future<TracePtr>>

@@ -230,43 +230,56 @@ buildModelPipeline(const CompileOptions &opts)
     return pm;
 }
 
+namespace
+{
+
+/** Verify @p prog as left by @p producer; throw VerifyError if bad. */
+void
+verifyOrThrow(const Program &prog, const std::string &producer)
+{
+    std::string err = verifyProgram(prog);
+    if (!err.empty())
+        throw VerifyError(producer, err);
+}
+
+} // namespace
+
 std::unique_ptr<Program>
 compileForModel(const std::string &source, const CompileOptions &opts,
                 StatsRegistry *stats)
 {
     std::unique_ptr<Program> prog = compileSource(source);
-    std::string err = verifyProgram(*prog);
-    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
+    verifyOrThrow(*prog, "frontend");
 
     StatsRegistry localStats;
     StatsRegistry &registry = stats != nullptr ? *stats : localStats;
     PassContext ctx(registry);
     ctx.profileInput = opts.profileInput;
     ctx.profileFuel = opts.maxProfileInstrs;
+    ctx.verifyAfterEach = opts.verifyEachPass;
 
     PassManager pipeline = buildPassPipeline(opts);
     pipeline.run(*prog, ctx);
 
-    err = verifyProgram(*prog);
-    panicIf(!err.empty(), "pipeline produced invalid IR (",
-            modelName(opts.model), "): ", err);
+    verifyOrThrow(*prog, "pipeline(" + modelName(opts.model) + ")");
     return prog;
 }
 
 FrontendSnapshot
 compilePrefix(const std::string &source,
               const std::string &profileInput,
-              std::uint64_t maxProfileInstrs, StatsRegistry *stats)
+              std::uint64_t maxProfileInstrs, StatsRegistry *stats,
+              bool verifyEachPass)
 {
     std::unique_ptr<Program> prog = compileSource(source);
-    std::string err = verifyProgram(*prog);
-    panicIf(!err.empty(), "frontend produced invalid IR: ", err);
+    verifyOrThrow(*prog, "frontend");
 
     StatsRegistry localStats;
     StatsRegistry &registry = stats != nullptr ? *stats : localStats;
     PassContext ctx(registry);
     ctx.profileInput = profileInput;
     ctx.profileFuel = maxProfileInstrs;
+    ctx.verifyAfterEach = verifyEachPass;
 
     PassManager prefix = buildPrefixPipeline();
     prefix.run(*prog, ctx);
@@ -292,15 +305,14 @@ compileFromSnapshot(const FrontendSnapshot &snapshot,
     PassContext ctx(registry);
     ctx.profileInput = opts.profileInput;
     ctx.profileFuel = opts.maxProfileInstrs;
+    ctx.verifyAfterEach = opts.verifyEachPass;
     ctx.profile =
         std::make_unique<ProgramProfile>(snapshot.profile);
 
     PassManager suffix = buildModelPipeline(opts);
     suffix.run(*prog, ctx);
 
-    std::string err = verifyProgram(*prog);
-    panicIf(!err.empty(), "pipeline produced invalid IR (",
-            modelName(opts.model), "): ", err);
+    verifyOrThrow(*prog, "pipeline(" + modelName(opts.model) + ")");
     return prog;
 }
 

@@ -90,6 +90,12 @@ struct CompileOptions
     AblationFlags ablation;
     /** Allow cross-branch speculation in the scheduler. */
     bool schedulerSpeculation = true;
+    /**
+     * Run the IR verifier after every pass; a violation throws
+     * VerifyError naming the offending pass. Used by the fuzz
+     * oracle and debugging runs; off for benchmark compiles.
+     */
+    bool verifyEachPass = false;
     /** Input used for the profiling run. */
     std::string profileInput;
     /** Emulator fuel for profiling runs. */
@@ -149,7 +155,8 @@ FrontendSnapshot compilePrefix(const std::string &source,
                                const std::string &profileInput,
                                std::uint64_t maxProfileInstrs =
                                    2'000'000'000ull,
-                               StatsRegistry *stats = nullptr);
+                               StatsRegistry *stats = nullptr,
+                               bool verifyEachPass = false);
 
 /**
  * Finish a compilation from @p snapshot: clone the prefix program,

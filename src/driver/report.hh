@@ -19,6 +19,25 @@
 namespace predilp
 {
 
+/**
+ * Structured record of one failed evaluation cell, produced when the
+ * evaluator runs with fault isolation on: the failing cell degrades
+ * to this record (with a self-contained reproducer file when a
+ * reproducer directory is configured) while every other cell
+ * completes normally.
+ */
+struct CellError
+{
+    std::string workload;
+    std::string model;    ///< modelName() of the failing cell.
+    bool baseline = false; ///< the 1-issue denominator cell.
+    /** Taxonomy label from classifyException(). */
+    std::string kind;
+    std::string message;  ///< the exception's what().
+    /** Reproducer file path ("" when none was written). */
+    std::string reproducerPath;
+};
+
 /** All measurements for one benchmark. */
 struct BenchmarkResult
 {
@@ -26,6 +45,8 @@ struct BenchmarkResult
     /** Cycle count of the 1-issue Superblock baseline processor. */
     std::uint64_t baseCycles = 0;
     std::map<Model, SimResult> models;
+    /** Failed cells (empty unless fault isolation caught any). */
+    std::vector<CellError> errors;
 
     /** Speedup of @p model per the paper: base / model cycles. */
     double
@@ -51,6 +72,12 @@ struct SuiteConfig
     AblationFlags ablation;
     /** Input scale multiplier applied to every workload. */
     int scaleMultiplier = 1;
+    /**
+     * Dynamic-instruction budget per emulation/replay; exceeding it
+     * traps with EmuTrap{FuelExhausted}. Tight budgets are how tests
+     * force a trapping cell without an infinite-loop workload.
+     */
+    std::uint64_t maxDynInstrs = 2'000'000'000ull;
     /**
      * Worker threads for suite evaluation: 0 = auto (PREDILP_THREADS
      * environment variable, else hardware concurrency), 1 = serial.

@@ -1,0 +1,97 @@
+#include "driver/reproducer.hh"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace predilp
+{
+
+namespace
+{
+
+/** Hex-encode @p bytes so binary inputs survive the text file. */
+std::string
+hexEncode(const std::string &bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string hex;
+    hex.reserve(bytes.size() * 2);
+    for (unsigned char c : bytes) {
+        hex.push_back(digits[c >> 4]);
+        hex.push_back(digits[c & 0xf]);
+    }
+    return hex;
+}
+
+/** Reduce @p text to a filesystem-safe slug. */
+std::string
+slug(const std::string &text)
+{
+    std::string out;
+    for (char c : text) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            out.push_back(c);
+        else if (!out.empty() && out.back() != '-')
+            out.push_back('-');
+    }
+    while (!out.empty() && out.back() == '-')
+        out.pop_back();
+    return out.empty() ? "case" : out;
+}
+
+} // namespace
+
+std::string
+renderReproducer(const ReproducerSpec &spec)
+{
+    std::ostringstream os;
+    os << "// predilp reproducer\n";
+    os << "// title: " << spec.title << '\n';
+    if (spec.hasSeed)
+        os << "// seed: " << spec.seed << '\n';
+    if (!spec.model.empty())
+        os << "// model: " << spec.model << '\n';
+    os << "// ablation: " << spec.ablation.key()
+       << " (promotion,branchCombining,heightReduction,unrolling,"
+          "orTree,useSelect)\n";
+    os << "// scale: " << spec.scale << '\n';
+    os << "// kind: " << spec.kind << '\n';
+    // Keep the message on one comment line so the file stays
+    // parseable ILC whatever the what() text contains.
+    std::string message = spec.message;
+    for (char &c : message) {
+        if (c == '\n' || c == '\r')
+            c = ' ';
+    }
+    os << "// message: " << message << '\n';
+    os << "// input-hex: " << hexEncode(spec.input) << '\n';
+    os << "//\n";
+    os << spec.source;
+    if (spec.source.empty() || spec.source.back() != '\n')
+        os << '\n';
+    return os.str();
+}
+
+std::string
+writeReproducer(const std::string &dir, const ReproducerSpec &spec)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return "";
+    std::filesystem::path path =
+        std::filesystem::path(dir) /
+        (slug(spec.title) + "-" + slug(spec.kind) + ".ilc");
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return "";
+    out << renderReproducer(spec);
+    out.close();
+    if (!out)
+        return "";
+    return path.string();
+}
+
+} // namespace predilp

@@ -117,4 +117,21 @@ ExecContext::putChar(std::int64_t value)
     output_.push_back(static_cast<char>(value & 0xff));
 }
 
+std::uint64_t
+ExecContext::memoryHash() const
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < memory_.size(); ++i) {
+        // The reserved scratch word is not architectural state: the
+        // cmov model redirects squashed stores there (Figure 3), so
+        // its contents legitimately differ across models.
+        if (i >= static_cast<std::size_t>(Program::safeAddr) &&
+            i < static_cast<std::size_t>(Program::safeAddr) + 8)
+            continue;
+        hash ^= memory_[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
 } // namespace predilp

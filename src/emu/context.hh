@@ -66,6 +66,12 @@ class ExecContext
     /** Output produced so far. */
     const std::string &output() const { return output_; }
 
+    /**
+     * FNV-1a hash of the current memory image; the "final memory"
+     * leg of the differential oracle's equivalence check.
+     */
+    std::uint64_t memoryHash() const;
+
     /** Bytes of input not yet consumed. */
     std::size_t inputRemaining() const
     {

@@ -71,8 +71,9 @@ class Interp
         const Function *mainFn =
             const_cast<Program &>(prog_).function("main");
         panicIf(mainFn == nullptr, "no main function");
-        fatalIf(!mainFn->params().empty(),
-                "main must take no parameters");
+        if (!mainFn->params().empty())
+            trap(TrapKind::BadProgram, -1,
+                 "main must take no parameters");
 
         frames_.emplace_back(mainFn);
         enterBlock(mainFn->entry());
@@ -84,16 +85,23 @@ class Interp
         result.exitValue = exitValue_;
         result.dynInstrs = dynInstrs_;
         result.output = ctx_.output();
+        result.memHash = ctx_.memoryHash();
         return result;
     }
 
   private:
+    /**
+     * Abort the run with a typed EmuTrap. @p pc is the static id of
+     * the faulting instruction (-1 when none is executing); the
+     * dynamic step count is recorded automatically.
+     */
     template <typename... Args>
-    void
-    fatalIf(bool cond, Args &&...args)
+    [[noreturn]] void
+    trap(TrapKind kind, int pc, Args &&...args)
     {
-        if (cond)
-            fatal(std::forward<Args>(args)...);
+        throw EmuTrap(
+            kind, pc, dynInstrs_,
+            detail::formatMessage(std::forward<Args>(args)...));
     }
 
     Frame &frame() { return frames_.back(); }
@@ -218,10 +226,12 @@ class Interp
     {
         const Function *callee =
             const_cast<Program &>(prog_).function(instr.callee());
-        fatalIf(callee == nullptr, "call to unknown function ",
-                instr.callee());
-        fatalIf(frames_.size() >= 65536,
-                "call stack overflow in emulated program");
+        if (callee == nullptr)
+            trap(TrapKind::BadControl, instr.id(),
+                 "call to unknown function ", instr.callee());
+        if (frames_.size() >= 65536)
+            trap(TrapKind::StackOverflow, instr.id(),
+                 "call stack overflow in emulated program");
 
         // Evaluate arguments in the caller frame first.
         std::vector<std::int64_t> intArgs;
@@ -283,9 +293,9 @@ class Interp
                     writeInt(instr.dest(), 0);
                 return;
             }
-            fatal("invalid memory access at address ", addr,
-                  " by '", instr.toString(), "' in ",
-                  frame().fn->name());
+            trap(TrapKind::MemFault, instr.id(),
+                 "invalid memory access at address ", addr, " by '",
+                 instr.toString(), "' in ", frame().fn->name());
         }
         switch (instr.op()) {
           case Opcode::Ld:
@@ -322,8 +332,9 @@ class Interp
         if (b == 0) {
             if (instr.speculative())
                 return 0; // silent form.
-            fatal("division by zero in ", frame().fn->name(), ": '",
-                  instr.toString(), "'");
+            trap(TrapKind::DivideByZero, instr.id(),
+                 "division by zero in ", frame().fn->name(), ": '",
+                 instr.toString(), "'");
         }
         if (a == INT64_MIN && b == -1)
             return isRem ? 0 : INT64_MIN;
@@ -353,17 +364,19 @@ class Interp
         // Fallthrough off the end of the block.
         while (index_ >= block_->instrs().size()) {
             BlockId ft = block_->fallthrough();
-            fatalIf(ft == invalidBlock,
-                    "control fell off the end of block ",
-                    block_->name(), " in ", frame().fn->name());
+            if (ft == invalidBlock)
+                trap(TrapKind::BadControl, -1,
+                     "control fell off the end of block ",
+                     block_->name(), " in ", frame().fn->name());
             gotoBlock(ft);
         }
 
         const Instruction &instr = block_->instrs()[index_];
         dynInstrs_ += 1;
-        fatalIf(dynInstrs_ > opts_.maxDynInstrs,
-                "dynamic instruction budget exceeded (",
-                opts_.maxDynInstrs, ")");
+        if (dynInstrs_ > opts_.maxDynInstrs)
+            trap(TrapKind::FuelExhausted, instr.id(),
+                 "dynamic instruction budget exceeded (",
+                 opts_.maxDynInstrs, ")");
 
         DynRecord record;
         record.fn = frame().fn;
@@ -488,8 +501,9 @@ class Interp
           case Opcode::FDiv: {
             double b = evalFloat(instr.src(1));
             if (b == 0.0 && !instr.speculative()) {
-                fatal("floating divide by zero in ",
-                      frame().fn->name());
+                trap(TrapKind::DivideByZero, instr.id(),
+                     "floating divide by zero in ",
+                     frame().fn->name());
             }
             writeFloat(instr.dest(),
                        b == 0.0 ? 0.0 : evalFloat(instr.src(0)) / b);
@@ -563,17 +577,19 @@ class Interp
             std::int64_t addr = wrapAdd(evalInt(instr.src(0)),
                                         evalInt(instr.src(1)));
             std::int64_t maxLen = evalInt(instr.src(2));
-            fatalIf(maxLen < 0 ||
-                        !ctx_.validAccess(addr,
-                                          static_cast<int>(std::min<
-                                              std::int64_t>(
-                                              maxLen, 1))),
-                    "readblock with invalid buffer");
+            if (maxLen < 0 ||
+                !ctx_.validAccess(
+                    addr, static_cast<int>(
+                              std::min<std::int64_t>(maxLen, 1)))) {
+                trap(TrapKind::MemFault, instr.id(),
+                     "readblock with invalid buffer");
+            }
             std::int64_t avail = static_cast<std::int64_t>(
                 ctx_.inputRemaining());
             std::int64_t count = std::min(maxLen, avail);
-            fatalIf(!ctx_.validAccess(addr, static_cast<int>(count)),
-                    "readblock past end of memory");
+            if (!ctx_.validAccess(addr, static_cast<int>(count)))
+                trap(TrapKind::MemFault, instr.id(),
+                     "readblock past end of memory");
             writeInt(instr.dest(), ctx_.readBlock(addr, maxLen));
             record.hasMemAddr = true;
             record.memAddr = addr;

@@ -55,12 +55,23 @@ struct RunResult
     std::int64_t exitValue = 0;    ///< main's return value.
     std::uint64_t dynInstrs = 0;   ///< dynamic instruction count.
     std::string output;            ///< bytes written via putc.
+    /**
+     * FNV-1a hash of the final data-memory image. Together with
+     * exitValue and output this is the architectural result the
+     * differential oracle compares across processor models.
+     */
+    std::uint64_t memHash = 0;
 };
 
 /** Knobs for one emulation run. */
 struct EmuOptions
 {
-    /** Abort the run after this many dynamic instructions. */
+    /**
+     * Dynamic-instruction budget for this run; exceeding it throws
+     * EmuTrap{TrapKind::FuelExhausted} so harnesses can classify
+     * infinite loops apart from genuine failures. Configurable per
+     * run — the fuzz oracle and the evaluator set tight budgets.
+     */
     std::uint64_t maxDynInstrs = 2'000'000'000ull;
 
     /** Optional profile to fill (sized for the program). */

@@ -61,7 +61,7 @@ class IRGen
     {
         if (signatures_.count(g.name) != 0 ||
             globalTypes_.count(g.name) != 0) {
-            fatal("line ", g.line, ": duplicate global name ",
+            compileError(g.line, "duplicate global name ",
                   g.name);
         }
         int elemSize = g.elemType == Ty::Byte ? 1 : 8;
@@ -80,10 +80,10 @@ class IRGen
     {
         if (signatures_.count(decl.name) != 0 ||
             globalTypes_.count(decl.name) != 0) {
-            fatal("line ", decl.line, ": duplicate name ", decl.name);
+            compileError(decl.line, "duplicate name ", decl.name);
         }
         if (decl.name == "getc" || decl.name == "putc")
-            fatal("line ", decl.line, ": ", decl.name,
+            compileError(decl.line, "", decl.name,
                   " is a builtin");
         signatures_[decl.name] = &decl;
         Function *fn = prog_->newFunction(decl.name);
@@ -98,7 +98,7 @@ class IRGen
             fn->setRetKind(RetKind::None);
             break;
           case Ty::Byte:
-            fatal("line ", decl.line, ": byte return unsupported");
+            compileError(decl.line, "byte return unsupported");
         }
         for (const auto &param : decl.params) {
             Reg reg = param.type == Ty::Float ? fn->newFloatReg()
@@ -163,9 +163,9 @@ class IRGen
     defineLocal(const std::string &name, Ty type, Reg reg, int line)
     {
         if (type != Ty::Int && type != Ty::Float)
-            fatal("line ", line, ": locals must be int or float");
+            compileError(line, "locals must be int or float");
         if (scopes_.back().count(name) != 0)
-            fatal("line ", line, ": redefinition of ", name);
+            compileError(line, "redefinition of ", name);
         scopes_.back()[name] = LocalVar{reg, type};
     }
 
@@ -346,10 +346,10 @@ class IRGen
 
         auto gt = globalTypes_.find(expr.name);
         if (gt == globalTypes_.end())
-            fatal("line ", expr.line, ": unknown variable ",
+            compileError(expr.line, "unknown variable ",
                   expr.name);
         if (globalIsArray_.at(expr.name))
-            fatal("line ", expr.line, ": array ", expr.name,
+            compileError(expr.line, "array ", expr.name,
                   " used without index");
         const Global *g = prog_->global(expr.name);
         if (gt->second == Ty::Float) {
@@ -374,7 +374,7 @@ class IRGen
     {
         auto gt = globalTypes_.find(name);
         if (gt == globalTypes_.end())
-            fatal("line ", line, ": unknown array ", name);
+            compileError(line, "unknown array ", name);
         const Global *g = prog_->global(name);
         Ty elemType = gt->second;
         *elemTypeOut = elemType;
@@ -418,14 +418,14 @@ class IRGen
     {
         if (expr.name == "getc") {
             if (!expr.kids.empty())
-                fatal("line ", expr.line, ": getc takes no args");
+                compileError(expr.line, "getc takes no args");
             Reg dest = fn_->newIntReg();
             builder_->getc(dest);
             return Value{Operand(dest), Ty::Int};
         }
         if (expr.name == "putc") {
             if (expr.kids.size() != 1)
-                fatal("line ", expr.line, ": putc takes one arg");
+                compileError(expr.line, "putc takes one arg");
             Value v = genExpr(*expr.kids[0]);
             builder_->putc(toInt(v, expr.line));
             return Value{Operand::imm(0), Ty::Int};
@@ -436,8 +436,8 @@ class IRGen
             // byte count.
             if (expr.kids.size() != 3 ||
                 expr.kids[0]->kind != Expr::Kind::Var) {
-                fatal("line ", expr.line,
-                      ": readblock(array, offset, maxlen) expects "
+                compileError(expr.line,
+                      "readblock(array, offset, maxlen) expects "
                       "a global array name first");
             }
             const std::string &arrayName = expr.kids[0]->name;
@@ -445,7 +445,7 @@ class IRGen
             if (gt == globalTypes_.end() ||
                 !globalIsArray_.at(arrayName) ||
                 gt->second != Ty::Byte) {
-                fatal("line ", expr.line, ": readblock target ",
+                compileError(expr.line, "readblock target ",
                       arrayName, " must be a global byte array");
             }
             const Global *g = prog_->global(arrayName);
@@ -463,11 +463,11 @@ class IRGen
 
         auto sig = signatures_.find(expr.name);
         if (sig == signatures_.end())
-            fatal("line ", expr.line, ": unknown function ",
+            compileError(expr.line, "unknown function ",
                   expr.name);
         const FuncDecl *callee = sig->second;
         if (callee->params.size() != expr.kids.size()) {
-            fatal("line ", expr.line, ": ", expr.name, " expects ",
+            compileError(expr.line, "", expr.name, " expects ",
                   callee->params.size(), " arguments, got ",
                   expr.kids.size());
         }
@@ -484,7 +484,7 @@ class IRGen
         } else if (retType == Ty::Float) {
             dest = fn_->newFloatReg();
         } else if (!voidContext) {
-            fatal("line ", expr.line, ": void function ", expr.name,
+            compileError(expr.line, "void function ", expr.name,
                   " used in an expression");
         }
         builder_->call(expr.name, dest, std::move(args));
@@ -548,7 +548,7 @@ class IRGen
           case Tok::Shl: return Opcode::Shl;
           case Tok::Shr: return Opcode::Sra;
           default:
-            fatal("line ", line, ": bad integer operator");
+            compileError(line, "bad integer operator");
         }
     }
 
@@ -599,8 +599,8 @@ class IRGen
               case Tok::Star: op = Opcode::FMul; break;
               case Tok::Slash: op = Opcode::FDiv; break;
               default:
-                fatal("line ", expr.line,
-                      ": operator not defined on float");
+                compileError(expr.line,
+                      "operator not defined on float");
             }
             Reg dest = fn_->newFloatReg();
             builder_->emit(op, dest, toFloat(lhs), toFloat(rhs));
@@ -722,10 +722,10 @@ class IRGen
     {
         auto gt = globalTypes_.find(target.name);
         if (gt == globalTypes_.end())
-            fatal("line ", target.line, ": unknown variable ",
+            compileError(target.line, "unknown variable ",
                   target.name);
         if (globalIsArray_.at(target.name))
-            fatal("line ", target.line, ": array ", target.name,
+            compileError(target.line, "array ", target.name,
                   " assigned without index");
         const Global *g = prog_->global(target.name);
         Ty type = gt->second;
@@ -936,16 +936,16 @@ class IRGen
           case Stmt::Kind::Return: {
             if (stmt.expr != nullptr) {
                 if (decl_->retType == Ty::Void) {
-                    fatal("line ", stmt.line,
-                          ": void function returns a value");
+                    compileError(stmt.line,
+                          "void function returns a value");
                 }
                 Value v = genExpr(*stmt.expr);
                 builder_->ret(
                     coerce(v, decl_->retType, stmt.line));
             } else {
                 if (decl_->retType != Ty::Void) {
-                    fatal("line ", stmt.line,
-                          ": non-void function returns nothing");
+                    compileError(stmt.line,
+                          "non-void function returns nothing");
                 }
                 builder_->ret();
             }
@@ -953,14 +953,14 @@ class IRGen
           }
           case Stmt::Kind::Break: {
             if (loops_.empty())
-                fatal("line ", stmt.line, ": break outside a loop");
+                compileError(stmt.line, "break outside a loop");
             builder_->jump(loops_.back().breakTarget);
             return;
           }
           case Stmt::Kind::Continue: {
             if (loops_.empty())
-                fatal("line ", stmt.line,
-                      ": continue outside a loop");
+                compileError(stmt.line,
+                      "continue outside a loop");
             builder_->jump(loops_.back().continueTarget);
             return;
           }

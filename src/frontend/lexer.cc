@@ -79,8 +79,8 @@ class Lexer
                 advance();
                 while (!(peek() == '*' && peek(1) == '/')) {
                     if (peek() == '\0')
-                        fatal("line ", line_,
-                              ": unterminated block comment");
+                        compileError(line_,
+                              "unterminated block comment");
                     advance();
                 }
                 advance();
@@ -113,7 +113,7 @@ class Lexer
           case '\'': return '\'';
           case '"': return '"';
           default:
-            fatal("line ", line_, ": bad escape sequence \\", c);
+            compileError(line_, "bad escape sequence \\", c);
         }
     }
 
@@ -151,8 +151,8 @@ class Lexer
                 peek() == '\\' ? (advance(), readEscape())
                                : advance();
             if (!match('\''))
-                fatal("line ", startLine,
-                      ": unterminated char literal");
+                compileError(startLine,
+                      "unterminated char literal");
             Token tok = make(Tok::IntLit);
             tok.line = startLine;
             tok.intValue = value;
@@ -164,8 +164,8 @@ class Lexer
             tok.line = startLine;
             while (peek() != '"') {
                 if (peek() == '\0')
-                    fatal("line ", startLine,
-                          ": unterminated string literal");
+                    compileError(startLine,
+                          "unterminated string literal");
                 char ch = advance();
                 tok.text.push_back(
                     ch == '\\' ? static_cast<char>(readEscape()) : ch);
@@ -223,7 +223,7 @@ class Lexer
                 tok.kind = match('=') ? Tok::Ge : Tok::Gt;
             break;
           default:
-            fatal("line ", startLine, ": unexpected character '", c,
+            compileError(startLine, "unexpected character '", c,
                   "'");
         }
         return tok;
@@ -241,7 +241,7 @@ class Lexer
             while (std::isxdigit(static_cast<unsigned char>(peek())))
                 hex.push_back(advance());
             if (hex.empty())
-                fatal("line ", startLine, ": bad hex literal");
+                compileError(startLine, "bad hex literal");
             Token tok = make(Tok::IntLit);
             tok.line = startLine;
             tok.intValue = static_cast<std::int64_t>(

@@ -56,7 +56,7 @@ class Parser
     expect(Tok kind, const char *where)
     {
         if (!at(kind)) {
-            fatal("line ", peek().line, ": expected ", tokName(kind),
+            compileError(peek().line, "expected ", tokName(kind),
                   " ", where, ", got ", tokName(peek().kind));
         }
         return advance();
@@ -80,7 +80,7 @@ class Parser
             return Ty::Byte;
         if (match(Tok::KwVoid))
             return Ty::Void;
-        fatal("line ", peek().line, ": expected a type, got ",
+        compileError(peek().line, "expected a type, got ",
               tokName(peek().kind));
     }
 
@@ -114,8 +114,8 @@ class Parser
                 Param param;
                 Ty pt = parseType();
                 if (pt != Ty::Int && pt != Ty::Float) {
-                    fatal("line ", peek().line,
-                          ": parameters must be int or float");
+                    compileError(peek().line,
+                          "parameters must be int or float");
                 }
                 param.type = pt;
                 param.name =
@@ -136,7 +136,7 @@ class Parser
         g.elemType = type;
         g.line = line;
         if (type == Ty::Void)
-            fatal("line ", line, ": void globals are not allowed");
+            compileError(line, "void globals are not allowed");
 
         if (match(Tok::LBracket)) {
             g.isArray = true;
@@ -148,7 +148,7 @@ class Parser
             }
             expect(Tok::RBracket, "after array size");
         } else if (type == Ty::Byte) {
-            fatal("line ", line, ": byte is only valid for arrays");
+            compileError(line, "byte is only valid for arrays");
         }
 
         if (match(Tok::Assign))
@@ -160,7 +160,7 @@ class Parser
                                  : static_cast<std::int64_t>(
                                        g.initInts.size());
             if (n == 0)
-                fatal("line ", line, ": array ", g.name,
+                compileError(line, "array ", g.name,
                       " has neither size nor initializer");
             g.count = n;
         }
@@ -174,8 +174,8 @@ class Parser
         if (at(Tok::StrLit)) {
             Token lit = advance();
             if (g.elemType != Ty::Byte || !g.isArray) {
-                fatal("line ", lit.line,
-                      ": string initializer requires a byte array");
+                compileError(lit.line,
+                      "string initializer requires a byte array");
             }
             for (char c : lit.text)
                 g.initInts.push_back(
@@ -200,8 +200,8 @@ class Parser
         if (at(Tok::FloatLit)) {
             Token lit = advance();
             if (g.elemType != Ty::Float)
-                fatal("line ", lit.line,
-                      ": float initializer for non-float global");
+                compileError(lit.line,
+                      "float initializer for non-float global");
             g.initFloats.push_back(neg ? -lit.floatValue
                                        : lit.floatValue);
             return;
@@ -225,7 +225,7 @@ class Parser
         auto stmt = std::make_unique<Stmt>(Stmt::Kind::Block, line);
         while (!at(Tok::RBrace)) {
             if (at(Tok::End))
-                fatal("line ", line, ": unterminated block");
+                compileError(line, "unterminated block");
             parseStmtInto(stmt->body);
         }
         expect(Tok::RBrace, "to close block");
@@ -374,8 +374,8 @@ class Parser
             Token op = advance();
             if (lhs->kind != Expr::Kind::Var &&
                 lhs->kind != Expr::Kind::Index) {
-                fatal("line ", op.line,
-                      ": assignment target must be a variable or "
+                compileError(op.line,
+                      "assignment target must be a variable or "
                       "array element");
             }
             auto node =
@@ -466,8 +466,8 @@ class Parser
             if (at(Tok::LBracket)) {
                 Token tok = advance();
                 if (base->kind != Expr::Kind::Var) {
-                    fatal("line ", tok.line,
-                          ": only named arrays can be indexed");
+                    compileError(tok.line,
+                          "only named arrays can be indexed");
                 }
                 auto node = std::make_unique<Expr>(
                     Expr::Kind::Index, tok.line);
@@ -478,8 +478,8 @@ class Parser
             } else if (at(Tok::LParen)) {
                 Token tok = advance();
                 if (base->kind != Expr::Kind::Var) {
-                    fatal("line ", tok.line,
-                          ": call target must be a function name");
+                    compileError(tok.line,
+                          "call target must be a function name");
                 }
                 auto node = std::make_unique<Expr>(
                     Expr::Kind::Call, tok.line);
@@ -524,7 +524,7 @@ class Parser
             expect(Tok::RParen, "after parenthesized expression");
             return inner;
         }
-        fatal("line ", tok.line, ": expected an expression, got ",
+        compileError(tok.line, "expected an expression, got ",
               tokName(tok.kind));
     }
 

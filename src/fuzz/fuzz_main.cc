@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Standalone differential-fuzzing driver. Runs the oracle over a
+ * seed range in parallel and reports every failure with its
+ * reproducer path. Exit status 0 = every seed agreed, 1 = at least
+ * one divergence/verifier failure/trap, 2 = bad usage.
+ *
+ * Usage:
+ *   fuzz_main [--seeds N] [--start S] [--fuel N]
+ *             [--repro-dir DIR] [--no-ablations] [--threads N]
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.hh"
+#include "support/thread_pool.hh"
+
+using namespace predilp;
+
+namespace
+{
+
+bool
+parseU64(const char *text, std::uint64_t &out)
+{
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (end == text || *end != '\0')
+        return false;
+    out = value;
+    return true;
+}
+
+int
+usage()
+{
+    std::cerr << "usage: fuzz_main [--seeds N] [--start S]"
+                 " [--fuel N] [--repro-dir DIR] [--no-ablations]"
+                 " [--threads N]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t seeds = 200;
+    std::uint64_t start = 0;
+    std::uint64_t threads = 0;
+    OracleOptions opts;
+    opts.reproducerDir = "fuzz-reproducers";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto takeValue = [&](std::uint64_t &out) {
+            return i + 1 < argc && parseU64(argv[++i], out);
+        };
+        if (arg == "--seeds") {
+            if (!takeValue(seeds))
+                return usage();
+        } else if (arg == "--start") {
+            if (!takeValue(start))
+                return usage();
+        } else if (arg == "--fuel") {
+            if (!takeValue(opts.fuel))
+                return usage();
+        } else if (arg == "--threads") {
+            if (!takeValue(threads))
+                return usage();
+        } else if (arg == "--repro-dir") {
+            if (i + 1 >= argc)
+                return usage();
+            opts.reproducerDir = argv[++i];
+        } else if (arg == "--no-ablations") {
+            opts.checkAblations = false;
+        } else {
+            return usage();
+        }
+    }
+
+    ThreadPool pool(static_cast<int>(threads));
+    std::mutex mutex;
+    std::vector<OracleFailure> failures;
+    std::uint64_t configsRun = 0;
+
+    pool.parallelFor(seeds, [&](std::size_t i) {
+        OracleResult result = runDifferentialOracle(
+            start + static_cast<std::uint64_t>(i), opts);
+        std::lock_guard<std::mutex> lock(mutex);
+        configsRun += result.configsRun;
+        for (OracleFailure &failure : result.failures)
+            failures.push_back(std::move(failure));
+    });
+
+    for (const OracleFailure &failure : failures) {
+        std::cerr << "FAIL seed=" << failure.seed << " config="
+                  << failure.config << " kind=" << failure.kind
+                  << "\n  " << failure.message << "\n";
+        if (!failure.reproducerPath.empty())
+            std::cerr << "  reproducer: " << failure.reproducerPath
+                      << "\n";
+    }
+    std::cout << "fuzz: " << seeds << " seeds, " << configsRun
+              << " configs compared, " << failures.size()
+              << " failure(s)\n";
+    return failures.empty() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Seeded random ILC program generation for the differential fuzz
+ * oracle. generateProgram(seed) produces a self-contained ILC
+ * program plus an input byte string, both fully determined by the
+ * seed, that is guaranteed to compile, verify, terminate within a
+ * modest dynamic-instruction budget, and execute without faults
+ * under every processor model:
+ *
+ *  - every loop is counted with a protected induction variable the
+ *    body cannot assign, and nesting is budgeted so the product of
+ *    trip counts stays small;
+ *  - array indices are masked to the (power-of-two) array size, so
+ *    loads and stores always hit the memory image;
+ *  - integer divide/modulo denominators are generated as
+ *    `((e & 7) + 1)`, never zero; float division is not generated;
+ *  - helpers only call lower-numbered helpers, so calls never
+ *    recurse and the stack stays bounded;
+ *  - `continue` is only emitted where the innermost loop is a `for`
+ *    (whose continue target is the step block).
+ *
+ * The program ends in a checksum epilogue that folds every global
+ * scalar and array into the output bytes and the exit value, so a
+ * miscompiled store anywhere is observable architecturally.
+ */
+
+#ifndef PREDILP_FUZZ_GENERATOR_HH
+#define PREDILP_FUZZ_GENERATOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace predilp
+{
+
+/** Size/shape knobs for one generated program. */
+struct GeneratorOptions
+{
+    int maxHelpers = 3;     ///< helper functions besides main.
+    int maxTopStmts = 10;   ///< statements in main's body.
+    int maxBlockStmts = 5;  ///< statements per nested block.
+    int maxDepth = 3;       ///< statement nesting depth.
+    int maxExprDepth = 4;   ///< expression tree depth.
+    int maxLoopIters = 16;  ///< per-loop constant trip count.
+    int maxInputBytes = 96; ///< random input length bound.
+    bool useFloats = true;  ///< generate float locals/arithmetic.
+};
+
+/** One generated differential-test case. */
+struct GeneratedProgram
+{
+    std::uint64_t seed = 0;
+    std::string source; ///< self-contained ILC program.
+    std::string input;  ///< bytes fed to the program.
+};
+
+/** Generate the test case for @p seed (pure function of its args). */
+GeneratedProgram generateProgram(std::uint64_t seed,
+                                 const GeneratorOptions &opts = {});
+
+} // namespace predilp
+
+#endif // PREDILP_FUZZ_GENERATOR_HH

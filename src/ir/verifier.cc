@@ -23,6 +23,8 @@ class Verifier
         for (BlockId id : fn_.layout())
             inLayout_[static_cast<std::size_t>(id)] = true;
 
+        scanPredDefs();
+
         for (BlockId id : fn_.layout()) {
             const BasicBlock *bb = fn_.block(id);
             checkBlock(*bb);
@@ -46,6 +48,77 @@ class Verifier
             os << "'" << instr->toString() << "': ";
         (os << ... << std::forward<Args>(args));
         error_ = os.str();
+    }
+
+    /**
+     * Function-wide predicate-definition summary, feeding the
+     * use-before-def and OR/AND-seeding checks. Deliberately
+     * flow-insensitive (a def anywhere in the function counts) so it
+     * never false-positives on schedules or hyperblock layouts the
+     * dataflow of which we do not model; it still catches transforms
+     * that guard or OR into a predicate register nothing ever
+     * defines — including uses minted across hyperblock boundaries.
+     */
+    void
+    scanPredDefs()
+    {
+        auto bound = static_cast<std::size_t>(fn_.numPredRegs());
+        predDefined_.assign(bound, false);
+        predInitialized_.assign(bound, false);
+        for (BlockId id : fn_.layout()) {
+            for (const auto &instr : fn_.block(id)->instrs()) {
+                if (instr.op() == Opcode::PredClear ||
+                    instr.op() == Opcode::PredSet) {
+                    hasPredAll_ = true;
+                    continue;
+                }
+                for (const auto &pd : instr.predDests()) {
+                    if (pd.reg.cls() != RegClass::Pred ||
+                        static_cast<std::size_t>(pd.reg.idx()) >=
+                            bound) {
+                        continue; // reported by checkInstr.
+                    }
+                    auto idx =
+                        static_cast<std::size_t>(pd.reg.idx());
+                    predDefined_[idx] = true;
+                    // U-type dests write regardless of Pin
+                    // (Table 1); OR/AND types leave the register
+                    // unchanged when they do not fire.
+                    if (pd.type == PredType::U ||
+                        pd.type == PredType::UBar) {
+                        predInitialized_[idx] = true;
+                    }
+                }
+                Reg dest = instr.dest();
+                if (!instr.isPredDefine() && dest.valid() &&
+                    dest.cls() == RegClass::Pred &&
+                    static_cast<std::size_t>(dest.idx()) < bound) {
+                    auto idx = static_cast<std::size_t>(dest.idx());
+                    predDefined_[idx] = true;
+                    if (!instr.guarded())
+                        predInitialized_[idx] = true;
+                }
+            }
+        }
+    }
+
+    bool
+    predDefinedSomewhere(Reg reg) const
+    {
+        if (hasPredAll_)
+            return true;
+        auto idx = static_cast<std::size_t>(reg.idx());
+        return idx < predDefined_.size() && predDefined_[idx];
+    }
+
+    bool
+    predInitializedSomewhere(Reg reg) const
+    {
+        if (hasPredAll_)
+            return true;
+        auto idx = static_cast<std::size_t>(reg.idx());
+        return idx < predInitialized_.size() &&
+               predInitialized_[idx];
     }
 
     bool
@@ -123,8 +196,16 @@ class Verifier
             instr.guard().cls() != RegClass::Pred) {
             fail(bb, &instr, "guard is not a predicate register");
         }
-        if (instr.guarded())
+        if (instr.guarded()) {
             checkReg(bb, instr, instr.guard(), "guard");
+            if (error_.empty() &&
+                instr.guard().cls() == RegClass::Pred &&
+                !predDefinedSomewhere(instr.guard())) {
+                fail(bb, &instr, "guard ", instr.guard().toString(),
+                     " is never defined in this function "
+                     "(use before def)");
+            }
+        }
 
         if (instr.isPredDefine()) {
             if (instr.predDests().empty() ||
@@ -138,6 +219,23 @@ class Verifier
                          "predicate dest is not a pred register");
                 }
                 checkReg(bb, instr, pd.reg, "pred dest");
+                if (error_.empty() &&
+                    pd.reg.cls() == RegClass::Pred &&
+                    pd.type != PredType::U &&
+                    pd.type != PredType::UBar &&
+                    !predInitializedSomewhere(pd.reg)) {
+                    fail(bb, &instr, predTypeName(pd.type),
+                         "-type dest ", pd.reg.toString(),
+                         " has no unconditional initialization "
+                         "(U-type define or pred_clear/pred_set)");
+                }
+            }
+            if (instr.predDests().size() == 2 &&
+                instr.predDests()[0].reg ==
+                    instr.predDests()[1].reg) {
+                fail(bb, &instr,
+                     "duplicate predicate destination ",
+                     instr.predDests()[0].reg.toString());
             }
             checkSrcCount(bb, instr, 2);
         } else if (!instr.predDests().empty()) {
@@ -197,14 +295,26 @@ class Verifier
         }
 
         for (const auto &src : instr.srcs()) {
-            if (src.isReg())
-                checkReg(bb, instr, src.reg(), "source");
+            if (!src.isReg())
+                continue;
+            checkReg(bb, instr, src.reg(), "source");
+            if (error_.empty() &&
+                src.reg().cls() == RegClass::Pred &&
+                !predDefinedSomewhere(src.reg())) {
+                fail(bb, &instr, "predicate source ",
+                     src.reg().toString(),
+                     " is never defined in this function "
+                     "(use before def)");
+            }
         }
     }
 
     const Function &fn_;
     const Program *prog_;
     std::vector<bool> inLayout_;
+    std::vector<bool> predDefined_;
+    std::vector<bool> predInitialized_;
+    bool hasPredAll_ = false;
     std::set<int> ids_;
     std::string error_;
 };

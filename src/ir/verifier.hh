@@ -21,8 +21,15 @@ namespace predilp
  *  - every layout block either ends in an unconditional transfer or
  *    has a valid fallthrough (also in the layout);
  *  - operand counts and register classes match each opcode;
- *  - predicate defines have 1-2 predicate destinations;
- *  - guards are predicate registers;
+ *  - predicate defines have 1-2 distinct predicate destinations;
+ *  - OR/AND-type predicate destinations have an unconditional
+ *    initialization somewhere in the function (a U-type define or a
+ *    pred_clear/pred_set) — their Table-1 semantics read the old
+ *    register value, so an unseeded OR/AND chain is undefined;
+ *  - guards and predicate sources name predicate registers that are
+ *    defined somewhere in the function (flow-insensitive
+ *    use-before-def, which also covers uses minted across
+ *    hyperblock boundaries);
  *  - register indices are below the function's counters;
  *  - instruction ids are unique within the function.
  *

@@ -58,6 +58,15 @@ struct PassContext
 
     StatsRegistry &stats;
 
+    /**
+     * When set, the IR verifier runs after every pass invocation
+     * (including fixpoint-group members) and a violation throws
+     * VerifyError naming the offending pass and the first broken
+     * invariant. Off by default — it is meant for the differential
+     * fuzz oracle, debugging, and tests, not the benchmark hot path.
+     */
+    bool verifyAfterEach = false;
+
     /** Pre-formation profile; null until a ProfilePass runs. */
     std::unique_ptr<ProgramProfile> profile;
 

@@ -1,5 +1,6 @@
 #include "opt/pass.hh"
 
+#include "ir/verifier.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -36,6 +37,11 @@ runInstrumented(Pass &pass, Program &prog, PassContext &ctx)
         result = pass.run(prog, ctx);
     }
     const std::uint64_t after = programInstrCount(prog);
+    if (ctx.verifyAfterEach) {
+        std::string err = verifyProgram(prog);
+        if (!err.empty())
+            throw VerifyError(scope, err);
+    }
     ctx.stats.counter(scope + ".runs").add();
     ctx.stats.counter(scope + ".changes").add(result.changes);
     if (result.changed())

@@ -1,0 +1,52 @@
+#include "support/diag.hh"
+
+namespace predilp
+{
+
+std::string
+trapKindName(TrapKind kind)
+{
+    switch (kind) {
+      case TrapKind::FuelExhausted:
+        return "fuel_exhausted";
+      case TrapKind::MemFault:
+        return "mem_fault";
+      case TrapKind::DivideByZero:
+        return "divide_by_zero";
+      case TrapKind::BadControl:
+        return "bad_control";
+      case TrapKind::StackOverflow:
+        return "stack_overflow";
+      case TrapKind::BadProgram:
+        return "bad_program";
+    }
+    return "?";
+}
+
+std::string
+classifyException(std::exception_ptr ep) noexcept
+{
+    if (!ep)
+        return "unknown";
+    try {
+        std::rethrow_exception(ep);
+    } catch (const CompileError &) {
+        return "CompileError";
+    } catch (const EmuTrap &) {
+        return "EmuTrap";
+    } catch (const VerifyError &) {
+        return "VerifyError";
+    } catch (const DivergenceError &) {
+        return "DivergenceError";
+    } catch (const FatalError &) {
+        return "FatalError";
+    } catch (const Error &) {
+        return "Error";
+    } catch (const PanicError &) {
+        return "PanicError";
+    } catch (...) {
+        return "unknown";
+    }
+}
+
+} // namespace predilp

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The typed, recoverable error taxonomy shared by the compile and
+ * emulate paths. Every abnormal outcome a caller may want to survive
+ * — a bad source program, IR broken by a transform, an emulated
+ * program trapping, two models disagreeing architecturally — is a
+ * distinct type under predilp::Error, so harnesses (the differential
+ * fuzz oracle, the fault-isolated suite evaluator) can classify
+ * failures without parsing message strings.
+ *
+ * Hierarchy:
+ *   std::runtime_error
+ *     Error                  root of all recoverable predilp errors
+ *       FatalError           invalid user input (legacy fatal())
+ *         CompileError       source error with a 1-based line number
+ *         EmuTrap            emulated program trapped {kind, pc, steps}
+ *       VerifyError          IR invariant broken, names the pass
+ *       DivergenceError      architectural disagreement between runs
+ *   std::logic_error
+ *     PanicError             internal bug (legacy panic())
+ */
+
+#ifndef PREDILP_SUPPORT_DIAG_HH
+#define PREDILP_SUPPORT_DIAG_HH
+
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace predilp
+{
+
+namespace detail
+{
+
+/** Fold a parameter pack into a single message string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Root of the recoverable error taxonomy. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &msg) : std::runtime_error(msg)
+    {}
+};
+
+/**
+ * Error thrown when a user-supplied input (ILC source, configuration,
+ * workload) is invalid. The simulation cannot continue, but the fault
+ * lies with the input rather than the library.
+ */
+class FatalError : public Error
+{
+  public:
+    explicit FatalError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * Error thrown when an internal invariant is violated, i.e. a bug in
+ * the library itself.
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+/**
+ * A source-level error from the lexer, parser, or IR generator,
+ * carrying the 1-based source line it was diagnosed on.
+ */
+class CompileError : public FatalError
+{
+  public:
+    CompileError(int line, const std::string &msg)
+        : FatalError(msg), line_(line)
+    {}
+
+    /** 1-based source line of the diagnostic (0 when unknown). */
+    int line() const { return line_; }
+
+  private:
+    int line_ = 0;
+};
+
+/**
+ * An IR verification failure: some producer (the frontend or a
+ * transformation pass) left the program violating a structural
+ * invariant. Carries the producer's name so post-pass verification
+ * can say exactly which pass broke which invariant.
+ */
+class VerifyError : public Error
+{
+  public:
+    VerifyError(std::string passName, std::string invariant)
+        : Error(passName.empty()
+                    ? "invalid IR: " + invariant
+                    : "invalid IR after pass '" + passName +
+                          "': " + invariant),
+          pass_(std::move(passName)), invariant_(std::move(invariant))
+    {}
+
+    /** Producer of the broken IR ("" when unattributed). */
+    const std::string &passName() const { return pass_; }
+
+    /** The first violated invariant, as reported by the verifier. */
+    const std::string &invariant() const { return invariant_; }
+
+  private:
+    std::string pass_;
+    std::string invariant_;
+};
+
+/** Why an emulation run stopped abnormally. */
+enum class TrapKind : std::uint8_t
+{
+    FuelExhausted, ///< dynamic-instruction budget exceeded.
+    MemFault,      ///< load/store outside the memory image.
+    DivideByZero,  ///< non-speculative integer or FP divide by zero.
+    BadControl,    ///< fell off a block / called an unknown function.
+    StackOverflow, ///< emulated call stack exceeded its limit.
+    BadProgram,    ///< program shape unusable (e.g. main has params).
+};
+
+/** @return a stable name, e.g. "fuel_exhausted". */
+std::string trapKindName(TrapKind kind);
+
+/**
+ * Typed emulator trap. `pc` is the static id of the faulting
+ * instruction within its function (-1 when no instruction is
+ * executing, e.g. a malformed main); `steps` is the dynamic
+ * instruction count at the trap, so a FuelExhausted trap tells the
+ * caller exactly what budget was exceeded — letting harnesses
+ * classify infinite loops apart from genuine failures.
+ */
+class EmuTrap : public FatalError
+{
+  public:
+    EmuTrap(TrapKind kind, int pc, std::uint64_t steps,
+            const std::string &msg)
+        : FatalError(msg), kind_(kind), pc_(pc), steps_(steps)
+    {}
+
+    TrapKind kind() const { return kind_; }
+    int pc() const { return pc_; }
+    std::uint64_t steps() const { return steps_; }
+
+  private:
+    TrapKind kind_;
+    int pc_;
+    std::uint64_t steps_;
+};
+
+/**
+ * Architectural disagreement between two executions that must be
+ * semantically equivalent: a compiled model vs. the reference run, or
+ * a trace replay vs. the emulation that produced the trace.
+ */
+class DivergenceError : public Error
+{
+  public:
+    explicit DivergenceError(const std::string &msg) : Error(msg) {}
+};
+
+/**
+ * Map an in-flight exception to its stable taxonomy label:
+ * "CompileError", "VerifyError", "EmuTrap", "DivergenceError",
+ * "FatalError", "PanicError", "Error", or "unknown". Used for
+ * structured failure records; never throws.
+ */
+std::string classifyException(std::exception_ptr ep) noexcept;
+
+/**
+ * Throw a CompileError for 1-based source line @p line. The message
+ * is prefixed with "line N: " to match the historical diagnostics.
+ */
+template <typename... Args>
+[[noreturn]] void
+compileError(int line, Args &&...args)
+{
+    throw CompileError(
+        line, detail::formatMessage("line ", line, ": ",
+                                    std::forward<Args>(args)...));
+}
+
+} // namespace predilp
+
+#endif // PREDILP_SUPPORT_DIAG_HH

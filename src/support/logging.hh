@@ -2,57 +2,20 @@
  * @file
  * Error-reporting and diagnostic helpers, in the spirit of gem5's
  * logging.hh: fatal() for user errors, panic() for internal bugs.
+ * The error types themselves — including the typed compile/emulate
+ * taxonomy (CompileError, EmuTrap, VerifyError, DivergenceError) —
+ * live in support/diag.hh.
  */
 
 #ifndef PREDILP_SUPPORT_LOGGING_HH
 #define PREDILP_SUPPORT_LOGGING_HH
 
-#include <sstream>
-#include <stdexcept>
 #include <string>
+
+#include "support/diag.hh"
 
 namespace predilp
 {
-
-/**
- * Error thrown when a user-supplied input (ILC source, configuration,
- * workload) is invalid. The simulation cannot continue, but the fault
- * lies with the input rather than the library.
- */
-class FatalError : public std::runtime_error
-{
-  public:
-    explicit FatalError(const std::string &msg)
-        : std::runtime_error(msg)
-    {}
-};
-
-/**
- * Error thrown when an internal invariant is violated, i.e. a bug in
- * the library itself.
- */
-class PanicError : public std::logic_error
-{
-  public:
-    explicit PanicError(const std::string &msg)
-        : std::logic_error(msg)
-    {}
-};
-
-namespace detail
-{
-
-/** Fold a parameter pack into a single message string. */
-template <typename... Args>
-std::string
-formatMessage(Args &&...args)
-{
-    std::ostringstream os;
-    (os << ... << std::forward<Args>(args));
-    return os.str();
-}
-
-} // namespace detail
 
 /** Report an unrecoverable user-level error. Never returns. */
 template <typename... Args>

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+
 #include "driver/evaluator.hh"
+#include "support/diag.hh"
 
 namespace predilp
 {
@@ -145,6 +148,121 @@ TEST(SuiteEvaluator, UnknownWorkloadPanics)
     SuiteConfig config = smallConfig();
     SuiteEvaluator evaluator(1);
     EXPECT_ANY_THROW(evaluator.evaluateSuite(config, {"nope"}));
+}
+
+TEST(SuiteEvaluator, StrictModePropagatesTypedTrapThroughPool)
+{
+    // A budget far below any workload's dynamic count forces an
+    // EmuTrap in every capturing cell; under the default strict
+    // policy the first worker's exception must surface from
+    // evaluate() with its type intact (captured via exception_ptr
+    // in the pool and rethrown after the join).
+    SuiteConfig tiny = smallConfig();
+    tiny.maxDynInstrs = 500;
+    SuiteEvaluator evaluator(4);
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    try {
+        evaluator.evaluate(*workload, tiny, {Model::FullPred});
+        FAIL() << "expected EmuTrap";
+    } catch (const EmuTrap &trap) {
+        EXPECT_EQ(trap.kind(), TrapKind::FuelExhausted);
+        EXPECT_GE(trap.steps(), 500u);
+    }
+}
+
+TEST(SuiteEvaluator, FailedComputationIsEvictedForRetry)
+{
+    // A failed cell must not poison the once-per-key cache: the
+    // retry recomputes (captures grows) instead of replaying the
+    // stale exception as a cache hit forever.
+    SuiteConfig tiny = smallConfig();
+    tiny.maxDynInstrs = 500;
+    SuiteEvaluator evaluator(1);
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    EXPECT_THROW(
+        evaluator.evaluate(*workload, tiny, {Model::FullPred}),
+        EmuTrap);
+    // The model compile lands before the capture traps, so a real
+    // retry recompiles; a poisoned cache would instead resolve the
+    // retry as a trace-cache hit with no new compile.
+    const BenchTiming cold = evaluator.timing();
+    EXPECT_GT(cold.compiles, 0u);
+    EXPECT_THROW(
+        evaluator.evaluate(*workload, tiny, {Model::FullPred}),
+        EmuTrap);
+    const BenchTiming warm = evaluator.timing();
+    EXPECT_GT(warm.compiles, cold.compiles);
+    EXPECT_EQ(warm.traceCacheHits, cold.traceCacheHits);
+}
+
+TEST(SuiteEvaluator, IsolatedTrapCellDegradesToErrorAndReproducer)
+{
+    const std::string reproDir =
+        testing::TempDir() + "predilp-repro";
+    SuiteConfig tiny = smallConfig();
+    tiny.maxDynInstrs = 500;
+
+    SuiteEvaluator evaluator(1);
+    EvalPolicy policy;
+    policy.isolateFaults = true;
+    policy.reproducerDir = reproDir;
+    evaluator.setPolicy(policy);
+
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+
+    // Every cell traps, but evaluate() completes and reports each
+    // failure as a structured record with a readable reproducer.
+    BenchmarkResult result = evaluator.evaluate(*workload, tiny);
+    EXPECT_EQ(result.errors.size(), 4u);
+    for (const CellError &error : result.errors) {
+        EXPECT_EQ(error.workload, "cmp");
+        EXPECT_EQ(error.kind, "EmuTrap");
+        EXPECT_NE(error.message.find("budget"), std::string::npos);
+        ASSERT_FALSE(error.reproducerPath.empty());
+        std::ifstream in(error.reproducerPath);
+        ASSERT_TRUE(in.good());
+        std::string header;
+        std::getline(in, header);
+        EXPECT_EQ(header, "// predilp reproducer");
+    }
+
+    // The same evaluator then completes an honest configuration
+    // bit-identically to a fresh strict evaluator: the failed
+    // cells neither poisoned the caches nor leaked into results.
+    SuiteConfig normal = smallConfig();
+    BenchmarkResult ok = evaluator.evaluate(*workload, normal);
+    EXPECT_TRUE(ok.errors.empty());
+    SuiteEvaluator fresh(1);
+    BenchmarkResult expected = fresh.evaluate(*workload, normal);
+    EXPECT_EQ(ok.baseCycles, expected.baseCycles);
+    ASSERT_EQ(ok.models.size(), expected.models.size());
+    for (const auto &[model, sim] : ok.models) {
+        EXPECT_EQ(sim.cycles, expected.models.at(model).cycles);
+        EXPECT_EQ(sim.output, expected.models.at(model).output);
+    }
+}
+
+TEST(SuiteEvaluator, VerifyEachPassPolicyMatchesDefaultResults)
+{
+    // Running the verifier after every pass is purely observational:
+    // cycle-for-cycle identical results, just slower compiles.
+    SuiteConfig config = smallConfig();
+    SuiteEvaluator verifying(1);
+    EvalPolicy policy;
+    policy.verifyEachPass = true;
+    verifying.setPolicy(policy);
+    SuiteEvaluator plain(1);
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    BenchmarkResult a = verifying.evaluate(*workload, config);
+    BenchmarkResult b = plain.evaluate(*workload, config);
+    EXPECT_EQ(a.baseCycles, b.baseCycles);
+    ASSERT_EQ(a.models.size(), b.models.size());
+    for (const auto &[model, sim] : a.models)
+        EXPECT_EQ(sim.cycles, b.models.at(model).cycles);
 }
 
 } // namespace

@@ -174,6 +174,127 @@ TEST(Verifier, RejectsDuplicateInstructionIds)
               std::string::npos);
 }
 
+TEST(Verifier, RejectsGuardNeverDefined)
+{
+    // A guarded instruction whose guard predicate has no define
+    // anywhere in the function: flow-insensitive use-before-def.
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    Reg r0 = fn->newIntReg();
+    b.mov(r0, Operand::imm(1)).setGuard(p0);
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("never defined"), std::string::npos);
+}
+
+TEST(Verifier, RejectsGuardedBranchAcrossBlocksWithoutDefine)
+{
+    // The guard is minted in one block and used in another, the way
+    // hyperblock formation guards side-exit branches — but no block
+    // ever defines it.
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    BasicBlock *b0 = b.startBlock();
+    BasicBlock *b1 = fn->newBlock();
+    b0->setFallthrough(b1->id());
+    Reg p0 = fn->newPredReg();
+    b.setBlock(b1);
+    Reg r0 = fn->newIntReg();
+    b.branch(Opcode::Beq, Operand(r0), Operand::imm(0), b1->id())
+        .setGuard(p0);
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("use before def"), std::string::npos);
+}
+
+TEST(Verifier, RejectsUnseededOrTypeDest)
+{
+    // An OR-type define leaves its dest unchanged when it does not
+    // fire (Table 1), so a dest with no U-type define and no
+    // pred_clear/pred_set anywhere reads an undefined register.
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    b.predDefine(Opcode::PredEq, PredDest{p0, PredType::Or},
+                 Operand::imm(1), Operand::imm(1));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("no unconditional initialization"),
+              std::string::npos);
+}
+
+TEST(Verifier, AcceptsOrTypeDestSeededByPredClear)
+{
+    // The same OR chain is valid once a pred_clear prologue (what
+    // hyperblock formation emits) unconditionally seeds the file.
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    b.predAll(Opcode::PredClear);
+    b.predDefine(Opcode::PredEq, PredDest{p0, PredType::Or},
+                 Operand::imm(1), Operand::imm(1));
+    b.ret();
+    EXPECT_EQ(verifyFunction(*fn), "");
+}
+
+TEST(Verifier, RejectsUnseededAndTypeDest)
+{
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    b.predDefine(Opcode::PredLt, PredDest{p0, PredType::And},
+                 Operand::imm(0), Operand::imm(1));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("no unconditional initialization"),
+              std::string::npos);
+}
+
+TEST(Verifier, RejectsDuplicatePredicateDestinations)
+{
+    // A two-dest define writing the same register twice is a
+    // malformed complement pair (the U/UBar pair must be distinct).
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    b.predDefine2(Opcode::PredEq, PredDest{p0, PredType::U},
+                  PredDest{p0, PredType::UBar}, Operand::imm(0),
+                  Operand::imm(0));
+    b.ret();
+    std::string err = verifyFunction(*fn);
+    EXPECT_NE(err.find("duplicate predicate destination"),
+              std::string::npos);
+}
+
+TEST(Verifier, AcceptsUTypeGuardedUse)
+{
+    // The well-formed shape: a U-type define dominating-by-layout a
+    // guarded consumer verifies cleanly.
+    Program prog;
+    Function *fn = prog.newFunction("f");
+    IRBuilder b(fn);
+    b.startBlock();
+    Reg p0 = fn->newPredReg();
+    Reg r0 = fn->newIntReg();
+    b.predDefine(Opcode::PredEq, PredDest{p0, PredType::U},
+                 Operand::imm(1), Operand::imm(1));
+    b.mov(r0, Operand::imm(7)).setGuard(p0);
+    b.ret();
+    EXPECT_EQ(verifyFunction(*fn), "");
+}
+
 TEST(Verifier, ProgramVerifiesAllFunctions)
 {
     Program prog;

@@ -17,6 +17,7 @@
 #include "ir/builder.hh"
 #include "opt/pass.hh"
 #include "opt/passes.hh"
+#include "support/diag.hh"
 
 namespace predilp
 {
@@ -197,6 +198,73 @@ TEST(PassManager, InstrumentationIsolatesNoChangeRuns)
     EXPECT_EQ(snap.counter("opt.dce.changes"), 0u);
     EXPECT_EQ(snap.counter("opt.dce.changed_runs"), 0u);
     EXPECT_EQ(snap.counter("opt.dce.instrs_removed"), 0u);
+}
+
+/**
+ * Test-only injected transform bug: writes a move whose destination
+ * register was never allocated, breaking the verifier's
+ * register-range invariant. Stands in for a real miscompiling pass.
+ */
+class CorruptingPass : public Pass
+{
+  public:
+    std::string name() const override { return "test.corrupt"; }
+
+    PassResult
+    run(Program &prog, PassContext &) override
+    {
+        Function &fn = *prog.functions().front();
+        BasicBlock *bb = fn.block(fn.layout().front());
+        Instruction bad(Opcode::Mov);
+        bad.setDest(intReg(fn.numIntRegs() + 7));
+        bad.addSrc(Operand::imm(0));
+        bad.setId(fn.nextInstrId());
+        bb->instrs().insert(bb->instrs().begin(), std::move(bad));
+        PassResult result;
+        result.changes = 1;
+        return result;
+    }
+};
+
+TEST(PassManager, VerifyAfterEachNamesTheOffendingPass)
+{
+    auto prog = makeDeadCodeProgram();
+    std::vector<std::string> log;
+    PassManager pm;
+    pm.add(createDCEPass());
+    pm.add(std::make_unique<CorruptingPass>());
+    pm.add(std::make_unique<ScriptedPass>(
+        "test.after", std::vector<std::uint64_t>{}, &log));
+
+    StatsRegistry stats;
+    PassContext ctx(stats);
+    ctx.verifyAfterEach = true;
+    try {
+        pm.run(*prog, ctx);
+        FAIL() << "expected VerifyError";
+    } catch (const VerifyError &e) {
+        EXPECT_EQ(e.passName(), "test.corrupt");
+        EXPECT_NE(std::string(e.what()).find("test.corrupt"),
+                  std::string::npos);
+        EXPECT_NE(e.invariant().find("out of range"),
+                  std::string::npos);
+    }
+    // The pipeline stopped at the offending pass.
+    EXPECT_TRUE(log.empty());
+}
+
+TEST(PassManager, VerifyAfterEachIsOffByDefault)
+{
+    // Without the opt-in flag the corruption sails through the
+    // manager (the pipelines' final whole-program verify is the
+    // backstop) — post-pass verification must cost nothing on the
+    // benchmark hot path.
+    auto prog = makeDeadCodeProgram();
+    PassManager pm;
+    pm.add(std::make_unique<CorruptingPass>());
+    StatsRegistry stats;
+    PassContext ctx(stats);
+    EXPECT_NO_THROW(pm.run(*prog, ctx));
 }
 
 TEST(BuildPassPipeline, PassListIsDeterministicPerModel)
