@@ -1,13 +1,24 @@
 #!/usr/bin/env bash
-# Run a bench binary and validate every BENCH_*.json it emits (the
-# StatsSnapshot-serialized observability payload) with a strict JSON
-# parser, then enforce the packed-trace perf contract: the throughput
+# Run each bench binary twice against a persistent artifact store and
+# validate every BENCH_*.json it emits (the StatsSnapshot-serialized
+# observability payload) with a strict JSON parser.
+#
+# Cold pass: enforces the packed-trace perf contract — the throughput
 # counters must be present and bytes-per-capture / bytes-per-entry
 # must stay under the committed thresholds (the packed 4-byte entry +
 # varint delta format sits well below them; the old 8-byte format
-# would trip both). Usage: scripts/bench_json.sh [bench-binary...];
-# defaults to the Figure 8 benchmark plus the replay-kernel
-# microbenchmark. Assumes scripts/tier1.sh already built.
+# would trip both).
+#
+# Warm pass: reruns the same binaries against the store populated by
+# the cold pass and enforces the store contract — every
+# evaluator-driven bench (store.hit > 0) must report zero compiles,
+# zero captures, zero emulation seconds, and figure output
+# bit-identical to the cold run.
+#
+# Usage: scripts/bench_json.sh [bench-binary...]; defaults to the
+# Figure 8 benchmark plus the replay-kernel microbenchmark. Assumes
+# scripts/tier1.sh already built. PREDILP_STORE overrides the store
+# location (default bench-out/store).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +28,18 @@ if [ "${#benches[@]}" -eq 0 ]; then
 fi
 
 mkdir -p bench-out
+export PREDILP_STORE="${PREDILP_STORE:-$PWD/bench-out/store}"
+export PREDILP_STORE_MODE="${PREDILP_STORE_MODE:-rw}"
 cd bench-out
-for bench in "${benches[@]}"; do
-    "../build/bench/${bench}"
-done
+
+run_benches() {
+    for bench in "${benches[@]}"; do
+        "../build/bench/${bench}"
+    done
+}
+
+echo "== cold pass (store: ${PREDILP_STORE}) =="
+run_benches
 
 shopt -s nullglob
 jsons=(BENCH_*.json)
@@ -57,6 +76,7 @@ for path in sys.argv[1:]:
         timing = json.load(f)["timing"]
     counters = timing.get("counters", {})
     throughput = timing.get("throughput", {})
+    store_hits = timing.get("store", {}).get("hit", 0)
 
     replays = counters.get("replays", counters.get("replay_passes", 0))
     if replays and "replay_records_per_sec" not in throughput:
@@ -72,6 +92,10 @@ for path in sys.argv[1:]:
             if bpe > MAX_TRACE_BYTES_PER_ENTRY:
                 fail(f"{path}: trace_bytes_per_entry {bpe:.2f} exceeds "
                      f"threshold {MAX_TRACE_BYTES_PER_ENTRY}")
+    elif not store_hits:
+        # A bench that neither captured nor loaded traces did no
+        # trace work at all; the threshold checks are vacuous.
+        pass
 
     captures = counters.get("captures", 0)
     captured_bytes = counters.get("captured_bytes", 0)
@@ -84,5 +108,69 @@ for path in sys.argv[1:]:
             print(f"ok: {path} trace bytes/capture {per_capture:.0f} "
                   f"<= {MAX_TRACE_BYTES_PER_CAPTURE}")
 
+sys.exit(1 if failed else 0)
+EOF
+
+# Stash the cold JSONs, then rerun against the now-populated store.
+mkdir -p cold
+for json in "${jsons[@]}"; do
+    cp "${json}" "cold/${json}"
+done
+
+echo "== warm pass =="
+run_benches
+
+python3 - "${jsons[@]}" <<'EOF'
+import json
+import sys
+
+failed = False
+
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"error: {msg}", file=sys.stderr)
+
+
+asserted = 0
+for path in sys.argv[1:]:
+    with open(path) as f:
+        warm = json.load(f)
+    timing = warm["timing"]
+    store = timing.get("store", {})
+    if store.get("hit", 0) == 0:
+        # Not evaluator-driven (e.g. the replay-kernel
+        # microbenchmark bypasses the cache tiers): no store
+        # contract to enforce.
+        print(f"skip: {path} (no store hits)")
+        continue
+    asserted += 1
+
+    counters = timing.get("counters", {})
+    phases = timing.get("phases", {})
+    if store.get("miss", 0) != 0:
+        fail(f"{path}: warm run missed the store "
+             f"({store['miss']} misses)")
+    if counters.get("compiles", 0) != 0:
+        fail(f"{path}: warm run compiled "
+             f"({counters['compiles']} compiles)")
+    if counters.get("captures", 0) != 0:
+        fail(f"{path}: warm run emulated "
+             f"({counters['captures']} captures)")
+    if phases.get("emulate_seconds", 0.0) != 0.0:
+        fail(f"{path}: warm run spent "
+             f"{phases['emulate_seconds']}s in emulation")
+
+    with open(f"cold/{path}") as f:
+        cold = json.load(f)
+    if warm["benchmarks"] != cold["benchmarks"]:
+        fail(f"{path}: warm figure output differs from cold run")
+    else:
+        print(f"ok: {path} warm == cold "
+              f"({store['hit']} store hits, 0 emulations)")
+
+if asserted == 0:
+    fail("no bench exercised the artifact store")
 sys.exit(1 if failed else 0)
 EOF

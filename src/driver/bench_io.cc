@@ -51,6 +51,11 @@ timingSnapshot(const BenchTiming &timing, double wallSeconds,
                  timing.capturedRecords);
     s.setCounter("counters.replayed_records",
                  timing.replayedRecords);
+    s.setCounter("store.hit", timing.storeHits);
+    s.setCounter("store.miss", timing.storeMisses);
+    s.setCounter("store.repair", timing.storeRepairs);
+    s.setCounter("store.write", timing.storeWrites);
+    s.setCounter("store.bytes_mapped", timing.storeBytesMapped);
     if (timing.replaySeconds > 0) {
         s.setSeconds("throughput.replay_records_per_sec",
                      static_cast<double>(timing.replayedRecords) /
@@ -103,6 +108,16 @@ printPhaseTiming(std::ostream &os, const BenchTiming &timing,
        << " result hits, "
        << timing.tracePeakBytes / (1024 * 1024)
        << " MiB traces peak\n";
+    if (timing.storeHits + timing.storeMisses +
+            timing.storeWrites >
+        0) {
+        os << "-- store: " << timing.storeHits << " hits, "
+           << timing.storeMisses << " misses, "
+           << timing.storeWrites << " writes, "
+           << timing.storeRepairs << " repairs, "
+           << timing.storeBytesMapped / (1024 * 1024)
+           << " MiB mapped\n";
+    }
 }
 
 std::string

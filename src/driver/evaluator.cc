@@ -1,6 +1,8 @@
 #include "driver/evaluator.hh"
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 
 #include "driver/reproducer.hh"
 #include "support/logging.hh"
@@ -74,7 +76,41 @@ simKey(const SimConfig &sim)
 
 } // namespace
 
-SuiteEvaluator::SuiteEvaluator(int threads) : pool_(threads) {}
+SuiteEvaluator::SuiteEvaluator(int threads) : pool_(threads)
+{
+    // Opt-in persistence without code changes: PREDILP_STORE names
+    // the store root, PREDILP_STORE_MODE ("rw" default, "ro")
+    // selects the tier mode. setPolicy can still override both.
+    if (const char *dir = std::getenv("PREDILP_STORE");
+        dir != nullptr && dir[0] != '\0') {
+        policy_.storeDir = dir;
+        const char *mode = std::getenv("PREDILP_STORE_MODE");
+        policy_.storeMode =
+            (mode != nullptr && std::string_view(mode) == "ro")
+                ? StoreMode::ReadOnly
+                : StoreMode::ReadWrite;
+    }
+    openStore();
+}
+
+void
+SuiteEvaluator::setPolicy(EvalPolicy policy)
+{
+    policy_ = std::move(policy);
+    openStore();
+}
+
+void
+SuiteEvaluator::openStore()
+{
+    if (policy_.storeMode == StoreMode::Off ||
+        policy_.storeDir.empty()) {
+        store_.reset();
+        return;
+    }
+    store_ = std::make_unique<ArtifactStore>(policy_.storeDir,
+                                             policy_.storeMode);
+}
 
 namespace
 {
@@ -176,6 +212,18 @@ SuiteEvaluator::traceFor(const Workload &workload,
 {
     return cachedCompute(
         mutex_, traces_, key, traceCacheHits_, [&]() -> TracePtr {
+            // Second tier: the persistent artifact store. A hit
+            // skips compile, capture, and the reference-divergence
+            // check entirely — artifacts were verified against the
+            // oracle before they were published, and the checksum
+            // guards the bytes — so warm runs pay zero emulation.
+            std::string storeKey;
+            if (store_ != nullptr) {
+                storeKey =
+                    ArtifactStore::keyFor(workload.source, key);
+                if (TracePtr fromDisk = store_->load(storeKey))
+                    return fromDisk;
+            }
             CompileOptions opts =
                 makeCompileOptions(config, model, machine, input,
                                    policy_.verifyEachPass);
@@ -221,6 +269,8 @@ SuiteEvaluator::traceFor(const Workload &workload,
                     ", memHash ", run.memHash, " vs ",
                     reference.memHash));
             }
+            if (store_ != nullptr)
+                store_->save(storeKey, *buffer);
             std::uint64_t bytes = buffer->memoryBytes();
             capturedBytes_.fetch_add(bytes,
                                      std::memory_order_relaxed);
@@ -413,6 +463,13 @@ SuiteEvaluator::timing() const
         capturedRecords_.load(std::memory_order_relaxed);
     timing.replayedRecords =
         replayedRecords_.load(std::memory_order_relaxed);
+    if (store_ != nullptr) {
+        timing.storeHits = store_->hits();
+        timing.storeMisses = store_->misses();
+        timing.storeRepairs = store_->repairs();
+        timing.storeWrites = store_->writes();
+        timing.storeBytesMapped = store_->bytesMapped();
+    }
     return timing;
 }
 

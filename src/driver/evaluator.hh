@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "driver/report.hh"
+#include "store/store.hh"
 #include "support/stats_registry.hh"
 #include "support/thread_pool.hh"
 #include "support/timer.hh"
@@ -63,6 +64,11 @@ struct BenchTiming
     std::uint64_t capturedBytes = 0;  ///< cumulative trace bytes.
     std::uint64_t capturedRecords = 0; ///< records ever captured.
     std::uint64_t replayedRecords = 0; ///< records priced by replays.
+    std::uint64_t storeHits = 0;    ///< traces loaded from disk.
+    std::uint64_t storeMisses = 0;  ///< store lookups that missed.
+    std::uint64_t storeRepairs = 0; ///< corrupt artifacts replaced.
+    std::uint64_t storeWrites = 0;  ///< artifacts published to disk.
+    std::uint64_t storeBytesMapped = 0; ///< bytes mmap'd on hits.
 };
 
 /**
@@ -81,6 +87,16 @@ struct EvalPolicy
     bool verifyEachPass = false;
     /** Directory for reproducer files ("" = don't write any). */
     std::string reproducerDir;
+    /**
+     * Persistent artifact-store tier (second level under the
+     * in-process trace cache). Off by default; the SuiteEvaluator
+     * constructor seeds these from PREDILP_STORE /
+     * PREDILP_STORE_MODE so benches and CI opt in without code
+     * changes, and setPolicy can override both afterwards.
+     */
+    StoreMode storeMode = StoreMode::Off;
+    /** Store root directory (ignored while storeMode is Off). */
+    std::string storeDir;
 };
 
 /** Cached parallel evaluator; see file comment. */
@@ -93,8 +109,11 @@ class SuiteEvaluator
     /** Resolved parallelism. */
     int threadCount() const { return pool_.threadCount(); }
 
-    /** Replace the failure-handling policy (default: strict). */
-    void setPolicy(EvalPolicy policy) { policy_ = std::move(policy); }
+    /**
+     * Replace the policy (failure handling + store tier). Call
+     * before evaluating: the store is (re)opened here, not lazily.
+     */
+    void setPolicy(EvalPolicy policy);
 
     /** The active failure-handling policy. */
     const EvalPolicy &policy() const { return policy_; }
@@ -135,9 +154,15 @@ class SuiteEvaluator
      */
     StatsSnapshot compileStats() const;
 
+    /** The persistent store tier, or nullptr when storeMode is Off. */
+    const ArtifactStore *store() const { return store_.get(); }
+
   private:
     using TracePtr = std::shared_ptr<const TraceBuffer>;
     using SnapshotPtr = std::shared_ptr<const FrontendSnapshot>;
+
+    /** (Re)open store_ to match policy_; Off closes it. */
+    void openStore();
 
     /**
      * The shared front-end snapshot for (workload, scale): parse +
@@ -165,6 +190,7 @@ class SuiteEvaluator
                          const std::string &input);
 
     EvalPolicy policy_;
+    std::unique_ptr<ArtifactStore> store_;
     ThreadPool pool_;
     std::mutex mutex_;
     std::unordered_map<std::string, std::shared_future<TracePtr>>

@@ -1,5 +1,6 @@
 #include "driver/reproducer.hh"
 
+#include <atomic>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -40,6 +41,15 @@ slug(const std::string &text)
         out.pop_back();
     return out.empty() ? "case" : out;
 }
+
+/**
+ * Process-wide sequence folded into every reproducer filename.
+ * Distinct failures can share (title, kind) — e.g. the same model
+ * requested twice in one evaluate() call, or two ablation cells of
+ * one workload failing the same way — and without the suffix the
+ * second write would silently clobber the first reproducer.
+ */
+std::atomic<std::uint64_t> reproSeq{0};
 
 } // namespace
 
@@ -83,7 +93,10 @@ writeReproducer(const std::string &dir, const ReproducerSpec &spec)
         return "";
     std::filesystem::path path =
         std::filesystem::path(dir) /
-        (slug(spec.title) + "-" + slug(spec.kind) + ".ilc");
+        (slug(spec.title) + "-" + slug(spec.kind) + "-" +
+         std::to_string(
+             reproSeq.fetch_add(1, std::memory_order_relaxed)) +
+         ".ilc");
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         return "";

@@ -114,6 +114,20 @@ class RegScoreboard
         }
     }
 
+    /**
+     * Test-only seam: jump to epoch @p epoch as if that many drains
+     * had happened (dirty lists empty, tables untouched). Lets the
+     * wraparound hard reset in clear() be exercised without 2^32
+     * real drains.
+     */
+    void
+    presetEpochForTest(std::uint32_t epoch)
+    {
+        for (ClassBoard &b : boards_)
+            b.dirty.clear();
+        epoch_ = epoch;
+    }
+
   private:
     struct ClassBoard
     {

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal SHA-256 (FIPS 180-4), used by the artifact store to derive
+ * content-addressed keys from (source bytes, cell key, format
+ * version). Self-contained — no external crypto dependency — and
+ * only used for cache addressing, never for security decisions.
+ */
+
+#ifndef PREDILP_STORE_SHA256_HH
+#define PREDILP_STORE_SHA256_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace predilp
+{
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Absorb @p data. */
+    void update(const void *data, std::size_t len);
+    void update(std::string_view data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /** Finish and return the 32-byte digest. Call at most once. */
+    std::array<std::uint8_t, 32> digest();
+
+    /** Finish and return the digest as 64 lowercase hex chars. */
+    std::string hex();
+
+  private:
+    void compress(const std::uint8_t *block);
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::size_t bufferLen_ = 0;
+    std::uint64_t totalBytes_ = 0;
+};
+
+/** One-shot convenience: SHA-256 of @p data as lowercase hex. */
+std::string sha256Hex(std::string_view data);
+
+} // namespace predilp
+
+#endif // PREDILP_STORE_SHA256_HH

@@ -38,6 +38,8 @@ classifyException(std::exception_ptr ep) noexcept
         return "VerifyError";
     } catch (const DivergenceError &) {
         return "DivergenceError";
+    } catch (const TraceCorruptError &) {
+        return "TraceCorruptError";
     } catch (const FatalError &) {
         return "FatalError";
     } catch (const Error &) {

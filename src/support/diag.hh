@@ -176,10 +176,25 @@ class DivergenceError : public Error
 };
 
 /**
+ * A serialized trace artifact (or an in-memory varint stream fed from
+ * one) is malformed: truncated varint, overlong varint, bad magic,
+ * version mismatch, checksum failure, or an out-of-bounds section.
+ * Byte-level readers throw this instead of reading past their buffer,
+ * so a corrupt or hostile on-disk artifact degrades to a recoverable
+ * error (the store quarantines the file and recomputes) rather than
+ * undefined behaviour.
+ */
+class TraceCorruptError : public Error
+{
+  public:
+    explicit TraceCorruptError(const std::string &msg) : Error(msg) {}
+};
+
+/**
  * Map an in-flight exception to its stable taxonomy label:
  * "CompileError", "VerifyError", "EmuTrap", "DivergenceError",
- * "FatalError", "PanicError", "Error", or "unknown". Used for
- * structured failure records; never throws.
+ * "TraceCorruptError", "FatalError", "PanicError", "Error", or
+ * "unknown". Used for structured failure records; never throws.
  */
 std::string classifyException(std::exception_ptr ep) noexcept;
 

@@ -47,6 +47,7 @@
 
 #include "emu/emulator.hh"
 #include "ir/program.hh"
+#include "support/diag.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -62,6 +63,9 @@ namespace predilp
 class AddressMap
 {
   public:
+    /** Empty map, for indexes rebuilt from a serialized artifact. */
+    AddressMap() = default;
+
     explicit AddressMap(const Program &prog);
 
     /** Address of @p instr inside @p fn. */
@@ -123,6 +127,18 @@ class StaticIndex
 
     explicit StaticIndex(const Program &prog);
 
+    /**
+     * Rebuild a read-only index from deserialized state (the on-disk
+     * artifact store). The result supports every replay-side query
+     * (op/regs/size/regBound) but must never be asked to intern():
+     * the per-function id tables only exist on the capture path.
+     */
+    StaticIndex(std::vector<StaticOp> ops, std::vector<Reg> regPool,
+                std::array<int, 3> regBounds)
+        : ops_(std::move(ops)), regPool_(std::move(regPool)),
+          regBounds_(regBounds)
+    {}
+
     /** Id of @p instr, interning it on first use. */
     std::uint32_t
     intern(const Function *fn, const Instruction *instr)
@@ -162,6 +178,12 @@ class StaticIndex
     {
         return static_cast<std::uint32_t>(ops_.size());
     }
+
+    /** All interned ops, for serialization (artifact store). */
+    const std::vector<StaticOp> &ops() const { return ops_; }
+
+    /** The shared register pool, for serialization. */
+    const std::vector<Reg> &regPool() const { return regPool_; }
 
     /**
      * Exclusive upper bound on register indices of class @p cls
@@ -260,18 +282,31 @@ appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
     out.push_back(static_cast<std::uint8_t>(v));
 }
 
-/** Decode one varint at @p p, advancing it past the last byte. */
+/**
+ * Decode one varint at @p p, advancing it past the last byte. Never
+ * reads at or past @p end: a stream that ends mid-varint, or one
+ * whose continuation bits run past the 64-bit value range, throws
+ * TraceCorruptError instead of overrunning the buffer. (Trace bytes
+ * can now arrive from disk, so truncation is a reachable input, not
+ * an internal invariant.)
+ */
 inline std::uint64_t
-decodeVarint(const std::uint8_t *&p)
+decodeVarint(const std::uint8_t *&p, const std::uint8_t *end)
 {
     std::uint64_t v = 0;
-    int shift = 0;
-    while (*p & 0x80) {
-        v |= static_cast<std::uint64_t>(*p++ & 0x7F) << shift;
-        shift += 7;
+    for (int shift = 0;; shift += 7) {
+        if (p == end)
+            throw TraceCorruptError(
+                "truncated varint: side stream ends mid-value");
+        if (shift >= 64)
+            throw TraceCorruptError(
+                "overlong varint: continuation bits exceed 64-bit "
+                "range");
+        std::uint8_t byte = *p++;
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return v;
     }
-    v |= static_cast<std::uint64_t>(*p++) << shift;
-    return v;
 }
 
 /**
@@ -291,7 +326,40 @@ class TraceBuffer
     /** Entries per storage chunk (64K entries = 256KiB packed). */
     static constexpr std::size_t chunkEntries = std::size_t{1} << 16;
 
+    /**
+     * One chunk of the two streams, by reference: a raw TraceEntry
+     * span plus the varint bytes (and address count) of the entries
+     * flagged inside it. The owned representation materializes these
+     * views on demand from its vectors; a buffer adopted from the
+     * artifact store points them straight into the mmap'd file, so
+     * replay reads the page cache with zero deserialization copies.
+     */
+    struct ChunkView
+    {
+        const TraceEntry *entries = nullptr;
+        std::size_t entryCount = 0;
+        const std::uint8_t *memBytes = nullptr;
+        std::size_t memSize = 0;
+        std::uint32_t memCount = 0;
+    };
+
     explicit TraceBuffer(const Program &prog) : index_(prog) {}
+
+    /**
+     * Adopt a deserialized trace (the artifact-store load path):
+     * a rebuilt read-only StaticIndex, chunk views into externally
+     * owned memory, and the functional run the capture recorded.
+     * @p backing keeps that memory (typically a file mapping) alive
+     * for the buffer's lifetime. The result is read-only: append()
+     * panics.
+     */
+    TraceBuffer(StaticIndex index, std::vector<ChunkView> views,
+                std::uint64_t count, RunResult run,
+                std::shared_ptr<const void> backing)
+        : index_(std::move(index)), views_(std::move(views)),
+          mapped_(true), count_(count), run_(std::move(run)),
+          backing_(std::move(backing))
+    {}
 
     StaticIndex &index() { return index_; }
     const StaticIndex &index() const { return index_; }
@@ -301,6 +369,7 @@ class TraceBuffer
     append(std::uint32_t staticId, std::uint32_t flags,
            std::int64_t memAddr)
     {
+        panicIf(mapped_, "append to a read-only mapped TraceBuffer");
         if (chunks_.empty() || chunks_.back().size() == chunkEntries) {
             chunks_.emplace_back();
             chunks_.back().reserve(chunkEntries);
@@ -320,11 +389,39 @@ class TraceBuffer
     /** Total captured records. */
     std::uint64_t size() const { return count_; }
 
+    /** Number of storage chunks in both streams. */
+    std::size_t
+    chunkCount() const
+    {
+        return mapped_ ? views_.size() : chunks_.size();
+    }
+
+    /** View of chunk @p i (entry span + varint bytes + count). */
+    ChunkView
+    chunk(std::size_t i) const
+    {
+        if (mapped_)
+            return views_[i];
+        return ChunkView{chunks_[i].data(), chunks_[i].size(),
+                         memChunks_[i].data(), memChunks_[i].size(),
+                         memCounts_[i]};
+    }
+
+    /** @return true when backed by an external (mmap'd) artifact. */
+    bool mapped() const { return mapped_; }
+
     /** Approximate resident bytes of the two streams. */
     std::uint64_t
     memoryBytes() const
     {
         std::uint64_t bytes = 0;
+        if (mapped_) {
+            for (const ChunkView &view : views_) {
+                bytes += view.entryCount * sizeof(TraceEntry) +
+                         view.memSize;
+            }
+            return bytes;
+        }
         for (const auto &chunk : chunks_)
             bytes += chunk.capacity() * sizeof(TraceEntry);
         for (const auto &chunk : memChunks_)
@@ -351,20 +448,19 @@ class TraceBuffer
         bool
         next(TraceEntry &entry, std::int64_t &memAddr)
         {
-            if (chunk_ >= buffer_.chunks_.size())
+            if (chunk_ >= buffer_.chunkCount())
                 return false;
-            const auto &chunk = buffer_.chunks_[chunk_];
-            entry = chunk[offset_];
+            const ChunkView view = buffer_.chunk(chunk_);
+            entry = view.entries[offset_];
             if ((entry.flags() & traceHasMemAddr) != 0) {
-                const std::uint8_t *base =
-                    buffer_.memChunks_[chunk_].data();
-                const std::uint8_t *p = base + memOffset_;
-                prevAddr_ += zigzagDecode(decodeVarint(p));
+                const std::uint8_t *p = view.memBytes + memOffset_;
+                prevAddr_ += zigzagDecode(
+                    decodeVarint(p, view.memBytes + view.memSize));
                 memOffset_ =
-                    static_cast<std::size_t>(p - base);
+                    static_cast<std::size_t>(p - view.memBytes);
                 memAddr = prevAddr_;
             }
-            if (++offset_ == chunk.size()) {
+            if (++offset_ == view.entryCount) {
                 chunk_ += 1;
                 offset_ = 0;
                 memOffset_ = 0;
@@ -399,20 +495,24 @@ class TraceBuffer
         next(const TraceEntry *&entries, std::size_t &count,
              const std::int64_t *&addrs)
         {
-            if (chunk_ >= buffer_.chunks_.size())
+            if (chunk_ >= buffer_.chunkCount())
                 return false;
-            const auto &chunk = buffer_.chunks_[chunk_];
-            entries = chunk.data();
-            count = chunk.size();
-            const std::uint32_t n = buffer_.memCounts_[chunk_];
+            const ChunkView view = buffer_.chunk(chunk_);
+            entries = view.entries;
+            count = view.entryCount;
+            const std::uint32_t n = view.memCount;
             addrBuf_.clear();
             addrBuf_.reserve(n);
-            const std::uint8_t *p =
-                buffer_.memChunks_[chunk_].data();
+            const std::uint8_t *p = view.memBytes;
+            const std::uint8_t *end = view.memBytes + view.memSize;
             for (std::uint32_t i = 0; i < n; ++i) {
-                prevAddr_ += zigzagDecode(decodeVarint(p));
+                prevAddr_ += zigzagDecode(decodeVarint(p, end));
                 addrBuf_.push_back(prevAddr_);
             }
+            if (p != end)
+                throw TraceCorruptError(
+                    "varint side stream has trailing bytes after "
+                    "the chunk's declared address count");
             addrs = addrBuf_.data();
             chunk_ += 1;
             return true;
@@ -432,9 +532,14 @@ class TraceBuffer
     std::vector<std::vector<std::uint8_t>> memChunks_;
     /** Number of addresses encoded in mem chunk i. */
     std::vector<std::uint32_t> memCounts_;
+    /** Mapped representation: chunk views into backing_'s memory. */
+    std::vector<ChunkView> views_;
+    bool mapped_ = false;
     std::int64_t lastMemAddr_ = 0;
     std::uint64_t count_ = 0;
     RunResult run_;
+    /** Keeps externally owned (mmap'd) chunk memory alive. */
+    std::shared_ptr<const void> backing_;
 };
 
 /** Pack a DynRecord's dynamic bits into TraceEntry flags. */

@@ -245,6 +245,42 @@ TEST(SuiteEvaluator, IsolatedTrapCellDegradesToErrorAndReproducer)
     }
 }
 
+TEST(SuiteEvaluator, EqualCellKeysGetDistinctReproducerFiles)
+{
+    // Two failing cells can share (title, kind) — here the same
+    // model requested twice — and each must still get its own
+    // reproducer file: the sequence suffix in the filename keeps
+    // the second write from clobbering the first.
+    const std::string reproDir =
+        testing::TempDir() + "predilp-repro-collide";
+    SuiteConfig tiny = smallConfig();
+    tiny.maxDynInstrs = 500;
+
+    SuiteEvaluator evaluator(1);
+    EvalPolicy policy;
+    policy.isolateFaults = true;
+    policy.reproducerDir = reproDir;
+    evaluator.setPolicy(policy);
+
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    BenchmarkResult result = evaluator.evaluate(
+        *workload, tiny, {Model::FullPred, Model::FullPred});
+    ASSERT_EQ(result.errors.size(), 3u);
+
+    std::vector<std::string> paths;
+    for (const CellError &error : result.errors) {
+        ASSERT_FALSE(error.reproducerPath.empty());
+        paths.push_back(error.reproducerPath);
+    }
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        for (std::size_t j = i + 1; j < paths.size(); ++j)
+            EXPECT_NE(paths[i], paths[j]);
+        std::ifstream in(paths[i]);
+        EXPECT_TRUE(in.good()) << paths[i];
+    }
+}
+
 TEST(SuiteEvaluator, VerifyEachPassPolicyMatchesDefaultResults)
 {
     // Running the verifier after every pass is purely observational:

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "driver/pipeline.hh"
 #include "frontend/irgen.hh"
 #include "ir/builder.hh"
 #include "opt/passes.hh"
 #include "sim/cache.hh"
+#include "sim/scoreboard.hh"
 #include "sim/timing.hh"
 
 namespace predilp
@@ -241,6 +245,36 @@ TEST(Timing, FullPredNullifiedConsumeSlots)
     // Nullified instructions are fetched: cycles reflect the full
     // fetch stream, not just the executed subset.
     EXPECT_GE(r.cycles, r.dynInstrs / 8);
+}
+
+TEST(Scoreboard, EpochWraparoundHardResetsStaleTags)
+{
+    // A read-only index is enough to size the boards.
+    StaticIndex index({}, {}, {16, 0, 16});
+    RegScoreboard board(index);
+    board.setDest(intReg(3), 42);
+    EXPECT_EQ(board.readyAt(intReg(3)), 42);
+
+    // Jump to the final epoch before the 32-bit counter wraps, as
+    // if ~2^32 drains had happened since r3 was written.
+    board.presetEpochForTest(
+        std::numeric_limits<std::uint32_t>::max());
+    EXPECT_EQ(board.readyAt(intReg(3)), 0);
+    board.setDest(intReg(7), 99);
+    EXPECT_EQ(board.readyAt(intReg(7)), 99);
+
+    // The wrapping drain: the epoch increment overflows to 0 and
+    // clear() must hard-reset every tag before restarting at epoch
+    // 1. Without that reset, r3's stale tag from the original
+    // epoch 1 would alias the fresh epoch and resurrect the ready
+    // cycle written ~2^32 drains ago.
+    board.clear();
+    EXPECT_EQ(board.readyAt(intReg(3)), 0);
+    EXPECT_EQ(board.readyAt(intReg(7)), 0);
+    EXPECT_EQ(board.maxOutstanding(0), 0);
+    board.setDest(intReg(3), 7);
+    EXPECT_EQ(board.readyAt(intReg(3)), 7);
+    EXPECT_EQ(board.maxOutstanding(0), 7);
 }
 
 } // namespace

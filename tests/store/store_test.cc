@@ -1,0 +1,339 @@
+/**
+ * @file
+ * Artifact-store tests: SHA-256 key derivation, save/load round
+ * trips that replay bit-identically out of the mmap'd file,
+ * byte-level corruption injection in every file region (magic,
+ * header, entry stream, varint stream, checksum) with quarantine +
+ * recompute repair, read-only mode, and the SuiteEvaluator's
+ * cold/warm second-tier behaviour: a warm evaluator performs zero
+ * compiles and zero emulations yet reproduces the cold results
+ * exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "driver/evaluator.hh"
+#include "driver/pipeline.hh"
+#include "store/sha256.hh"
+#include "store/store.hh"
+#include "trace/replay.hh"
+#include "workloads/workloads.hh"
+
+namespace predilp
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh empty directory under the test temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(testing::TempDir()) / name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** XOR one byte of @p path at @p offset. */
+void
+flipByte(const std::string &path, std::size_t offset)
+{
+    std::fstream f(path, std::ios::in | std::ios::out |
+                             std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    ASSERT_TRUE(f.good());
+    byte = static_cast<char>(byte ^ 0x5A);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+    ASSERT_TRUE(f.good());
+}
+
+std::size_t
+fileCount(const fs::path &dir)
+{
+    if (!fs::exists(dir))
+        return 0;
+    std::size_t n = 0;
+    for (const auto &entry : fs::recursive_directory_iterator(dir)) {
+        if (entry.is_regular_file())
+            n += 1;
+    }
+    return n;
+}
+
+void
+expectSimEq(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dynInstrs, b.dynInstrs);
+    EXPECT_EQ(a.nullified, b.nullified);
+    EXPECT_EQ(a.branches, b.branches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.dcacheMisses, b.dcacheMisses);
+    EXPECT_EQ(a.exitValue, b.exitValue);
+    EXPECT_EQ(a.output, b.output);
+    EXPECT_EQ(a.stats.counters(), b.stats.counters());
+}
+
+/** One captured workload trace for the round-trip tests. */
+std::unique_ptr<TraceBuffer>
+captureWorkload(const char *name)
+{
+    const Workload *workload = findWorkload(name);
+    EXPECT_NE(workload, nullptr);
+    std::string input = workload->makeInput(1);
+    CompileOptions opts;
+    opts.model = Model::FullPred;
+    opts.machine = issue8Branch1();
+    opts.profileInput = input;
+    auto prog = compileForModel(workload->source, opts);
+    return capture(*prog, input);
+}
+
+TEST(Sha256, MatchesKnownVectors)
+{
+    // FIPS 180-4 test vectors.
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    // Multi-block message (>64 bytes) exercises buffering.
+    std::string longMsg(1000, 'a');
+    Sha256 pieces;
+    pieces.update(longMsg.substr(0, 7));
+    pieces.update(longMsg.substr(7));
+    EXPECT_EQ(pieces.hex(), sha256Hex(longMsg));
+}
+
+TEST(ArtifactStore, KeysSeparateEveryField)
+{
+    std::string base = ArtifactStore::keyFor("src", "cell");
+    EXPECT_EQ(base.size(), 64u);
+    EXPECT_NE(base, ArtifactStore::keyFor("src2", "cell"));
+    EXPECT_NE(base, ArtifactStore::keyFor("src", "cell2"));
+    // Length prefixes keep the field boundary unambiguous.
+    EXPECT_NE(ArtifactStore::keyFor("ab", "c"),
+              ArtifactStore::keyFor("a", "bc"));
+    EXPECT_EQ(base, ArtifactStore::keyFor("src", "cell"));
+}
+
+TEST(ArtifactStore, RoundTripReplaysBitIdentical)
+{
+    auto buffer = captureWorkload("cmp");
+    ASSERT_GT(buffer->size(), 0u);
+
+    ArtifactStore store(freshDir("store-roundtrip"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("cmp-src", "cell");
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.misses(), 1u);
+    ASSERT_TRUE(store.save(key, *buffer));
+    EXPECT_EQ(store.writes(), 1u);
+
+    std::shared_ptr<const TraceBuffer> loaded = store.load(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_GT(store.bytesMapped(), 0u);
+    EXPECT_TRUE(loaded->mapped());
+    EXPECT_EQ(loaded->size(), buffer->size());
+    EXPECT_EQ(loaded->run().exitValue, buffer->run().exitValue);
+    EXPECT_EQ(loaded->run().output, buffer->run().output);
+    EXPECT_EQ(loaded->run().memHash, buffer->run().memHash);
+    EXPECT_EQ(loaded->index().size(), buffer->index().size());
+
+    // Replay straight out of the mapping, perfect and real caches
+    // (the latter decodes the whole varint address stream).
+    for (bool perfect : {true, false}) {
+        SimConfig sim;
+        sim.machine = issue8Branch1();
+        sim.perfectCaches = perfect;
+        SCOPED_TRACE(perfect ? "perfect" : "real");
+        expectSimEq(replay(*buffer, sim), replay(*loaded, sim));
+    }
+
+    // The section map agrees with the buffer's own accounting.
+    auto info = inspectArtifact(store.objectPath(key));
+    ASSERT_TRUE(info.has_value());
+    EXPECT_EQ(info->version, ArtifactStore::formatVersion);
+    EXPECT_EQ(info->records, buffer->size());
+    EXPECT_EQ(info->entriesBytes, buffer->size() * 4);
+    EXPECT_GT(info->memBytes, 0u);
+}
+
+TEST(ArtifactStore, MappedBufferRefusesAppend)
+{
+    auto buffer = captureWorkload("cmp");
+    ArtifactStore store(freshDir("store-appendguard"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("s", "c");
+    ASSERT_TRUE(store.save(key, *buffer));
+    std::shared_ptr<const TraceBuffer> loaded = store.load(key);
+    ASSERT_NE(loaded, nullptr);
+    auto &mutableBuffer = const_cast<TraceBuffer &>(*loaded);
+    EXPECT_THROW(mutableBuffer.append(0, 0, 0), PanicError);
+}
+
+TEST(ArtifactStore, CorruptionInEveryRegionIsDetectedAndRepaired)
+{
+    auto buffer = captureWorkload("cmp");
+    const std::string dir = freshDir("store-corruption");
+    const std::string key =
+        ArtifactStore::keyFor("cmp-src", "cell");
+
+    ArtifactStore probe(dir, StoreMode::ReadWrite);
+    ASSERT_TRUE(probe.save(key, *buffer));
+    auto info = inspectArtifact(probe.objectPath(key));
+    ASSERT_TRUE(info.has_value());
+    ASSERT_GT(info->entriesBytes, 0u);
+    ASSERT_GT(info->memBytes, 0u);
+
+    struct Region
+    {
+        const char *name;
+        std::size_t offset;
+    };
+    const Region regions[] = {
+        {"magic", 0},
+        {"header-version", 8},
+        {"entry-stream",
+         info->entriesOffset + info->entriesBytes / 2},
+        {"varint-stream", info->memOffset + info->memBytes / 2},
+        {"checksum", info->checksumOffset},
+    };
+    for (const Region &region : regions) {
+        SCOPED_TRACE(region.name);
+        ArtifactStore store(dir, StoreMode::ReadWrite);
+        ASSERT_TRUE(store.save(key, *buffer));
+        const std::string path = store.objectPath(key);
+        flipByte(path, region.offset);
+
+        // The flipped artifact must be rejected, counted as a
+        // repair, and moved to quarantine...
+        EXPECT_EQ(store.load(key), nullptr);
+        EXPECT_EQ(store.repairs(), 1u);
+        EXPECT_EQ(store.hits(), 0u);
+        EXPECT_FALSE(fs::exists(path));
+        EXPECT_GT(fileCount(fs::path(dir) / "quarantine"), 0u);
+        EXPECT_FALSE(inspectArtifact(path).has_value());
+
+        // ...and the recompute-and-save repair path must restore a
+        // loadable artifact under the same key.
+        ASSERT_TRUE(store.save(key, *buffer));
+        std::shared_ptr<const TraceBuffer> repaired =
+            store.load(key);
+        ASSERT_NE(repaired, nullptr);
+        EXPECT_EQ(repaired->size(), buffer->size());
+        StatsSnapshot stats = store.stats();
+        EXPECT_EQ(stats.counters().at("store.repair"), 1u);
+        EXPECT_EQ(stats.counters().at("store.hit"), 1u);
+    }
+
+    // Truncation (a torn write) is detected by the length check.
+    ArtifactStore store(dir, StoreMode::ReadWrite);
+    ASSERT_TRUE(store.save(key, *buffer));
+    const std::string path = store.objectPath(key);
+    fs::resize_file(path, info->fileBytes / 2);
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.repairs(), 1u);
+}
+
+TEST(ArtifactStore, ReadOnlyModeNeverWritesOrQuarantines)
+{
+    auto buffer = captureWorkload("cmp");
+    const std::string dir = freshDir("store-readonly");
+    const std::string key = ArtifactStore::keyFor("s", "c");
+
+    ArtifactStore readOnly(dir, StoreMode::ReadOnly);
+    EXPECT_FALSE(readOnly.save(key, *buffer));
+    EXPECT_EQ(readOnly.writes(), 0u);
+    EXPECT_FALSE(fs::exists(readOnly.objectPath(key)));
+
+    // Seed via a writer, then read through the read-only handle.
+    ArtifactStore writer(dir, StoreMode::ReadWrite);
+    ASSERT_TRUE(writer.save(key, *buffer));
+    EXPECT_NE(readOnly.load(key), nullptr);
+
+    // A corrupt artifact is rejected but left in place: read-only
+    // handles must not mutate the store, even to quarantine.
+    flipByte(readOnly.objectPath(key), 0);
+    EXPECT_EQ(readOnly.load(key), nullptr);
+    EXPECT_EQ(readOnly.repairs(), 1u);
+    EXPECT_TRUE(fs::exists(readOnly.objectPath(key)));
+    EXPECT_EQ(fileCount(fs::path(dir) / "quarantine"), 0u);
+}
+
+TEST(ArtifactStore, WarmEvaluatorSkipsAllCompileAndEmulation)
+{
+    const std::string dir = freshDir("store-evaluator");
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+    config.perfectCaches = true;
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+
+    EvalPolicy policy;
+    policy.storeMode = StoreMode::ReadWrite;
+    policy.storeDir = dir;
+
+    // Cold process: everything misses, every trace is published.
+    SuiteEvaluator cold(1);
+    cold.setPolicy(policy);
+    BenchmarkResult first = cold.evaluate(*workload, config);
+    BenchTiming coldTiming = cold.timing();
+    EXPECT_GT(coldTiming.compiles, 0u);
+    EXPECT_GT(coldTiming.captures, 0u);
+    EXPECT_EQ(coldTiming.storeHits, 0u);
+    EXPECT_EQ(coldTiming.storeMisses, coldTiming.storeWrites);
+    EXPECT_GT(coldTiming.storeWrites, 0u);
+
+    // Warm process (a fresh evaluator on the same store): every
+    // cell loads from disk — no compiles, no emulation at all (the
+    // divergence check was already paid at publish time) — and the
+    // results are bit-identical.
+    SuiteEvaluator warm(1);
+    warm.setPolicy(policy);
+    BenchmarkResult second = warm.evaluate(*workload, config);
+    BenchTiming warmTiming = warm.timing();
+    EXPECT_EQ(warmTiming.compiles, 0u);
+    EXPECT_EQ(warmTiming.prefixCompiles, 0u);
+    EXPECT_EQ(warmTiming.captures, 0u);
+    EXPECT_EQ(warmTiming.storeMisses, 0u);
+    EXPECT_EQ(warmTiming.storeHits, coldTiming.storeWrites);
+    EXPECT_GT(warmTiming.storeBytesMapped, 0u);
+
+    EXPECT_EQ(first.baseCycles, second.baseCycles);
+    ASSERT_EQ(first.models.size(), second.models.size());
+    for (const auto &[model, sim] : first.models) {
+        SCOPED_TRACE(modelName(model));
+        expectSimEq(sim, second.models.at(model));
+    }
+}
+
+TEST(ArtifactStore, DistinctCellKeysDoNotCollide)
+{
+    auto buffer = captureWorkload("cmp");
+    ArtifactStore store(freshDir("store-distinct"),
+                        StoreMode::ReadWrite);
+    const std::string a = ArtifactStore::keyFor("src", "cell-a");
+    const std::string b = ArtifactStore::keyFor("src", "cell-b");
+    ASSERT_TRUE(store.save(a, *buffer));
+    EXPECT_EQ(store.load(b), nullptr);
+    EXPECT_NE(store.load(a), nullptr);
+}
+
+} // namespace
+} // namespace predilp

@@ -206,13 +206,41 @@ TEST(Varint, ZigzagRoundTripsExtremes)
         appendVarint(bytes, zigzagEncode(v));
         EXPECT_LE(bytes.size(), 10u);
         const std::uint8_t *p = bytes.data();
-        EXPECT_EQ(zigzagDecode(decodeVarint(p)), v) << v;
+        EXPECT_EQ(zigzagDecode(
+                      decodeVarint(p, bytes.data() + bytes.size())),
+                  v)
+            << v;
         EXPECT_EQ(p, bytes.data() + bytes.size());
     }
     // Small magnitudes must stay small on the wire.
     std::vector<std::uint8_t> small;
     appendVarint(small, zigzagEncode(-3));
     EXPECT_EQ(small.size(), 1u);
+}
+
+TEST(Varint, MalformedStreamsThrowInsteadOfOverrunning)
+{
+    // Every proper prefix of a valid encoding ends mid-value and
+    // must throw, with the cursor never advanced past `end`.
+    std::vector<std::uint8_t> bytes;
+    appendVarint(bytes,
+                 zigzagEncode((std::int64_t{1} << 40) + 12345));
+    ASSERT_GT(bytes.size(), 1u);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        const std::uint8_t *p = bytes.data();
+        const std::uint8_t *end = bytes.data() + len;
+        EXPECT_THROW(decodeVarint(p, end), TraceCorruptError)
+            << "prefix length " << len;
+        EXPECT_LE(p, end);
+    }
+
+    // A runaway stream of continuation bytes must be rejected once
+    // its bits exceed the 64-bit range, not decoded forever.
+    std::vector<std::uint8_t> runaway(16, 0x80);
+    const std::uint8_t *p = runaway.data();
+    EXPECT_THROW(
+        decodeVarint(p, runaway.data() + runaway.size()),
+        TraceCorruptError);
 }
 
 TEST(TraceBuffer, MemStreamHandlesNegativeAndWideDeltas)
