@@ -15,16 +15,22 @@
 # zero captures, zero emulation seconds, and figure output
 # bit-identical to the cold run.
 #
+# Interp-backend pass: reruns everything with PREDILP_EMU=interp
+# against a separate (cold) store and requires figure output
+# bit-identical to the threaded cold pass, so CI catches
+# threaded-vs-interp emulation drift the unit suite might miss.
+#
 # Usage: scripts/bench_json.sh [bench-binary...]; defaults to the
-# Figure 8 benchmark plus the replay-kernel microbenchmark. Assumes
-# scripts/tier1.sh already built. PREDILP_STORE overrides the store
-# location (default bench-out/store).
+# Figure 8 benchmark plus the replay- and capture-kernel
+# microbenchmarks. Assumes scripts/tier1.sh already built.
+# PREDILP_STORE overrides the store location (default
+# bench-out/store).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ "${#benches[@]}" -eq 0 ]; then
-    benches=(bench_fig08_issue8_br1 bench_replay_hot)
+    benches=(bench_fig08_issue8_br1 bench_replay_hot bench_capture_hot)
 fi
 
 mkdir -p bench-out
@@ -62,6 +68,15 @@ import sys
 MAX_TRACE_BYTES_PER_CAPTURE = 3_000_000
 MAX_TRACE_BYTES_PER_ENTRY = 6.0
 
+# Floors for the capture-kernel microbenchmark (the only bench that
+# reports speedup_vs_interp). The threaded backend measures
+# ~140-180 Mrec/s capture and ~2.5-3x over the interpreter on the dev
+# box; the floors sit far enough below that container noise cannot
+# trip them, while a regression to interpreter-level dispatch
+# (~55 Mrec/s, 1.0x) trips both.
+MIN_EMULATE_RECORDS_PER_SEC = 60_000_000
+MIN_CAPTURE_SPEEDUP_VS_INTERP = 1.5
+
 failed = False
 
 
@@ -96,6 +111,22 @@ for path in sys.argv[1:]:
         # A bench that neither captured nor loaded traces did no
         # trace work at all; the threshold checks are vacuous.
         pass
+
+    if "speedup_vs_interp" in throughput:
+        rps = throughput.get("emulate_records_per_sec", 0.0)
+        if rps < MIN_EMULATE_RECORDS_PER_SEC:
+            fail(f"{path}: emulate_records_per_sec {rps:.3g} below "
+                 f"floor {MIN_EMULATE_RECORDS_PER_SEC:.3g}")
+        else:
+            print(f"ok: {path} emulate_records_per_sec {rps:.3g} "
+                  f">= {MIN_EMULATE_RECORDS_PER_SEC:.3g}")
+        speedup = throughput["speedup_vs_interp"]
+        if speedup < MIN_CAPTURE_SPEEDUP_VS_INTERP:
+            fail(f"{path}: capture speedup_vs_interp {speedup:.2f} below "
+                 f"floor {MIN_CAPTURE_SPEEDUP_VS_INTERP}")
+        else:
+            print(f"ok: {path} speedup_vs_interp {speedup:.2f} "
+                  f">= {MIN_CAPTURE_SPEEDUP_VS_INTERP}")
 
     captures = counters.get("captures", 0)
     captured_bytes = counters.get("captured_bytes", 0)
@@ -172,5 +203,61 @@ for path in sys.argv[1:]:
 
 if asserted == 0:
     fail("no bench exercised the artifact store")
+sys.exit(1 if failed else 0)
+EOF
+
+# Interp-backend pass: force the interpreter backend against a
+# separate, empty store so every evaluator bench actually re-captures
+# with the interpreter, then require figure output bit-identical to
+# the threaded cold pass. Catches threaded-vs-interp emulation drift.
+echo "== interp-backend pass (figures drift check) =="
+export PREDILP_EMU=interp
+export PREDILP_STORE="${PREDILP_STORE}-interp"
+rm -rf "${PREDILP_STORE}"
+run_benches
+
+python3 - "${jsons[@]}" <<'EOF'
+import json
+import sys
+
+failed = False
+
+
+def fail(msg):
+    global failed
+    failed = True
+    print(f"error: {msg}", file=sys.stderr)
+
+
+asserted = 0
+for path in sys.argv[1:]:
+    with open(path) as f:
+        interp = json.load(f)
+    if "benchmarks" not in interp:
+        # Kernel microbenchmarks carry no figure output; the
+        # capture kernel checks interp-vs-threaded bit-identity
+        # internally on every pass.
+        print(f"skip: {path} (no figure output)")
+        continue
+    asserted += 1
+
+    emu = interp["timing"].get("emu", {})
+    threaded_runs = emu.get("backend", {}).get("threaded", 0)
+    if threaded_runs != 0:
+        fail(f"{path}: interp pass still used the threaded backend "
+             f"({threaded_runs} runs)")
+    if emu.get("records", {}).get("interp", 0) == 0:
+        fail(f"{path}: interp pass captured no interpreter records")
+
+    with open(f"cold/{path}") as f:
+        cold = json.load(f)
+    if interp["benchmarks"] != cold["benchmarks"]:
+        fail(f"{path}: interpreter-backend figure output differs "
+             f"from threaded cold run")
+    else:
+        print(f"ok: {path} interp figures == threaded figures")
+
+if asserted == 0:
+    fail("no bench produced figure output for the backend check")
 sys.exit(1 if failed else 0)
 EOF

@@ -51,6 +51,15 @@ timingSnapshot(const BenchTiming &timing, double wallSeconds,
                  timing.capturedRecords);
     s.setCounter("counters.replayed_records",
                  timing.replayedRecords);
+    s.setCounter("emu.backend.threaded",
+                 defaultEmuBackend() == EmuBackend::Threaded ? 1
+                                                             : 0);
+    s.setSeconds("emu.decode_seconds", timing.decodeSeconds);
+    s.setCounter("emu.decodes", timing.decodes);
+    s.setCounter("emu.decoded_cache_hits", timing.decodedCacheHits);
+    s.setCounter("emu.decoded_bytes", timing.decodedBytes);
+    s.setCounter("emu.records.threaded", timing.threadedRecords);
+    s.setCounter("emu.records.interp", timing.interpRecords);
     s.setCounter("store.hit", timing.storeHits);
     s.setCounter("store.miss", timing.storeMisses);
     s.setCounter("store.repair", timing.storeRepairs);
@@ -60,6 +69,13 @@ timingSnapshot(const BenchTiming &timing, double wallSeconds,
         s.setSeconds("throughput.replay_records_per_sec",
                      static_cast<double>(timing.replayedRecords) /
                          timing.replaySeconds);
+    }
+    if (timing.captureSeconds > 0) {
+        s.setSeconds(
+            "throughput.emulate_records_per_sec",
+            static_cast<double>(timing.threadedRecords +
+                                timing.interpRecords) /
+                timing.captureSeconds);
     }
     if (timing.capturedRecords > 0) {
         s.setSeconds("throughput.trace_bytes_per_entry",
@@ -108,6 +124,18 @@ printPhaseTiming(std::ostream &os, const BenchTiming &timing,
        << " result hits, "
        << timing.tracePeakBytes / (1024 * 1024)
        << " MiB traces peak\n";
+    if (timing.decodes + timing.threadedRecords +
+            timing.interpRecords >
+        0) {
+        os << "-- emu: " << emuBackendName(defaultEmuBackend())
+           << " backend | decode "
+           << formatFixed(timing.decodeSeconds, 2) << "s ("
+           << timing.decodes << " decodes, "
+           << timing.decodedCacheHits << " hits, "
+           << timing.decodedBytes / 1024 << " KiB) | records "
+           << timing.threadedRecords << " threaded, "
+           << timing.interpRecords << " interp\n";
+    }
     if (timing.storeHits + timing.storeMisses +
             timing.storeWrites >
         0) {

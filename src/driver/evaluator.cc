@@ -52,16 +52,29 @@ flagsKey(const SuiteConfig &config, Model model)
     return config.ablation.canonicalFor(model).key();
 }
 
+/**
+ * Identity of a compiled program: everything traceKey() hashes
+ * except the capture fuel, which decoding never reads. Keys the
+ * decoded-program cache.
+ */
+std::string
+decodedKey(const Workload &workload, const SuiteConfig &config,
+           Model model, const MachineConfig &machine)
+{
+    std::ostringstream os;
+    os << workload.name << "|s" << config.scaleMultiplier << "|m"
+       << static_cast<int>(model) << '|' << machineKey(machine)
+       << '|' << flagsKey(config, model);
+    return os.str();
+}
+
 std::string
 traceKey(const Workload &workload, const SuiteConfig &config,
          Model model, const MachineConfig &machine,
          std::uint64_t fuel)
 {
-    std::ostringstream os;
-    os << workload.name << "|s" << config.scaleMultiplier << "|m"
-       << static_cast<int>(model) << '|' << machineKey(machine)
-       << '|' << flagsKey(config, model) << "|f" << fuel;
-    return os.str();
+    return decodedKey(workload, config, model, machine) + "|f" +
+           std::to_string(fuel);
 }
 
 std::string
@@ -198,7 +211,30 @@ SuiteEvaluator::referenceFor(const Workload &workload,
         mutex_, references_, key, referenceCacheHits_, [&] {
             PhaseTimer timer(captureTime_);
             captures_.fetch_add(1, std::memory_order_relaxed);
-            return runReference(workload.source, input);
+            RunResult ref = runReference(workload.source, input);
+            auto &records =
+                defaultEmuBackend() == EmuBackend::Threaded
+                    ? threadedRecords_
+                    : interpRecords_;
+            records.fetch_add(ref.dynInstrs,
+                              std::memory_order_relaxed);
+            return ref;
+        });
+}
+
+SuiteEvaluator::DecodedPtr
+SuiteEvaluator::decodedFor(const Program &prog,
+                           const std::string &key)
+{
+    return cachedCompute(
+        mutex_, decoded_, key, decodedCacheHits_,
+        [&]() -> DecodedPtr {
+            PhaseTimer timer(decodeTime_);
+            auto dp = std::make_shared<DecodedProgram>(prog);
+            decodes_.fetch_add(1, std::memory_order_relaxed);
+            decodedBytes_.fetch_add(dp->memoryBytes(),
+                                    std::memory_order_relaxed);
+            return dp;
         });
 }
 
@@ -246,12 +282,30 @@ SuiteEvaluator::traceFor(const Workload &workload,
                 compileStats_.merge(perCompile);
                 compiles_.fetch_add(1, std::memory_order_relaxed);
             }
+            // The threaded backend splits capture into a cached
+            // decode (shared across fuel budgets) and the engine
+            // run; only the latter counts as emulation time.
+            const bool threaded =
+                defaultEmuBackend() == EmuBackend::Threaded;
+            DecodedPtr decoded;
+            if (threaded) {
+                decoded = decodedFor(
+                    *prog,
+                    decodedKey(workload, config, model, machine));
+            }
             std::unique_ptr<TraceBuffer> buffer;
             {
                 PhaseTimer timer(captureTime_);
-                buffer = capture(*prog, input, fuel);
+                buffer = threaded
+                             ? captureDecoded(*decoded, input, fuel)
+                             : capture(*prog, input, fuel,
+                                       EmuBackend::Interp);
                 captures_.fetch_add(1, std::memory_order_relaxed);
             }
+            auto &backendRecords =
+                threaded ? threadedRecords_ : interpRecords_;
+            backendRecords.fetch_add(buffer->size(),
+                                     std::memory_order_relaxed);
             RunResult reference = referenceFor(
                 workload, input, config.scaleMultiplier);
             const RunResult &run = buffer->run();
@@ -463,6 +517,16 @@ SuiteEvaluator::timing() const
         capturedRecords_.load(std::memory_order_relaxed);
     timing.replayedRecords =
         replayedRecords_.load(std::memory_order_relaxed);
+    timing.decodeSeconds = decodeTime_.seconds();
+    timing.decodes = decodes_.load(std::memory_order_relaxed);
+    timing.decodedCacheHits =
+        decodedCacheHits_.load(std::memory_order_relaxed);
+    timing.decodedBytes =
+        decodedBytes_.load(std::memory_order_relaxed);
+    timing.threadedRecords =
+        threadedRecords_.load(std::memory_order_relaxed);
+    timing.interpRecords =
+        interpRecords_.load(std::memory_order_relaxed);
     if (store_ != nullptr) {
         timing.storeHits = store_->hits();
         timing.storeMisses = store_->misses();

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "driver/report.hh"
+#include "emu/decoded.hh"
 #include "store/store.hh"
 #include "support/stats_registry.hh"
 #include "support/thread_pool.hh"
@@ -69,6 +70,12 @@ struct BenchTiming
     std::uint64_t storeRepairs = 0; ///< corrupt artifacts replaced.
     std::uint64_t storeWrites = 0;  ///< artifacts published to disk.
     std::uint64_t storeBytesMapped = 0; ///< bytes mmap'd on hits.
+    double decodeSeconds = 0; ///< pre-decoding for the threaded engine.
+    std::uint64_t decodes = 0; ///< DecodedPrograms built.
+    std::uint64_t decodedCacheHits = 0; ///< decoded-cache hits.
+    std::uint64_t decodedBytes = 0; ///< resident decoded-program bytes.
+    std::uint64_t threadedRecords = 0; ///< records emulated threaded.
+    std::uint64_t interpRecords = 0; ///< records emulated interpreted.
 };
 
 /**
@@ -160,6 +167,7 @@ class SuiteEvaluator
   private:
     using TracePtr = std::shared_ptr<const TraceBuffer>;
     using SnapshotPtr = std::shared_ptr<const FrontendSnapshot>;
+    using DecodedPtr = std::shared_ptr<const DecodedProgram>;
 
     /** (Re)open store_ to match policy_; Off closes it. */
     void openStore();
@@ -175,6 +183,18 @@ class SuiteEvaluator
     SnapshotPtr snapshotFor(const Workload &workload,
                             const std::string &input, int scale,
                             std::uint64_t profileFuel);
+
+    /**
+     * The threaded engine's pre-decoded form of @p prog, cached by
+     * the compile's identity (workload, scale, model, canonical
+     * ablation flags, machine) — everything that determines the
+     * compiled program, and nothing that doesn't (fuel): captures at
+     * different budgets share one decode, like the front-end
+     * snapshot cache shares one prefix across models. A
+     * DecodedProgram is self-contained, so it may outlive @p prog.
+     */
+    DecodedPtr decodedFor(const Program &prog,
+                          const std::string &key);
 
     TracePtr traceFor(const Workload &workload,
                       const SuiteConfig &config, Model model,
@@ -201,10 +221,13 @@ class SuiteEvaluator
         results_;
     std::unordered_map<std::string, std::shared_future<SnapshotPtr>>
         snapshots_;
+    std::unordered_map<std::string, std::shared_future<DecodedPtr>>
+        decoded_;
 
     PhaseAccumulator compileTime_;
     PhaseAccumulator captureTime_;
     PhaseAccumulator replayTime_;
+    PhaseAccumulator decodeTime_;
     std::atomic<std::uint64_t> compiles_{0};
     std::atomic<std::uint64_t> prefixCompiles_{0};
     std::atomic<std::uint64_t> prefixCacheHits_{0};
@@ -218,6 +241,11 @@ class SuiteEvaluator
     std::atomic<std::uint64_t> capturedBytes_{0};
     std::atomic<std::uint64_t> capturedRecords_{0};
     std::atomic<std::uint64_t> replayedRecords_{0};
+    std::atomic<std::uint64_t> decodes_{0};
+    std::atomic<std::uint64_t> decodedCacheHits_{0};
+    std::atomic<std::uint64_t> decodedBytes_{0};
+    std::atomic<std::uint64_t> threadedRecords_{0};
+    std::atomic<std::uint64_t> interpRecords_{0};
 
     /** Merged per-compile pass stats (internally synchronized). */
     StatsRegistry compileStats_;

@@ -9,22 +9,32 @@ namespace predilp
 {
 
 ExecContext::ExecContext(const Program &prog, std::string input)
-    : input_(std::move(input))
+    : ExecContext(initialImage(prog), std::move(input))
+{}
+
+ExecContext::ExecContext(const std::vector<std::uint8_t> &image,
+                         std::string input)
+    : memory_(image), input_(std::move(input))
+{}
+
+std::vector<std::uint8_t>
+ExecContext::initialImage(const Program &prog)
 {
     // Data segment plus a page of slack so off-by-small-index bugs in
     // workloads fault loudly rather than silently (the verifier of
     // last resort is the bounds check in the emulator).
-    memory_.assign(static_cast<std::size_t>(prog.dataSize()) + 4096,
-                   0);
+    ExecContext ctx;
+    ctx.memory_.assign(
+        static_cast<std::size_t>(prog.dataSize()) + 4096, 0);
     for (const auto &g : prog.globals()) {
         if (!g.initInts.empty()) {
             std::int64_t addr = g.addr;
             for (std::int64_t v : g.initInts) {
                 if (g.elemSize == 1) {
-                    storeByte(addr, v);
+                    ctx.storeByte(addr, v);
                     addr += 1;
                 } else {
-                    storeWord(addr, v);
+                    ctx.storeWord(addr, v);
                     addr += 8;
                 }
             }
@@ -32,11 +42,12 @@ ExecContext::ExecContext(const Program &prog, std::string input)
         if (!g.initFloats.empty()) {
             std::int64_t addr = g.addr;
             for (double v : g.initFloats) {
-                storeDouble(addr, v);
+                ctx.storeDouble(addr, v);
                 addr += 8;
             }
         }
     }
+    return std::move(ctx.memory_);
 }
 
 std::int64_t

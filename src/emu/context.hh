@@ -29,6 +29,21 @@ class ExecContext
      */
     ExecContext(const Program &prog, std::string input);
 
+    /**
+     * Create a context from a prebuilt initial memory image (see
+     * initialImage()). The decoded-program backend snapshots the
+     * image once at decode time so runs never touch the IR.
+     */
+    ExecContext(const std::vector<std::uint8_t> &image,
+                std::string input);
+
+    /**
+     * The initial memory image for @p prog: data segment plus slack,
+     * globals' initializers applied. Equal to the memory a fresh
+     * ExecContext(prog, ...) starts with.
+     */
+    static std::vector<std::uint8_t> initialImage(const Program &prog);
+
     /** Raw memory size in bytes. */
     std::int64_t memSize() const
     {
@@ -79,6 +94,9 @@ class ExecContext
     }
 
   private:
+    /** Empty context used internally while building an image. */
+    ExecContext() = default;
+
     std::vector<std::uint8_t> memory_;
     std::string input_;
     std::size_t inputPos_ = 0;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <vector>
 
+#include "emu/decoded.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -659,9 +662,34 @@ class Interp
 
 } // namespace
 
+EmuBackend
+defaultEmuBackend()
+{
+    static const EmuBackend cached = [] {
+        const char *env = std::getenv("PREDILP_EMU");
+        if (env != nullptr && std::strcmp(env, "interp") == 0)
+            return EmuBackend::Interp;
+        return EmuBackend::Threaded;
+    }();
+    return cached;
+}
+
+const char *
+emuBackendName(EmuBackend backend)
+{
+    return backend == EmuBackend::Interp ? "interp" : "threaded";
+}
+
 RunResult
 Emulator::run(const std::string &input, const EmuOptions &opts) const
 {
+    // Generic sinks need the interpreter's per-record callbacks; the
+    // threaded engine only knows how to write packed TraceBuffers
+    // (capture() routes those through captureDecoded() directly).
+    if (opts.backend == EmuBackend::Threaded && opts.sink == nullptr) {
+        DecodedProgram decoded(prog_);
+        return runDecoded(decoded, input, opts);
+    }
     Interp interp(prog_, input, opts);
     return interp.run();
 }

@@ -63,6 +63,29 @@ struct RunResult
     std::uint64_t memHash = 0;
 };
 
+/**
+ * Emulator backend selection. Both backends implement the same
+ * architectural semantics; the interpreter walks the IR directly and
+ * is the reference oracle, the threaded backend executes a flat
+ * pre-decoded instruction stream (emu/decoded.hh) an order of
+ * magnitude faster. Their traces are bit-identical by construction
+ * (enforced by tests/emu/backend_diff_test.cc).
+ */
+enum class EmuBackend : std::uint8_t
+{
+    Interp,   ///< tree-walking reference interpreter.
+    Threaded, ///< pre-decoded threaded-code engine.
+};
+
+/**
+ * Process-wide default backend: Threaded, unless the PREDILP_EMU
+ * environment variable says "interp". Read once and cached.
+ */
+EmuBackend defaultEmuBackend();
+
+/** @return "interp" or "threaded". */
+const char *emuBackendName(EmuBackend backend);
+
 /** Knobs for one emulation run. */
 struct EmuOptions
 {
@@ -79,6 +102,14 @@ struct EmuOptions
 
     /** Optional dynamic-trace consumer. */
     TraceSink *sink = nullptr;
+
+    /**
+     * Backend to execute with. Runs that stream records to a generic
+     * TraceSink always use the interpreter (the threaded engine has
+     * no per-record virtual-call seam by design; its only sink is the
+     * TraceBuffer writer used by capture()).
+     */
+    EmuBackend backend = defaultEmuBackend();
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "emu/decoded.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -106,13 +107,18 @@ class Recorder : public TraceSink
 
 std::unique_ptr<TraceBuffer>
 capture(const Program &prog, const std::string &input,
-        std::uint64_t maxDynInstrs)
+        std::uint64_t maxDynInstrs, EmuBackend backend)
 {
+    if (backend == EmuBackend::Threaded) {
+        DecodedProgram decoded(prog);
+        return captureDecoded(decoded, input, maxDynInstrs);
+    }
     auto buffer = std::make_unique<TraceBuffer>(prog);
     Recorder recorder(*buffer);
     EmuOptions opts;
     opts.sink = &recorder;
     opts.maxDynInstrs = maxDynInstrs;
+    opts.backend = EmuBackend::Interp;
     Emulator emu(prog);
     buffer->setRun(emu.run(input, opts));
     return buffer;

@@ -37,6 +37,7 @@
 #ifndef PREDILP_TRACE_TRACE_HH
 #define PREDILP_TRACE_TRACE_HH
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -139,6 +140,27 @@ class StaticIndex
           regBounds_(regBounds)
     {}
 
+    /**
+     * Empty capture-side index for the pre-decoded backend, which
+     * brings its own prototypes: only internDecoded() may add ops
+     * (intern() has no id tables to consult). @p regBounds must be
+     * the bounds the Program constructor would have computed.
+     */
+    explicit StaticIndex(std::array<int, 3> regBounds)
+        : regBounds_(regBounds)
+    {}
+
+    /**
+     * Append a pre-built static op (the decoded backend's interning
+     * path; see emu/decoded.hh). @p proto is StaticIndex::addOp()'s
+     * result except regBegin, which this assigns; @p regs points at
+     * its srcRegCount + predDestCount pooled register operands. The
+     * caller tracks first-appearance itself — every call appends.
+     * @return the new op's id.
+     */
+    std::uint32_t internDecoded(const StaticOp &proto,
+                                const Reg *regs);
+
     /** Id of @p instr, interning it on first use. */
     std::uint32_t
     intern(const Function *fn, const Instruction *instr)
@@ -221,6 +243,22 @@ constexpr std::uint32_t traceIdBits = 29;
 /** Largest static-instruction id a packed TraceEntry can hold. */
 constexpr std::uint32_t traceMaxStaticId =
     (1u << traceIdBits) - 1;
+
+inline std::uint32_t
+StaticIndex::internDecoded(const StaticOp &proto, const Reg *regs)
+{
+    panicIf(ops_.size() > traceMaxStaticId,
+            "static index overflow: more than ", traceMaxStaticId + 1,
+            " static instructions cannot be packed into ",
+            traceIdBits, "-bit trace entries");
+    StaticOp op = proto;
+    op.regBegin = static_cast<std::uint32_t>(regPool_.size());
+    regPool_.insert(regPool_.end(), regs,
+                    regs + op.srcRegCount + op.predDestCount);
+    auto id = static_cast<std::uint32_t>(ops_.size());
+    ops_.push_back(op);
+    return id;
+}
 
 /**
  * One captured dynamic instruction, packed into 4 bytes: the
@@ -346,6 +384,14 @@ class TraceBuffer
     explicit TraceBuffer(const Program &prog) : index_(prog) {}
 
     /**
+     * Empty owned buffer around a prebuilt index (the decoded
+     * backend's capture path, which interns through internDecoded()
+     * and appends through a Writer).
+     */
+    explicit TraceBuffer(StaticIndex index) : index_(std::move(index))
+    {}
+
+    /**
      * Adopt a deserialized trace (the artifact-store load path):
      * a rebuilt read-only StaticIndex, chunk views into externally
      * owned memory, and the functional run the capture recorded.
@@ -432,6 +478,128 @@ class TraceBuffer
     /** Functional result of the capturing emulation run. */
     const RunResult &run() const { return run_; }
     void setRun(RunResult run) { run_ = std::move(run); }
+
+    /**
+     * Bulk appender for the capture hot loop. Produces byte-for-byte
+     * the stream append() produces, but hands the caller a raw
+     * cursor into the active entry chunk, so the per-record cost in
+     * the engine is one pointer compare and a 4-byte store — no
+     * vector bookkeeping. Protocol: keep `cur`/`end` locals starting
+     * at nullptr; when cur == end call rollChunk() for a fresh
+     * chunk-sized span; store packed entries through cur; call
+     * noteMem(addr) right after storing an entry flagged
+     * traceHasMemAddr; call finish(cur) once at the end to seal the
+     * trailing chunk and the record count. Use on an empty owned
+     * buffer only; do not mix with append().
+     */
+    class Writer
+    {
+      public:
+        explicit Writer(TraceBuffer &buffer) : buffer_(buffer)
+        {
+            panicIf(buffer.mapped_ || buffer.count_ != 0,
+                    "TraceBuffer::Writer requires an empty owned "
+                    "buffer");
+        }
+
+        /**
+         * Seal the previous chunk (it is exactly full by protocol)
+         * and open the next one. @return the new chunk's base;
+         * @p endOut gets base + chunkEntries.
+         */
+        TraceEntry *
+        rollChunk(TraceEntry **endOut)
+        {
+            sealMemChunk();
+            auto &chunk = buffer_.chunks_.emplace_back();
+            chunk.resize(chunkEntries);
+            buffer_.memChunks_.emplace_back();
+            base_ = chunk.data();
+            *endOut = base_ + chunkEntries;
+            return base_;
+        }
+
+        /**
+         * Record the address of the entry just stored. Encodes the
+         * zigzag delta straight through a raw cursor (byte-identical
+         * to appendVarint); the per-chunk address count stays in a
+         * member until the chunk seals.
+         */
+        void
+        noteMem(std::int64_t memAddr)
+        {
+            if (mend_ - mcur_ < 10) [[unlikely]]
+                growMem();
+            std::uint64_t v =
+                zigzagEncode(memAddr - lastMemAddr_);
+            lastMemAddr_ = memAddr;
+            while (v >= 0x80) {
+                *mcur_++ = static_cast<std::uint8_t>(v) | 0x80;
+                v >>= 7;
+            }
+            *mcur_++ = static_cast<std::uint8_t>(v);
+            memCount_ += 1;
+        }
+
+        /**
+         * Seal bookkeeping the hot loop defers: shrink the trailing
+         * chunk to @p cur and publish the record count.
+         */
+        void
+        finish(TraceEntry *cur)
+        {
+            sealMemChunk();
+            if (!buffer_.chunks_.empty()) {
+                buffer_.chunks_.back().resize(
+                    static_cast<std::size_t>(cur - base_));
+            }
+            std::uint64_t total = 0;
+            for (const auto &chunk : buffer_.chunks_)
+                total += chunk.size();
+            buffer_.count_ = total;
+            buffer_.lastMemAddr_ = lastMemAddr_;
+        }
+
+      private:
+        /** Shrink the active mem chunk to its written bytes and
+         * publish its address count. */
+        void
+        sealMemChunk()
+        {
+            if (!buffer_.memChunks_.empty()) {
+                auto &m = buffer_.memChunks_.back();
+                m.resize(mcur_ == nullptr
+                             ? 0
+                             : static_cast<std::size_t>(mcur_ -
+                                                        m.data()));
+                buffer_.memCounts_.push_back(memCount_);
+            }
+            mcur_ = nullptr;
+            mend_ = nullptr;
+            memCount_ = 0;
+        }
+
+        /** Grow the active mem chunk's backing (amortized). */
+        void
+        growMem()
+        {
+            auto &m = buffer_.memChunks_.back();
+            const std::size_t used =
+                mcur_ == nullptr
+                    ? 0
+                    : static_cast<std::size_t>(mcur_ - m.data());
+            m.resize(std::max<std::size_t>(m.size() * 2, 256));
+            mcur_ = m.data() + used;
+            mend_ = m.data() + m.size();
+        }
+
+        TraceBuffer &buffer_;
+        std::uint8_t *mcur_ = nullptr;
+        std::uint8_t *mend_ = nullptr;
+        TraceEntry *base_ = nullptr;
+        std::int64_t lastMemAddr_ = 0;
+        std::uint32_t memCount_ = 0;
+    };
 
     /** Forward iterator over the two streams, record at a time. */
     class Cursor
@@ -559,13 +727,18 @@ traceFlagsOf(const DynRecord &record)
 /**
  * Emulate @p prog on @p input once, recording the dynamic trace.
  * The returned buffer is self-contained: it does not reference
- * @p prog and may outlive it.
+ * @p prog and may outlive it. The trace bytes are identical under
+ * either backend; Threaded decodes the program first (callers that
+ * reuse a program across captures should hold a DecodedProgram and
+ * call captureDecoded() directly — see emu/decoded.hh).
  *
  * @param maxDynInstrs emulator fuel limit.
+ * @param backend functional engine to capture with.
  */
 std::unique_ptr<TraceBuffer>
 capture(const Program &prog, const std::string &input,
-        std::uint64_t maxDynInstrs = 2'000'000'000ull);
+        std::uint64_t maxDynInstrs = 2'000'000'000ull,
+        EmuBackend backend = defaultEmuBackend());
 
 } // namespace predilp
 

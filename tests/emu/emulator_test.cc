@@ -337,8 +337,11 @@ TEST(Emulator, ProfileCountsBlocksAndTakenBranches)
     b.jump(loop->id());
     b.setBlock(loop);
     b.emit(Opcode::Add, i, Operand(i), Operand::imm(1));
-    auto &back = b.branch(Opcode::Blt, Operand(i), Operand::imm(10),
-                          loop->id());
+    // Take the id now: the next append may reallocate the block's
+    // instruction vector and invalidate the returned reference.
+    const int backId = b.branch(Opcode::Blt, Operand(i), Operand::imm(10),
+                                loop->id())
+                           .id();
     b.jump(exit->id());
     b.setBlock(exit);
     b.ret(Operand(i));
@@ -355,7 +358,7 @@ TEST(Emulator, ProfileCountsBlocksAndTakenBranches)
     EXPECT_EQ(fp->blockCount(entry->id()), 1u);
     EXPECT_EQ(fp->blockCount(loop->id()), 10u);
     EXPECT_EQ(fp->blockCount(exit->id()), 1u);
-    EXPECT_EQ(fp->takenCount(back.id()), 9u);
+    EXPECT_EQ(fp->takenCount(backId), 9u);
 }
 
 TEST(Emulator, TraceSinkSeesNullificationAndAddresses)
