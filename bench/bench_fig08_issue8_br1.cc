@@ -14,11 +14,10 @@ main()
 {
     using namespace predilp;
     WallTimer wall;
-    SuiteConfig config;
-    config.machine = issue8Branch1();
-    config.perfectCaches = true;
-    SuiteEvaluator evaluator(config.threads);
-    auto results = evaluator.evaluateSuite(config);
+    EvalRequest request;
+    request.sim = SimConfig::paperMachine();
+    SuiteEvaluator evaluator;
+    auto results = evaluator.evaluate(request).results;
     printSpeedupFigure(
         std::cout,
         "Figure 8: speedup, 8-issue / 1-branch, perfect caches",

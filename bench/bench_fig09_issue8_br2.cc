@@ -15,11 +15,11 @@ main()
 {
     using namespace predilp;
     WallTimer wall;
-    SuiteConfig config;
-    config.machine = issue8Branch2();
-    config.perfectCaches = true;
-    SuiteEvaluator evaluator(config.threads);
-    auto results = evaluator.evaluateSuite(config);
+    EvalRequest request;
+    request.sim = SimConfig::paperMachine();
+    request.sim.machine = issue8Branch2();
+    SuiteEvaluator evaluator;
+    auto results = evaluator.evaluate(request).results;
     printSpeedupFigure(
         std::cout,
         "Figure 9: speedup, 8-issue / 2-branch, perfect caches",

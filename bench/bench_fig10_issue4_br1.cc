@@ -15,11 +15,11 @@ main()
 {
     using namespace predilp;
     WallTimer wall;
-    SuiteConfig config;
-    config.machine = issue4Branch1();
-    config.perfectCaches = true;
-    SuiteEvaluator evaluator(config.threads);
-    auto results = evaluator.evaluateSuite(config);
+    EvalRequest request;
+    request.sim = SimConfig::paperMachine();
+    request.sim.machine = issue4Branch1();
+    SuiteEvaluator evaluator;
+    auto results = evaluator.evaluate(request).results;
     printSpeedupFigure(
         std::cout,
         "Figure 10: speedup, 4-issue / 1-branch, perfect caches",

@@ -16,11 +16,11 @@ main()
 {
     using namespace predilp;
     WallTimer wall;
-    SuiteConfig config;
-    config.machine = issue8Branch1();
-    config.perfectCaches = false;
-    SuiteEvaluator evaluator(config.threads);
-    auto results = evaluator.evaluateSuite(config);
+    EvalRequest request;
+    request.sim = SimConfig::paperMachine();
+    request.sim.perfectCaches = false;
+    SuiteEvaluator evaluator;
+    auto results = evaluator.evaluate(request).results;
     printSpeedupFigure(
         std::cout,
         "Figure 11: speedup, 8-issue / 1-branch, 64K real caches",

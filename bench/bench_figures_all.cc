@@ -26,18 +26,17 @@ main()
     WallTimer wall;
     SuiteEvaluator evaluator;
 
-    SuiteConfig fig08;
-    fig08.machine = issue8Branch1();
-    fig08.perfectCaches = true;
+    EvalRequest fig08;
+    fig08.sim = SimConfig::paperMachine();
 
-    SuiteConfig fig09 = fig08;
-    fig09.machine = issue8Branch2();
+    EvalRequest fig09 = fig08;
+    fig09.sim.machine = issue8Branch2();
 
-    SuiteConfig fig10 = fig08;
-    fig10.machine = issue4Branch1();
+    EvalRequest fig10 = fig08;
+    fig10.sim.machine = issue4Branch1();
 
-    SuiteConfig fig11 = fig08;
-    fig11.perfectCaches = false;
+    EvalRequest fig11 = fig08;
+    fig11.sim.perfectCaches = false;
 
     // Figure 11 replays Figure 8's traces (only the pricing
     // differs), so evaluate it right after Figure 8 and drop the
@@ -46,12 +45,12 @@ main()
     // every counter (compiles, captures, cache hits) is unchanged —
     // Figures 9/10 share only priced results, which survive
     // releaseTraces().
-    auto r08 = evaluator.evaluateSuite(fig08);
-    auto r11 = evaluator.evaluateSuite(fig11);
+    auto r08 = evaluator.evaluate(fig08).results;
+    auto r11 = evaluator.evaluate(fig11).results;
     evaluator.releaseTraces();
-    auto r09 = evaluator.evaluateSuite(fig09);
+    auto r09 = evaluator.evaluate(fig09).results;
     evaluator.releaseTraces();
-    auto r10 = evaluator.evaluateSuite(fig10);
+    auto r10 = evaluator.evaluate(fig10).results;
 
     printSpeedupFigure(
         std::cout,

@@ -8,23 +8,6 @@
 namespace predilp
 {
 
-namespace
-{
-
-const char *
-modelJsonKey(Model model)
-{
-    switch (model) {
-      case Model::Superblock:
-        return "superblock";
-      case Model::CondMove:
-        return "cond_move";
-      case Model::FullPred:
-        return "full_pred";
-    }
-    return "unknown";
-}
-
 StatsSnapshot
 timingSnapshot(const BenchTiming &timing, double wallSeconds,
                int threads)
@@ -87,7 +70,7 @@ timingSnapshot(const BenchTiming &timing, double wallSeconds,
 }
 
 StatsSnapshot
-cellSnapshot(const BenchmarkResult &r, Model model,
+cellSnapshot(const BenchmarkResult &result, Model model,
              const SimResult &sim)
 {
     // Start from the simulator's detailed sim.* counters and add the
@@ -101,11 +84,9 @@ cellSnapshot(const BenchmarkResult &r, Model model,
     s.setCounter("mispredicts", sim.mispredicts);
     s.setCounter("loads", sim.loads);
     s.setCounter("stores", sim.stores);
-    s.setSeconds("speedup", r.speedup(model));
+    s.setSeconds("speedup", result.speedup(model));
     return s;
 }
-
-} // namespace
 
 void
 printPhaseTiming(std::ostream &os, const BenchTiming &timing,
@@ -170,7 +151,7 @@ writeBenchJson(const std::string &benchName,
            << "      \"models\": {\n";
         std::size_t m = 0;
         for (const auto &[model, sim] : r.models) {
-            os << "        \"" << modelJsonKey(model) << "\": "
+            os << "        \"" << modelKey(model) << "\": "
                << cellSnapshot(r, model, sim).toJson(8)
                << (++m == r.models.size() ? "\n" : ",\n");
         }

@@ -24,6 +24,24 @@ void printPhaseTiming(std::ostream &os, const BenchTiming &timing,
                       double wallSeconds, int threads);
 
 /**
+ * The harness timing/cache section of BENCH_*.json as a snapshot:
+ * phase seconds, cache counters, emulator-backend counters, store
+ * counters, and derived throughput leaves.
+ */
+StatsSnapshot timingSnapshot(const BenchTiming &timing,
+                             double wallSeconds, int threads);
+
+/**
+ * One (benchmark, model) cell of BENCH_*.json: the simulator's
+ * detailed sim.* counters plus the headline numbers (cycles,
+ * dyn_instrs, speedup, ...) as top-level leaves. Shared by
+ * writeBenchJson and the sweep driver so both emit identical cell
+ * payloads.
+ */
+StatsSnapshot cellSnapshot(const BenchmarkResult &result, Model model,
+                           const SimResult &sim);
+
+/**
  * Write BENCH_<benchName>.json (in the working directory). All
  * numeric payloads are StatsSnapshots rendered by toJson(): the
  * harness timing/cache section, the merged per-pass compiler stats

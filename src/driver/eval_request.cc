@@ -1,0 +1,93 @@
+#include "driver/eval_request.hh"
+
+#include "store/sha256.hh"
+#include "support/diag.hh"
+
+namespace predilp
+{
+
+std::vector<Model>
+EvalRequest::effectiveModels() const
+{
+    if (!models.empty())
+        return models;
+    return {Model::Superblock, Model::CondMove, Model::FullPred};
+}
+
+JsonValue
+EvalRequest::toJson() const
+{
+    std::vector<JsonValue> workloadItems;
+    workloadItems.reserve(workloads.size());
+    for (const std::string &name : workloads)
+        workloadItems.push_back(JsonValue::makeString(name));
+    std::vector<JsonValue> modelItems;
+    modelItems.reserve(models.size());
+    for (Model model : models)
+        modelItems.push_back(JsonValue::makeString(modelKey(model)));
+    return JsonValue::makeObject({
+        {"workloads", JsonValue::makeArray(std::move(workloadItems))},
+        {"models", JsonValue::makeArray(std::move(modelItems))},
+        {"sim", sim.toJson()},
+        {"ablation", ablation.toJson()},
+        {"scale", JsonValue::makeInt(scale)},
+    });
+}
+
+EvalRequest
+EvalRequest::fromJson(const JsonValue &json)
+{
+    EvalRequest request;
+    for (const auto &[key, value] : json.members()) {
+        if (key == "workloads") {
+            for (const JsonValue &item : value.items())
+                request.workloads.push_back(item.asString());
+        } else if (key == "models") {
+            for (const JsonValue &item : value.items())
+                request.models.push_back(
+                    modelFromKey(item.asString()));
+        } else if (key == "sim") {
+            request.sim = SimConfig::fromJson(value);
+        } else if (key == "ablation") {
+            request.ablation = AblationFlags::fromJson(value);
+        } else if (key == "scale") {
+            std::int64_t raw = value.asInt();
+            if (raw <= 0)
+                throw FatalError("request scale must be positive");
+            request.scale = static_cast<int>(raw);
+        } else {
+            throw FatalError("unknown request key '" + key + "'");
+        }
+    }
+    return request;
+}
+
+std::string
+EvalRequest::requestDigest() const
+{
+    std::string canonical =
+        "predilp-evalrequest-v1\n" + toJson().dump();
+    return "v1:" + sha256Hex(canonical).substr(0, 32);
+}
+
+EvalRequest
+EvalRequest::fromSuiteConfig(const SuiteConfig &config)
+{
+    EvalRequest request;
+    request.sim.machine = config.machine;
+    request.sim.perfectCaches = config.perfectCaches;
+    request.sim.maxDynInstrs = config.maxDynInstrs;
+    request.ablation = config.ablation;
+    request.scale = config.scaleMultiplier;
+    return request;
+}
+
+bool
+EvalRequest::operator==(const EvalRequest &other) const
+{
+    return workloads == other.workloads && models == other.models &&
+           sim == other.sim && ablation == other.ablation &&
+           scale == other.scale;
+}
+
+} // namespace predilp

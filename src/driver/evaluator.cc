@@ -1,10 +1,9 @@
 #include "driver/evaluator.hh"
 
-#include <cstdlib>
 #include <sstream>
-#include <string_view>
 
 #include "driver/reproducer.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -14,7 +13,7 @@ namespace
 {
 
 CompileOptions
-makeCompileOptions(const SuiteConfig &config, Model model,
+makeCompileOptions(const EvalRequest &request, Model model,
                    const MachineConfig &machine,
                    const std::string &input, bool verifyEachPass)
 {
@@ -22,7 +21,7 @@ makeCompileOptions(const SuiteConfig &config, Model model,
     opts.model = model;
     opts.machine = machine;
     opts.profileInput = input;
-    opts.ablation = config.ablation;
+    opts.ablation = request.ablation;
     opts.verifyEachPass = verifyEachPass;
     return opts;
 }
@@ -47,61 +46,53 @@ machineKey(const MachineConfig &m)
  * of the default configuration.
  */
 std::string
-flagsKey(const SuiteConfig &config, Model model)
+flagsKey(const EvalRequest &request, Model model)
 {
-    return config.ablation.canonicalFor(model).key();
+    return request.ablation.canonicalFor(model).key();
 }
 
 /**
  * Identity of a compiled program: everything traceKey() hashes
  * except the capture fuel, which decoding never reads. Keys the
  * decoded-program cache.
+ *
+ * Deliberately machine-only (not the full SimConfig digest): traces
+ * depend on what the scheduler emitted and how far emulation ran,
+ * never on cache or BTB parameters, so e.g. the real-cache Figure 11
+ * replays the perfect-cache Figure 8 traces byte-for-byte.
  */
 std::string
-decodedKey(const Workload &workload, const SuiteConfig &config,
+decodedKey(const Workload &workload, const EvalRequest &request,
            Model model, const MachineConfig &machine)
 {
     std::ostringstream os;
-    os << workload.name << "|s" << config.scaleMultiplier << "|m"
+    os << workload.name << "|s" << request.scale << "|m"
        << static_cast<int>(model) << '|' << machineKey(machine)
-       << '|' << flagsKey(config, model);
+       << '|' << flagsKey(request, model);
     return os.str();
 }
 
 std::string
-traceKey(const Workload &workload, const SuiteConfig &config,
+traceKey(const Workload &workload, const EvalRequest &request,
          Model model, const MachineConfig &machine,
          std::uint64_t fuel)
 {
-    return decodedKey(workload, config, model, machine) + "|f" +
+    return decodedKey(workload, request, model, machine) + "|f" +
            std::to_string(fuel);
-}
-
-std::string
-simKey(const SimConfig &sim)
-{
-    std::ostringstream os;
-    os << machineKey(sim.machine) << "|pc" << sim.perfectCaches
-       << "|cs" << sim.cacheSizeBytes << "|cl" << sim.cacheLineBytes
-       << "|mp" << sim.cacheMissPenalty << "|btb" << sim.btbEntries;
-    return os.str();
 }
 
 } // namespace
 
 SuiteEvaluator::SuiteEvaluator(int threads) : pool_(threads)
 {
-    // Opt-in persistence without code changes: PREDILP_STORE names
-    // the store root, PREDILP_STORE_MODE ("rw" default, "ro")
-    // selects the tier mode. setPolicy can still override both.
-    if (const char *dir = std::getenv("PREDILP_STORE");
-        dir != nullptr && dir[0] != '\0') {
-        policy_.storeDir = dir;
-        const char *mode = std::getenv("PREDILP_STORE_MODE");
-        policy_.storeMode =
-            (mode != nullptr && std::string_view(mode) == "ro")
-                ? StoreMode::ReadOnly
-                : StoreMode::ReadWrite;
+    // Opt-in persistence without code changes, via the one
+    // documented reader of PREDILP_STORE / PREDILP_STORE_MODE
+    // (EnvConfig). setPolicy can still override both.
+    EnvConfig env = EnvConfig::fromEnvironment();
+    if (!env.storeDir.empty()) {
+        policy_.storeDir = env.storeDir;
+        policy_.storeMode = env.storeReadOnly ? StoreMode::ReadOnly
+                                              : StoreMode::ReadWrite;
     }
     openStore();
 }
@@ -240,7 +231,7 @@ SuiteEvaluator::decodedFor(const Program &prog,
 
 SuiteEvaluator::TracePtr
 SuiteEvaluator::traceFor(const Workload &workload,
-                         const SuiteConfig &config, Model model,
+                         const EvalRequest &request, Model model,
                          const MachineConfig &machine,
                          const std::string &input,
                          std::uint64_t fuel,
@@ -261,13 +252,13 @@ SuiteEvaluator::traceFor(const Workload &workload,
                     return fromDisk;
             }
             CompileOptions opts =
-                makeCompileOptions(config, model, machine, input,
+                makeCompileOptions(request, model, machine, input,
                                    policy_.verifyEachPass);
             // All models of a cell resume from one shared
             // front-end snapshot; only the model-specific pass
             // suffix runs per compile.
             SnapshotPtr snapshot =
-                snapshotFor(workload, input, config.scaleMultiplier,
+                snapshotFor(workload, input, request.scale,
                             opts.maxProfileInstrs);
             std::unique_ptr<Program> prog;
             {
@@ -291,7 +282,7 @@ SuiteEvaluator::traceFor(const Workload &workload,
             if (threaded) {
                 decoded = decodedFor(
                     *prog,
-                    decodedKey(workload, config, model, machine));
+                    decodedKey(workload, request, model, machine));
             }
             std::unique_ptr<TraceBuffer> buffer;
             {
@@ -307,7 +298,7 @@ SuiteEvaluator::traceFor(const Workload &workload,
             backendRecords.fetch_add(buffer->size(),
                                      std::memory_order_relaxed);
             RunResult reference = referenceFor(
-                workload, input, config.scaleMultiplier);
+                workload, input, request.scale);
             const RunResult &run = buffer->run();
             if (run.output != reference.output ||
                 run.exitValue != reference.exitValue ||
@@ -323,8 +314,38 @@ SuiteEvaluator::traceFor(const Workload &workload,
                     ", memHash ", run.memHash, " vs ",
                     reference.memHash));
             }
-            if (store_ != nullptr)
-                store_->save(storeKey, *buffer);
+            if (store_ != nullptr) {
+                // Human/tooling-facing provenance sidecar: where
+                // this artifact came from and under which config it
+                // was first captured (the trace itself is shared by
+                // every config with the same machine and fuel).
+                SimConfig captureSim = request.sim;
+                captureSim.machine = machine;
+                JsonValue prov = JsonValue::makeObject({
+                    {"format_version",
+                     JsonValue::makeInt(ArtifactStore::formatVersion)},
+                    {"store_key", JsonValue::makeString(storeKey)},
+                    {"cell_key", JsonValue::makeString(key)},
+                    {"workload",
+                     JsonValue::makeString(workload.name)},
+                    {"model", JsonValue::makeString(modelKey(model))},
+                    {"scale", JsonValue::makeInt(request.scale)},
+                    {"ablation",
+                     JsonValue::makeString(flagsKey(request, model))},
+                    {"fuel", JsonValue::makeInt(
+                                 static_cast<std::int64_t>(fuel))},
+                    {"emu_backend",
+                     JsonValue::makeString(
+                         emuBackendName(defaultEmuBackend()))},
+                    {"config_digest",
+                     JsonValue::makeString(
+                         captureSim.configDigest())},
+                    {"records",
+                     JsonValue::makeInt(static_cast<std::int64_t>(
+                         buffer->size()))},
+                });
+                store_->save(storeKey, *buffer, prov.dump() + "\n");
+            }
             std::uint64_t bytes = buffer->memoryBytes();
             capturedBytes_.fetch_add(bytes,
                                      std::memory_order_relaxed);
@@ -346,18 +367,22 @@ SuiteEvaluator::traceFor(const Workload &workload,
 
 SimResult
 SuiteEvaluator::cellResult(const Workload &workload,
-                           const SuiteConfig &config, Model model,
+                           const EvalRequest &request, Model model,
                            const MachineConfig &machine,
                            const SimConfig &sim,
                            const std::string &input)
 {
-    std::string tkey = traceKey(workload, config, model, machine,
+    std::string tkey = traceKey(workload, request, model, machine,
                                 sim.maxDynInstrs);
-    std::string rkey = tkey + "##" + simKey(sim);
+    // The priced-result key extends the trace identity with the full
+    // SimConfig digest: any config axis (cache geometry, BTB shape,
+    // predictor, penalties) forces a fresh replay, while the trace
+    // above is still shared.
+    std::string rkey = tkey + "##" + sim.configDigest();
     return cachedCompute(
         mutex_, results_, rkey, resultCacheHits_, [&] {
             TracePtr trace =
-                traceFor(workload, config, model, machine, input,
+                traceFor(workload, request, model, machine, input,
                          sim.maxDynInstrs, tkey);
             PhaseTimer timer(replayTime_);
             replays_.fetch_add(1, std::memory_order_relaxed);
@@ -368,26 +393,18 @@ SuiteEvaluator::cellResult(const Workload &workload,
 }
 
 BenchmarkResult
-SuiteEvaluator::evaluate(const Workload &workload,
-                         const SuiteConfig &config)
-{
-    return evaluate(workload, config,
-                    {Model::Superblock, Model::CondMove,
-                     Model::FullPred});
-}
-
-BenchmarkResult
-SuiteEvaluator::evaluate(const Workload &workload,
-                         const SuiteConfig &config,
-                         const std::vector<Model> &models)
+SuiteEvaluator::evaluateCells(const Workload &workload,
+                              const EvalRequest &request)
 {
     BenchmarkResult result;
     result.name = workload.name;
+    const std::vector<Model> models = request.effectiveModels();
     std::string input = workload.makeInput(
-        workload.defaultScale * config.scaleMultiplier);
+        workload.defaultScale * request.scale);
 
     // Cell 0: the 1-issue Superblock baseline denominator (paper
-    // §4.1); cells 1..n: the requested models at config.machine.
+    // §4.1), sharing every non-machine axis of the request's config;
+    // cells 1..n: the requested models at the request's machine.
     std::vector<SimResult> cells(models.size() + 1);
     std::vector<CellError> errors;
     std::mutex errorMutex;
@@ -395,12 +412,11 @@ SuiteEvaluator::evaluate(const Workload &workload,
         const bool baseline = i == 0;
         const Model model =
             baseline ? Model::Superblock : models[i - 1];
-        SimConfig sim;
-        sim.perfectCaches = config.perfectCaches;
-        sim.maxDynInstrs = config.maxDynInstrs;
-        sim.machine = baseline ? issue1() : config.machine;
+        SimConfig sim = request.sim;
+        if (baseline)
+            sim.machine = issue1();
         try {
-            cells[i] = cellResult(workload, config, model,
+            cells[i] = cellResult(workload, request, model,
                                   sim.machine, sim, input);
         } catch (...) {
             // Strict policy: let the pool rethrow the first failure.
@@ -427,8 +443,8 @@ SuiteEvaluator::evaluate(const Workload &workload,
                 spec.title = workload.name + "-" + error.model +
                              (baseline ? "-base" : "");
                 spec.model = error.model;
-                spec.ablation = config.ablation;
-                spec.scale = config.scaleMultiplier;
+                spec.ablation = request.ablation;
+                spec.scale = request.scale;
                 spec.kind = error.kind;
                 spec.message = error.message;
                 spec.input = input;
@@ -448,13 +464,54 @@ SuiteEvaluator::evaluate(const Workload &workload,
     return result;
 }
 
+EvalResponse
+SuiteEvaluator::evaluate(const EvalRequest &request)
+{
+    std::vector<const Workload *> selected;
+    if (request.workloads.empty()) {
+        for (const Workload &workload : allWorkloads())
+            selected.push_back(&workload);
+    } else {
+        for (const std::string &name : request.workloads) {
+            const Workload *workload = findWorkload(name);
+            if (workload == nullptr)
+                throw FatalError("unknown workload '" + name + "'");
+            selected.push_back(workload);
+        }
+    }
+    EvalResponse response;
+    response.requestDigest = request.requestDigest();
+    response.results.resize(selected.size());
+    pool_.parallelFor(selected.size(), [&](std::size_t i) {
+        response.results[i] = evaluateCells(*selected[i], request);
+    });
+    return response;
+}
+
+BenchmarkResult
+SuiteEvaluator::evaluate(const Workload &workload,
+                         const SuiteConfig &config)
+{
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = {workload.name};
+    return evaluate(request).results.at(0);
+}
+
+BenchmarkResult
+SuiteEvaluator::evaluate(const Workload &workload,
+                         const SuiteConfig &config,
+                         const std::vector<Model> &models)
+{
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = {workload.name};
+    request.models = models;
+    return evaluate(request).results.at(0);
+}
+
 std::vector<BenchmarkResult>
 SuiteEvaluator::evaluateSuite(const SuiteConfig &config)
 {
-    std::vector<std::string> names;
-    for (const Workload &workload : allWorkloads())
-        names.push_back(workload.name);
-    return evaluateSuite(config, names);
+    return evaluate(EvalRequest::fromSuiteConfig(config)).results;
 }
 
 std::vector<BenchmarkResult>
@@ -462,17 +519,9 @@ SuiteEvaluator::evaluateSuite(
     const SuiteConfig &config,
     const std::vector<std::string> &onlyNames)
 {
-    std::vector<const Workload *> selected;
-    for (const std::string &name : onlyNames) {
-        const Workload *workload = findWorkload(name);
-        panicIf(workload == nullptr, "unknown workload ", name);
-        selected.push_back(workload);
-    }
-    std::vector<BenchmarkResult> results(selected.size());
-    pool_.parallelFor(selected.size(), [&](std::size_t i) {
-        results[i] = evaluate(*selected[i], config);
-    });
-    return results;
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = onlyNames;
+    return evaluate(request).results;
 }
 
 void

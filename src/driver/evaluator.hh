@@ -18,10 +18,12 @@
  * so the three models of a cell only pay for their model-specific
  * pass suffixes.
  *
- * Evaluation fans out over a ThreadPool — across workloads in
- * evaluateSuite() and across model cells inside evaluate() — with
+ * Evaluation fans out over a ThreadPool — across the workloads of an
+ * EvalRequest and across model cells inside each workload row — with
  * results assembled by index, so output is deterministic and
- * identical for every thread count.
+ * identical for every thread count. evaluate(const EvalRequest&) is
+ * the single entry point; the SuiteConfig overloads are deprecated
+ * shims over it.
  */
 
 #ifndef PREDILP_DRIVER_EVALUATOR_HH
@@ -36,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "driver/eval_request.hh"
 #include "driver/report.hh"
 #include "emu/decoded.hh"
 #include "store/store.hh"
@@ -126,16 +129,27 @@ class SuiteEvaluator
     const EvalPolicy &policy() const { return policy_; }
 
     /**
-     * Evaluate one workload: 1-issue Superblock baseline plus the
-     * three models (or a subset) at @p config's machine.
+     * THE evaluation entry point: run @p request's workloads (empty
+     * = whole suite) under its models (empty = all three), each cell
+     * at the request's full SimConfig plus the 1-issue Superblock
+     * baseline denominator. Workloads and cells fan out over the
+     * pool; results are assembled by index in request order, so the
+     * response is deterministic for every thread count. Unknown
+     * workload names throw FatalError (requests are user input).
+     */
+    EvalResponse evaluate(const EvalRequest &request);
+
+    /**
+     * Deprecated shims over evaluate(EvalRequest) for the legacy
+     * SuiteConfig surface; kept for one PR while external callers
+     * migrate. New code should build an EvalRequest (or go through
+     * the evaluateWorkload/evaluateSuite wrappers in report.hh).
      */
     BenchmarkResult evaluate(const Workload &workload,
                              const SuiteConfig &config);
     BenchmarkResult evaluate(const Workload &workload,
                              const SuiteConfig &config,
                              const std::vector<Model> &models);
-
-    /** Evaluate the whole suite (or the named subset), in order. */
     std::vector<BenchmarkResult>
     evaluateSuite(const SuiteConfig &config);
     std::vector<BenchmarkResult>
@@ -197,17 +211,24 @@ class SuiteEvaluator
                           const std::string &key);
 
     TracePtr traceFor(const Workload &workload,
-                      const SuiteConfig &config, Model model,
+                      const EvalRequest &request, Model model,
                       const MachineConfig &machine,
                       const std::string &input, std::uint64_t fuel,
                       const std::string &key);
     RunResult referenceFor(const Workload &workload,
                            const std::string &input, int scale);
     SimResult cellResult(const Workload &workload,
-                         const SuiteConfig &config, Model model,
+                         const EvalRequest &request, Model model,
                          const MachineConfig &machine,
                          const SimConfig &sim,
                          const std::string &input);
+
+    /**
+     * One workload's row of @p request: the baseline denominator
+     * cell plus one cell per model, fanned out over the pool.
+     */
+    BenchmarkResult evaluateCells(const Workload &workload,
+                                  const EvalRequest &request);
 
     EvalPolicy policy_;
     std::unique_ptr<ArtifactStore> store_;

@@ -25,6 +25,34 @@ modelName(Model model)
     return "?";
 }
 
+const char *
+modelKey(Model model)
+{
+    switch (model) {
+      case Model::Superblock:
+        return "superblock";
+      case Model::CondMove:
+        return "cond_move";
+      case Model::FullPred:
+        return "full_pred";
+    }
+    return "unknown";
+}
+
+Model
+modelFromKey(const std::string &key)
+{
+    if (key == "superblock")
+        return Model::Superblock;
+    if (key == "cond_move")
+        return Model::CondMove;
+    if (key == "full_pred")
+        return Model::FullPred;
+    throw FatalError("unknown model key '" + key +
+                     "' (expected superblock, cond_move or "
+                     "full_pred)");
+}
+
 AblationFlags
 AblationFlags::canonicalFor(Model model) const
 {
@@ -60,6 +88,42 @@ AblationFlags::key() const
         key.push_back(flag ? '1' : '0');
     }
     return key;
+}
+
+JsonValue
+AblationFlags::toJson() const
+{
+    return JsonValue::makeObject({
+        {"promotion", JsonValue::makeBool(promotion)},
+        {"branch_combining", JsonValue::makeBool(branchCombining)},
+        {"height_reduction", JsonValue::makeBool(heightReduction)},
+        {"unrolling", JsonValue::makeBool(unrolling)},
+        {"or_tree", JsonValue::makeBool(orTree)},
+        {"use_select", JsonValue::makeBool(useSelect)},
+    });
+}
+
+AblationFlags
+AblationFlags::fromJson(const JsonValue &json)
+{
+    AblationFlags flags;
+    for (const auto &[key, value] : json.members()) {
+        if (key == "promotion")
+            flags.promotion = value.asBool();
+        else if (key == "branch_combining")
+            flags.branchCombining = value.asBool();
+        else if (key == "height_reduction")
+            flags.heightReduction = value.asBool();
+        else if (key == "unrolling")
+            flags.unrolling = value.asBool();
+        else if (key == "or_tree")
+            flags.orTree = value.asBool();
+        else if (key == "use_select")
+            flags.useSelect = value.asBool();
+        else
+            throw FatalError("unknown ablation key '" + key + "'");
+    }
+    return flags;
 }
 
 bool

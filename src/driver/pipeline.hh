@@ -23,6 +23,7 @@
 #include "partial/partial.hh"
 #include "sim/timing.hh"
 #include "superblock/superblock.hh"
+#include "support/json.hh"
 
 namespace predilp
 {
@@ -37,6 +38,16 @@ enum class Model
 
 /** @return "Superblock" / "Cond. Move" / "Full Pred.". */
 std::string modelName(Model model);
+
+/**
+ * Stable machine-readable identifier: "superblock" / "cond_move" /
+ * "full_pred". Used as the JSON key in BENCH_*.json, EvalRequest
+ * serialization, and sweep cell labels.
+ */
+const char *modelKey(Model model);
+
+/** Inverse of modelKey(); throws FatalError on an unknown key. */
+Model modelFromKey(const std::string &key);
 
 /**
  * On/off switches for the optional predication optimizations — the
@@ -64,6 +75,15 @@ struct AblationFlags
 
     /** Stable cache-key fragment, one character per flag. */
     std::string key() const;
+
+    /** Canonical JSON object (all six flags, fixed order). */
+    JsonValue toJson() const;
+
+    /**
+     * Parse a flags object. Absent keys keep their defaults;
+     * unknown keys throw FatalError.
+     */
+    static AblationFlags fromJson(const JsonValue &json);
 
     bool operator==(const AblationFlags &other) const;
     bool operator!=(const AblationFlags &other) const

@@ -1,0 +1,592 @@
+#include "driver/sweep.hh"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "driver/bench_io.hh"
+#include "support/diag.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+// ---- BenchTiming (de)serialization for worker result files ----
+//
+// Member-pointer tables keep the three operations (emit, parse,
+// additive merge) over ~25 fields in lockstep: adding a BenchTiming
+// field means adding one table row.
+
+struct CounterField
+{
+    const char *name;
+    std::uint64_t BenchTiming::*member;
+};
+
+struct SecondsField
+{
+    const char *name;
+    double BenchTiming::*member;
+};
+
+constexpr CounterField counterFields[] = {
+    {"compiles", &BenchTiming::compiles},
+    {"prefix_compiles", &BenchTiming::prefixCompiles},
+    {"prefix_cache_hits", &BenchTiming::prefixCacheHits},
+    {"captures", &BenchTiming::captures},
+    {"replays", &BenchTiming::replays},
+    {"trace_cache_hits", &BenchTiming::traceCacheHits},
+    {"result_cache_hits", &BenchTiming::resultCacheHits},
+    {"trace_bytes", &BenchTiming::traceBytes},
+    {"trace_peak_bytes", &BenchTiming::tracePeakBytes},
+    {"captured_bytes", &BenchTiming::capturedBytes},
+    {"captured_records", &BenchTiming::capturedRecords},
+    {"replayed_records", &BenchTiming::replayedRecords},
+    {"store_hits", &BenchTiming::storeHits},
+    {"store_misses", &BenchTiming::storeMisses},
+    {"store_repairs", &BenchTiming::storeRepairs},
+    {"store_writes", &BenchTiming::storeWrites},
+    {"store_bytes_mapped", &BenchTiming::storeBytesMapped},
+    {"decodes", &BenchTiming::decodes},
+    {"decoded_cache_hits", &BenchTiming::decodedCacheHits},
+    {"decoded_bytes", &BenchTiming::decodedBytes},
+    {"threaded_records", &BenchTiming::threadedRecords},
+    {"interp_records", &BenchTiming::interpRecords},
+};
+
+constexpr SecondsField secondsFields[] = {
+    {"compile_seconds", &BenchTiming::compileSeconds},
+    {"capture_seconds", &BenchTiming::captureSeconds},
+    {"replay_seconds", &BenchTiming::replaySeconds},
+    {"decode_seconds", &BenchTiming::decodeSeconds},
+};
+
+JsonValue
+timingToJson(const BenchTiming &timing)
+{
+    std::vector<std::pair<std::string, JsonValue>> members;
+    for (const auto &field : counterFields) {
+        members.emplace_back(
+            field.name,
+            JsonValue::makeInt(
+                static_cast<std::int64_t>(timing.*field.member)));
+    }
+    for (const auto &field : secondsFields) {
+        members.emplace_back(
+            field.name, JsonValue::makeDouble(timing.*field.member));
+    }
+    return JsonValue::makeObject(std::move(members));
+}
+
+BenchTiming
+timingFromJson(const JsonValue &json)
+{
+    BenchTiming timing;
+    for (const auto &field : counterFields) {
+        if (const JsonValue *v = json.find(field.name)) {
+            timing.*field.member =
+                static_cast<std::uint64_t>(v->asInt());
+        }
+    }
+    for (const auto &field : secondsFields) {
+        if (const JsonValue *v = json.find(field.name))
+            timing.*field.member = v->asDouble();
+    }
+    return timing;
+}
+
+void
+mergeTiming(BenchTiming &into, const BenchTiming &from)
+{
+    for (const auto &field : counterFields)
+        into.*field.member += from.*field.member;
+    for (const auto &field : secondsFields)
+        into.*field.member += from.*field.member;
+}
+
+// ---- Axis application ----
+
+std::int64_t
+positiveAxisValue(const std::string &axis, const JsonValue &value)
+{
+    std::int64_t raw = value.asInt();
+    if (raw <= 0) {
+        throw FatalError("axis '" + axis +
+                         "' requires positive integer values");
+    }
+    return raw;
+}
+
+void
+applyAxis(SimConfig &sim, const std::string &axis,
+          const JsonValue &value)
+{
+    if (axis == "issue_width") {
+        sim.machine.issueWidth =
+            static_cast<int>(positiveAxisValue(axis, value));
+    } else if (axis == "branches_per_cycle") {
+        sim.machine.branchesPerCycle =
+            static_cast<int>(positiveAxisValue(axis, value));
+    } else if (axis == "mispredict_penalty") {
+        sim.machine.mispredictPenalty =
+            static_cast<int>(value.asInt());
+    } else if (axis == "btb_entries") {
+        sim.btbEntries =
+            static_cast<std::size_t>(positiveAxisValue(axis, value));
+    } else if (axis == "btb_assoc") {
+        sim.btbAssociativity =
+            static_cast<int>(positiveAxisValue(axis, value));
+    } else if (axis == "predictor") {
+        sim.predictor = predictorFromName(value.asString());
+    } else if (axis == "cache_size_bytes") {
+        sim.cacheSizeBytes = positiveAxisValue(axis, value);
+    } else if (axis == "cache_line_bytes") {
+        sim.cacheLineBytes = positiveAxisValue(axis, value);
+    } else if (axis == "cache_assoc") {
+        sim.cacheAssociativity =
+            static_cast<int>(positiveAxisValue(axis, value));
+    } else if (axis == "cache_miss_penalty") {
+        sim.cacheMissPenalty = static_cast<int>(value.asInt());
+    } else if (axis == "perfect_caches") {
+        sim.perfectCaches = value.asBool();
+    } else {
+        std::string known;
+        for (const std::string &name : SweepSpec::knownAxes())
+            known += (known.empty() ? "" : ", ") + name;
+        throw FatalError("unknown sweep axis '" + axis +
+                         "' (known axes: " + known + ")");
+    }
+}
+
+// ---- Cell rendering ----
+
+/**
+ * One cell's JSON object. Both execution paths (sequential and
+ * forked) build cells exclusively through this function, and the
+ * worker-file round trip is lossless (JsonValue preserves number
+ * lexical classes), so the merged cells array is byte-identical to
+ * a sequential run's.
+ */
+JsonValue
+cellToJson(const SweepCell &cell, const EvalResponse &response)
+{
+    std::vector<std::pair<std::string, JsonValue>> axes;
+    for (const auto &[name, value] : cell.axisValues)
+        axes.emplace_back(name, value);
+    std::vector<JsonValue> benchmarks;
+    benchmarks.reserve(response.results.size());
+    for (const BenchmarkResult &result : response.results) {
+        std::vector<std::pair<std::string, JsonValue>> models;
+        for (const auto &[model, sim] : result.models) {
+            models.emplace_back(
+                modelKey(model),
+                JsonValue::parse(
+                    cellSnapshot(result, model, sim).toJson()));
+        }
+        benchmarks.push_back(JsonValue::makeObject({
+            {"name", JsonValue::makeString(result.name)},
+            {"base_cycles",
+             JsonValue::makeInt(
+                 static_cast<std::int64_t>(result.baseCycles))},
+            {"models", JsonValue::makeObject(std::move(models))},
+        }));
+    }
+    return JsonValue::makeObject({
+        {"index", JsonValue::makeInt(
+                      static_cast<std::int64_t>(cell.index))},
+        {"axes", JsonValue::makeObject(std::move(axes))},
+        {"request_digest",
+         JsonValue::makeString(cell.request.requestDigest())},
+        {"config_digest",
+         JsonValue::makeString(cell.request.sim.configDigest())},
+        {"benchmarks", JsonValue::makeArray(std::move(benchmarks))},
+    });
+}
+
+/** Mean of the named speedup leaf across a cell's benchmarks. */
+bool
+meanSpeedup(const JsonValue &cell, const char *model, double &mean)
+{
+    double sum = 0;
+    std::size_t count = 0;
+    for (const JsonValue &bench : cell.at("benchmarks").items()) {
+        if (const JsonValue *m = bench.at("models").find(model)) {
+            if (const JsonValue *s = m->find("speedup")) {
+                sum += s->asDouble();
+                count += 1;
+            }
+        }
+    }
+    if (count == 0)
+        return false;
+    mean = sum / static_cast<double>(count);
+    return true;
+}
+
+/**
+ * Per-axis crossover summary: for every value of every axis, the
+ * mean Full Predication and Cond. Move speedups over all cells at
+ * that value (and all their benchmarks), plus the first axis value
+ * (in declaration order) where full predication's mean matches or
+ * beats partial predication's. Pure function of the cells array, so
+ * it is identical for every worker count.
+ */
+JsonValue
+crossoverSummary(const SweepSpec &spec,
+                 const std::vector<JsonValue> &cells)
+{
+    std::vector<JsonValue> axisEntries;
+    for (const SweepAxis &axis : spec.axes) {
+        std::vector<JsonValue> points;
+        const JsonValue *crossover = nullptr;
+        for (const JsonValue &value : axis.values) {
+            const std::string valueDump = value.dump();
+            double fullSum = 0, condSum = 0;
+            std::size_t count = 0;
+            for (const JsonValue &cell : cells) {
+                const JsonValue *coord =
+                    cell.at("axes").find(axis.name);
+                if (coord == nullptr ||
+                    coord->dump() != valueDump) {
+                    continue;
+                }
+                double full = 0, cond = 0;
+                if (meanSpeedup(cell, "full_pred", full) &&
+                    meanSpeedup(cell, "cond_move", cond)) {
+                    fullSum += full;
+                    condSum += cond;
+                    count += 1;
+                }
+            }
+            if (count == 0)
+                continue;
+            double fullMean =
+                fullSum / static_cast<double>(count);
+            double condMean =
+                condSum / static_cast<double>(count);
+            bool fullWins = fullMean >= condMean;
+            if (fullWins && crossover == nullptr)
+                crossover = &value;
+            points.push_back(JsonValue::makeObject({
+                {"value", value},
+                {"full_pred_mean",
+                 JsonValue::makeDouble(fullMean)},
+                {"cond_move_mean",
+                 JsonValue::makeDouble(condMean)},
+                {"full_wins", JsonValue::makeBool(fullWins)},
+            }));
+        }
+        if (points.empty())
+            continue;
+        std::vector<std::pair<std::string, JsonValue>> entry;
+        entry.emplace_back("axis",
+                           JsonValue::makeString(axis.name));
+        entry.emplace_back("points",
+                           JsonValue::makeArray(std::move(points)));
+        if (crossover != nullptr)
+            entry.emplace_back("crossover", *crossover);
+        axisEntries.push_back(
+            JsonValue::makeObject(std::move(entry)));
+    }
+    return JsonValue::makeArray(std::move(axisEntries));
+}
+
+/** Evaluate one shard (every index % stride == shard) in order. */
+std::pair<std::vector<JsonValue>, BenchTiming>
+runShard(const std::vector<SweepCell> &cells, int shard, int stride)
+{
+    SuiteEvaluator evaluator;
+    std::vector<JsonValue> rendered;
+    for (const SweepCell &cell : cells) {
+        if (static_cast<int>(cell.index % static_cast<std::size_t>(
+                                              stride)) != shard) {
+            continue;
+        }
+        rendered.push_back(
+            cellToJson(cell, evaluator.evaluate(cell.request)));
+    }
+    return {std::move(rendered), evaluator.timing()};
+}
+
+std::string
+workerFilePath(const std::string &dir, int worker)
+{
+    return dir + "/worker_" + std::to_string(worker) + ".json";
+}
+
+/** Child-process body: evaluate the shard, write the result file. */
+[[noreturn]] void
+runWorkerChild(const std::vector<SweepCell> &cells, int worker,
+               int workers, const std::string &dir)
+{
+    try {
+        auto [rendered, timing] = runShard(cells, worker, workers);
+        JsonValue doc = JsonValue::makeObject({
+            {"worker", JsonValue::makeInt(worker)},
+            {"timing", timingToJson(timing)},
+            {"cells",
+             JsonValue::makeArray(std::move(rendered))},
+        });
+        std::ofstream out(workerFilePath(dir, worker),
+                          std::ios::binary | std::ios::trunc);
+        out << doc.dump() << "\n";
+        out.close();
+        // _exit: never run the parent's atexit/static destructors
+        // (gtest handlers, stream flushes) in the child.
+        _exit(out ? 0 : 3);
+    } catch (const std::exception &e) {
+        std::cerr << "sweep worker " << worker
+                  << " failed: " << e.what() << "\n";
+        _exit(2);
+    } catch (...) {
+        std::cerr << "sweep worker " << worker
+                  << " failed: unknown exception\n";
+        _exit(2);
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+SweepSpec::knownAxes()
+{
+    static const std::vector<std::string> axes = {
+        "issue_width",      "branches_per_cycle",
+        "mispredict_penalty", "btb_entries",
+        "btb_assoc",        "predictor",
+        "cache_size_bytes", "cache_line_bytes",
+        "cache_assoc",      "cache_miss_penalty",
+        "perfect_caches",
+    };
+    return axes;
+}
+
+SweepSpec
+SweepSpec::fromJson(const JsonValue &json)
+{
+    SweepSpec spec;
+    for (const auto &[key, value] : json.members()) {
+        if (key == "workloads") {
+            for (const JsonValue &item : value.items())
+                spec.base.workloads.push_back(item.asString());
+        } else if (key == "models") {
+            for (const JsonValue &item : value.items())
+                spec.base.models.push_back(
+                    modelFromKey(item.asString()));
+        } else if (key == "ablation") {
+            spec.base.ablation = AblationFlags::fromJson(value);
+        } else if (key == "scale") {
+            std::int64_t raw = value.asInt();
+            if (raw <= 0)
+                throw FatalError("sweep scale must be positive");
+            spec.base.scale = static_cast<int>(raw);
+        } else if (key == "base") {
+            spec.base.sim = SimConfig::fromJson(value);
+        } else if (key == "axes") {
+            for (const auto &[axis, values] : value.members()) {
+                if (values.items().empty()) {
+                    throw FatalError("sweep axis '" + axis +
+                                     "' has no values");
+                }
+                // Validate name and value types now, on a scratch
+                // config, so a bad spec fails before any work runs.
+                for (const JsonValue &v : values.items()) {
+                    SimConfig scratch;
+                    applyAxis(scratch, axis, v);
+                }
+                spec.axes.push_back(SweepAxis{axis, values.items()});
+            }
+        } else {
+            throw FatalError("unknown sweep spec key '" + key +
+                             "'");
+        }
+    }
+    return spec;
+}
+
+std::vector<SweepCell>
+SweepSpec::expandGrid() const
+{
+    std::size_t total = 1;
+    for (const SweepAxis &axis : axes)
+        total *= axis.values.size();
+    std::vector<SweepCell> cells;
+    cells.reserve(total);
+    for (std::size_t index = 0; index < total; ++index) {
+        SweepCell cell;
+        cell.index = index;
+        cell.request = base;
+        // Row-major: the last listed axis varies fastest.
+        std::size_t rest = index;
+        std::vector<std::size_t> coords(axes.size(), 0);
+        for (std::size_t a = axes.size(); a-- > 0;) {
+            coords[a] = rest % axes[a].values.size();
+            rest /= axes[a].values.size();
+        }
+        for (std::size_t a = 0; a < axes.size(); ++a) {
+            const JsonValue &value = axes[a].values[coords[a]];
+            applyAxis(cell.request.sim, axes[a].name, value);
+            cell.axisValues.emplace_back(axes[a].name, value);
+        }
+        cells.push_back(std::move(cell));
+    }
+    return cells;
+}
+
+SweepOutcome
+runSweep(const SweepSpec &spec, int workers,
+         const std::string &outPath)
+{
+    const auto started = std::chrono::steady_clock::now();
+    const std::vector<SweepCell> cells = spec.expandGrid();
+
+    std::vector<JsonValue> rendered;
+    BenchTiming timing;
+    int effectiveWorkers = std::max(1, workers);
+    if (effectiveWorkers > 1 &&
+        cells.size() < static_cast<std::size_t>(effectiveWorkers)) {
+        effectiveWorkers =
+            std::max(1, static_cast<int>(cells.size()));
+    }
+
+    if (effectiveWorkers == 1) {
+        auto [cellsJson, shardTiming] = runShard(cells, 0, 1);
+        rendered = std::move(cellsJson);
+        timing = shardTiming;
+    } else {
+        // Shard across forked workers sharing the flock-safe
+        // artifact store (each child opens it independently via the
+        // environment, like any other predilp process would).
+        char tmpl[] = "/tmp/predilp-sweep-XXXXXX";
+        const char *dirc = ::mkdtemp(tmpl);
+        if (dirc == nullptr) {
+            throw FatalError(std::string("mkdtemp failed: ") +
+                             std::strerror(errno));
+        }
+        const std::string dir = dirc;
+        std::vector<pid_t> pids;
+        for (int w = 0; w < effectiveWorkers; ++w) {
+            pid_t pid = ::fork();
+            if (pid < 0) {
+                throw FatalError(std::string("fork failed: ") +
+                                 std::strerror(errno));
+            }
+            if (pid == 0)
+                runWorkerChild(cells, w, effectiveWorkers, dir);
+            pids.push_back(pid);
+        }
+        std::string failures;
+        for (int w = 0; w < effectiveWorkers; ++w) {
+            int status = 0;
+            if (::waitpid(pids[static_cast<std::size_t>(w)],
+                          &status, 0) < 0 ||
+                !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+                failures += " worker " + std::to_string(w);
+            }
+        }
+        if (!failures.empty())
+            throw FatalError("sweep workers failed:" + failures);
+
+        // Merge: parse every worker file, sum timing, and collect
+        // cells; then validate completeness.
+        std::vector<const JsonValue *> byIndex(cells.size(),
+                                               nullptr);
+        std::vector<JsonValue> workerDocs;
+        workerDocs.reserve(
+            static_cast<std::size_t>(effectiveWorkers));
+        for (int w = 0; w < effectiveWorkers; ++w) {
+            std::ifstream in(workerFilePath(dir, w),
+                             std::ios::binary);
+            if (!in) {
+                throw FatalError("missing sweep worker file for "
+                                 "worker " +
+                                 std::to_string(w));
+            }
+            std::ostringstream content;
+            content << in.rdbuf();
+            workerDocs.push_back(JsonValue::parse(content.str()));
+            mergeTiming(
+                timing,
+                timingFromJson(workerDocs.back().at("timing")));
+        }
+        for (const JsonValue &doc : workerDocs) {
+            for (const JsonValue &cell :
+                 doc.at("cells").items()) {
+                std::int64_t index = cell.at("index").asInt();
+                if (index < 0 ||
+                    static_cast<std::size_t>(index) >=
+                        cells.size()) {
+                    throw FatalError(
+                        "sweep cell index out of range: " +
+                        std::to_string(index));
+                }
+                auto &slot =
+                    byIndex[static_cast<std::size_t>(index)];
+                if (slot != nullptr) {
+                    throw FatalError("duplicate sweep cell " +
+                                     std::to_string(index));
+                }
+                slot = &cell;
+            }
+        }
+        for (std::size_t i = 0; i < byIndex.size(); ++i) {
+            if (byIndex[i] == nullptr) {
+                throw FatalError("missing sweep cell " +
+                                 std::to_string(i));
+            }
+        }
+        rendered.reserve(cells.size());
+        for (const JsonValue *cell : byIndex)
+            rendered.push_back(*cell);
+        std::error_code ec;
+        fs::remove_all(dir, ec); // best-effort cleanup.
+    }
+
+    SweepOutcome outcome;
+    outcome.cells = cells.size();
+    outcome.workers = effectiveWorkers;
+    outcome.timing = timing;
+    outcome.cellsJson =
+        JsonValue::makeArray(rendered).dump();
+
+    if (!outPath.empty()) {
+        const double wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - started)
+                .count();
+        std::ofstream os(outPath,
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            throw FatalError("cannot write sweep report " +
+                             outPath);
+        }
+        os << "{\n  \"bench\": \"sweep\",\n"
+           << "  \"workers\": " << effectiveWorkers << ",\n"
+           << "  \"cell_count\": " << cells.size() << ",\n"
+           << "  \"timing\": "
+           << timingSnapshot(timing, wallSeconds,
+                             effectiveWorkers)
+                  .toJson(2)
+           << ",\n"
+           << "  \"crossover\": "
+           << crossoverSummary(spec, rendered).dump() << ",\n"
+           << "  \"cells\": " << outcome.cellsJson << "\n}\n";
+        outcome.path = outPath;
+    }
+    return outcome;
+}
+
+} // namespace predilp

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Sharded scenario-sweep grid driver (ROADMAP item 3). A declarative
+ * SweepSpec — a base EvalRequest plus ordered value lists for the
+ * paper's hardware axes (issue width, BTB entries/associativity/
+ * predictor, cache size/line/associativity/penalty, perfect-vs-real
+ * caches) — expands into the full cross product of SweepCells, each
+ * a complete, serializable EvalRequest.
+ *
+ * runSweep() executes the grid either sequentially (one in-process
+ * SuiteEvaluator) or sharded across N forked worker processes. Cells
+ * are assigned round-robin (index % workers); every worker opens the
+ * same flock-safe ArtifactStore (via PREDILP_STORE), so captured
+ * traces are shared across the fleet and a warm re-run of the same
+ * grid performs zero compiles and zero captures. Workers report
+ * per-cell JSON plus their BenchTiming through temp files; the
+ * parent validates completeness (no duplicate, no missing cells),
+ * merges timing additively, and emits one consolidated
+ * BENCH_sweep.json with the cells in grid order plus a per-axis
+ * crossover summary (where full predication's mean speedup overtakes
+ * the partial-predication Cond. Move model).
+ *
+ * Determinism: the merged cells array is byte-identical to the
+ * sequential run's — both paths build cell objects with the same
+ * code and route them through JsonValue's canonical dump, and
+ * StatsSnapshot's number formatting survives the worker-file
+ * round trip losslessly.
+ */
+
+#ifndef PREDILP_DRIVER_SWEEP_HH
+#define PREDILP_DRIVER_SWEEP_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "driver/eval_request.hh"
+#include "driver/evaluator.hh"
+#include "support/json.hh"
+
+namespace predilp
+{
+
+/** One ordered sweep axis: name plus the values to sweep. */
+struct SweepAxis
+{
+    std::string name;
+    std::vector<JsonValue> values;
+};
+
+/** One expanded grid cell. */
+struct SweepCell
+{
+    /** Row-major position; the first listed axis varies slowest. */
+    std::size_t index = 0;
+    /** The fully resolved request (base + this cell's axis values). */
+    EvalRequest request;
+    /** This cell's (axis name, value) coordinates, in axis order. */
+    std::vector<std::pair<std::string, JsonValue>> axisValues;
+};
+
+/** A declarative sweep grid; see file comment. */
+struct SweepSpec
+{
+    /**
+     * The request template: workloads, models, ablation, scale, and
+     * the SimConfig every axis modifies (spec key "base").
+     */
+    EvalRequest base;
+
+    /**
+     * Axes in declaration order (order is semantic: the first listed
+     * axis varies slowest in the expanded grid).
+     */
+    std::vector<SweepAxis> axes;
+
+    /**
+     * Parse a grid spec. Top-level keys: "workloads", "models",
+     * "ablation", "scale", "base" (a SimConfig object), "axes" (an
+     * object mapping axis name -> non-empty value array). Unknown
+     * top-level keys and unknown axis names throw FatalError.
+     */
+    static SweepSpec fromJson(const JsonValue &json);
+
+    /** Known axis names (for diagnostics and validation). */
+    static const std::vector<std::string> &knownAxes();
+
+    /** Cross product of all axes, row-major; no axes = one cell. */
+    std::vector<SweepCell> expandGrid() const;
+};
+
+/** What one sweep run produced. */
+struct SweepOutcome
+{
+    std::size_t cells = 0;
+    int workers = 1;
+    /** Timing merged additively across all workers (or the one
+     * sequential evaluator). */
+    BenchTiming timing;
+    /**
+     * The dumped "cells" array — the determinism surface: equal for
+     * sequential and any worker count on the same grid and tree.
+     */
+    std::string cellsJson;
+    /** Path of the consolidated report written ("" = not written). */
+    std::string path;
+};
+
+/**
+ * Execute @p spec with @p workers processes (<= 1 = sequential,
+ * in-process) and write the consolidated report to @p outPath
+ * ("" skips the file). Worker failures, duplicate cells, and
+ * missing cells throw FatalError.
+ */
+SweepOutcome runSweep(const SweepSpec &spec, int workers,
+                      const std::string &outPath);
+
+} // namespace predilp
+
+#endif // PREDILP_DRIVER_SWEEP_HH

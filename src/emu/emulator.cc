@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "emu/decoded.hh"
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -665,12 +666,10 @@ class Interp
 EmuBackend
 defaultEmuBackend()
 {
-    static const EmuBackend cached = [] {
-        const char *env = std::getenv("PREDILP_EMU");
-        if (env != nullptr && std::strcmp(env, "interp") == 0)
-            return EmuBackend::Interp;
-        return EmuBackend::Threaded;
-    }();
+    static const EmuBackend cached =
+        EnvConfig::fromEnvironment().emuBackend == "interp"
+            ? EmuBackend::Interp
+            : EmuBackend::Threaded;
     return cached;
 }
 

@@ -1,134 +1,306 @@
 #include "sim/cache.hh"
 
+#include <algorithm>
+
+#include "support/diag.hh"
 #include "support/logging.hh"
 
 namespace predilp
 {
 
-DirectMappedCache::DirectMappedCache(std::int64_t sizeBytes,
-                                     std::int64_t lineBytes)
-    : lineBytes_(lineBytes),
-      numLines_(static_cast<std::size_t>(sizeBytes / lineBytes)),
-      tags_(numLines_, 0), valid_(numLines_, false)
+const char *
+predictorName(BranchPredictor predictor)
+{
+    switch (predictor) {
+      case BranchPredictor::TwoBit:
+        return "twobit";
+      case BranchPredictor::OneBit:
+        return "onebit";
+      case BranchPredictor::StaticTaken:
+        return "taken";
+      case BranchPredictor::StaticNotTaken:
+        return "nottaken";
+    }
+    panic("unreachable predictor value");
+}
+
+BranchPredictor
+predictorFromName(const std::string &name)
+{
+    if (name == "twobit")
+        return BranchPredictor::TwoBit;
+    if (name == "onebit")
+        return BranchPredictor::OneBit;
+    if (name == "taken")
+        return BranchPredictor::StaticTaken;
+    if (name == "nottaken")
+        return BranchPredictor::StaticNotTaken;
+    throw FatalError("unknown branch predictor '" + name +
+                     "' (expected twobit, onebit, taken or nottaken)");
+}
+
+SetAssocCache::SetAssocCache(std::int64_t sizeBytes,
+                             std::int64_t lineBytes, int ways)
+    : lineBytes_(lineBytes), ways_(static_cast<std::size_t>(ways))
 {
     panicIf(lineBytes <= 0 || (lineBytes & (lineBytes - 1)) != 0,
             "cache line size must be a power of two");
-    panicIf(numLines_ == 0, "cache has no lines");
+    panicIf(ways <= 0, "cache associativity must be positive");
+    std::size_t numLines =
+        static_cast<std::size_t>(sizeBytes / lineBytes);
+    panicIf(numLines == 0, "cache has no lines");
+    panicIf(numLines % ways_ != 0,
+            "cache associativity must divide the line count");
+    numSets_ = numLines / ways_;
+    tags_.assign(numLines, 0);
+    valid_.assign(numLines, false);
+    lastUse_.assign(numLines, 0);
 }
 
 std::size_t
-DirectMappedCache::indexOf(std::int64_t addr) const
+SetAssocCache::setOf(std::int64_t addr) const
 {
-    return static_cast<std::size_t>(addr / lineBytes_) % numLines_;
+    return static_cast<std::size_t>(addr / lineBytes_) % numSets_;
 }
 
 std::int64_t
-DirectMappedCache::tagOf(std::int64_t addr) const
+SetAssocCache::tagOf(std::int64_t addr) const
 {
-    return (addr / lineBytes_) /
-           static_cast<std::int64_t>(numLines_);
+    return (addr / lineBytes_) / static_cast<std::int64_t>(numSets_);
+}
+
+int
+SetAssocCache::findWay(std::size_t set, std::int64_t tag) const
+{
+    std::size_t base = set * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (valid_[base + way] && tags_[base + way] == tag)
+            return static_cast<int>(way);
+    }
+    return -1;
 }
 
 void
-DirectMappedCache::classifyMiss(std::size_t index)
+SetAssocCache::touch(std::size_t set, int way)
+{
+    lastUse_[set * ways_ + static_cast<std::size_t>(way)] = ++tick_;
+}
+
+void
+SetAssocCache::classifyMiss(std::size_t set)
 {
     misses_ += 1;
-    if (valid_[index])
-        conflictMisses_ += 1;
-    else
-        coldMisses_ += 1;
+    std::size_t base = set * ways_;
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (!valid_[base + way]) {
+            coldMisses_ += 1;
+            return;
+        }
+    }
+    conflictMisses_ += 1;
 }
 
 bool
-DirectMappedCache::access(std::int64_t addr)
+SetAssocCache::access(std::int64_t addr)
 {
-    std::size_t index = indexOf(addr);
-    if (valid_[index] && tags_[index] == tagOf(addr)) {
+    std::size_t set = setOf(addr);
+    std::int64_t tag = tagOf(addr);
+    if (int way = findWay(set, tag); way >= 0) {
         hits_ += 1;
+        touch(set, way);
         return true;
     }
-    classifyMiss(index);
-    valid_[index] = true;
-    tags_[index] = tagOf(addr);
+    classifyMiss(set);
+    // Fill: an invalid way if the set has one, else the LRU way.
+    std::size_t base = set * ways_;
+    std::size_t victim = 0;
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (!valid_[base + way]) {
+            victim = way;
+            break;
+        }
+        if (lastUse_[base + way] < lastUse_[base + victim])
+            victim = way;
+    }
+    valid_[base + victim] = true;
+    tags_[base + victim] = tag;
+    touch(set, static_cast<int>(victim));
     return false;
 }
 
 bool
-DirectMappedCache::writeAccess(std::int64_t addr)
+SetAssocCache::writeAccess(std::int64_t addr)
 {
-    std::size_t index = indexOf(addr);
-    if (valid_[index] && tags_[index] == tagOf(addr)) {
+    std::size_t set = setOf(addr);
+    if (int way = findWay(set, tagOf(addr)); way >= 0) {
         hits_ += 1;
+        touch(set, way);
         return true;
     }
     // Write-through, no write-allocate: the line is not filled.
-    classifyMiss(index);
+    classifyMiss(set);
     return false;
 }
 
 bool
-DirectMappedCache::present(std::int64_t addr) const
+SetAssocCache::present(std::int64_t addr) const
 {
-    std::size_t index = indexOf(addr);
-    return valid_[index] && tags_[index] == tagOf(addr);
+    return findWay(setOf(addr), tagOf(addr)) >= 0;
 }
 
 void
-DirectMappedCache::reset()
+SetAssocCache::reset()
 {
     std::fill(valid_.begin(), valid_.end(), false);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    tick_ = 0;
     hits_ = 0;
     misses_ = 0;
     coldMisses_ = 0;
     conflictMisses_ = 0;
 }
 
-BranchTargetBuffer::BranchTargetBuffer(std::size_t entries)
-    : counters_(entries, 1), // weakly not-taken.
-      owners_(entries, 0), ownerValid_(entries, false)
+BranchTargetBuffer::BranchTargetBuffer(std::size_t entries, int ways,
+                                       BranchPredictor predictor)
+    : predictor_(predictor), ways_(static_cast<std::size_t>(ways))
 {
     panicIf(entries == 0, "BTB needs at least one entry");
+    panicIf(ways <= 0, "BTB associativity must be positive");
+    panicIf(entries % ways_ != 0,
+            "BTB associativity must divide the entry count");
+    numSets_ = entries / ways_;
+    counters_.assign(entries, initialCounter());
+    owners_.assign(entries, 0);
+    ownerValid_.assign(entries, false);
+    lastUse_.assign(entries, 0);
 }
 
 std::size_t
-BranchTargetBuffer::indexOf(std::int64_t addr) const
+BranchTargetBuffer::setOf(std::int64_t addr) const
 {
-    return static_cast<std::size_t>(addr >> 2) % counters_.size();
+    return static_cast<std::size_t>(addr >> 2) % numSets_;
+}
+
+std::uint8_t
+BranchTargetBuffer::initialCounter() const
+{
+    // Weakly not-taken for the 2-bit counter (paper §4.1); the 1-bit
+    // predictor starts predicting not-taken.
+    return predictor_ == BranchPredictor::TwoBit ? 1 : 0;
+}
+
+bool
+BranchTargetBuffer::counterPredictsTaken(std::uint8_t counter) const
+{
+    switch (predictor_) {
+      case BranchPredictor::TwoBit:
+        return counter >= 2;
+      case BranchPredictor::OneBit:
+        return counter != 0;
+      case BranchPredictor::StaticTaken:
+        return true;
+      case BranchPredictor::StaticNotTaken:
+        return false;
+    }
+    panic("unreachable predictor value");
+}
+
+void
+BranchTargetBuffer::train(std::uint8_t &counter, bool taken) const
+{
+    switch (predictor_) {
+      case BranchPredictor::TwoBit:
+        if (taken) {
+            if (counter < 3)
+                counter += 1;
+        } else {
+            if (counter > 0)
+                counter -= 1;
+        }
+        return;
+      case BranchPredictor::OneBit:
+        counter = taken ? 1 : 0;
+        return;
+      case BranchPredictor::StaticTaken:
+      case BranchPredictor::StaticNotTaken:
+        return; // static policies ignore history.
+    }
 }
 
 bool
 BranchTargetBuffer::predictTaken(std::int64_t addr) const
 {
-    return counters_[indexOf(addr)] >= 2;
+    if (predictor_ == BranchPredictor::StaticTaken)
+        return true;
+    if (predictor_ == BranchPredictor::StaticNotTaken)
+        return false;
+    std::size_t base = setOf(addr) * ways_;
+    if (ways_ == 1) {
+        // Tagless table: whatever counter the address aliases to.
+        return counterPredictsTaken(counters_[base]);
+    }
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (ownerValid_[base + way] && owners_[base + way] == addr)
+            return counterPredictsTaken(counters_[base + way]);
+    }
+    return false; // tag miss: default not-taken.
 }
 
 void
 BranchTargetBuffer::update(std::int64_t addr, bool taken)
 {
-    std::size_t index = indexOf(addr);
     lookups_ += 1;
-    if (!ownerValid_[index]) {
-        ownerValid_[index] = true;
-        owners_[index] = addr;
-    } else if (owners_[index] != addr) {
-        replacements_ += 1;
-        owners_[index] = addr;
+    std::size_t base = setOf(addr) * ways_;
+    if (ways_ == 1) {
+        // Tagless: the counter is shared between aliasing branches;
+        // the owner tag only feeds the replacements statistic.
+        if (!ownerValid_[base]) {
+            ownerValid_[base] = true;
+            owners_[base] = addr;
+        } else if (owners_[base] != addr) {
+            replacements_ += 1;
+            owners_[base] = addr;
+        }
+        train(counters_[base], taken);
+        return;
     }
-    std::uint8_t &counter = counters_[index];
-    if (taken) {
-        if (counter < 3)
-            counter += 1;
-    } else {
-        if (counter > 0)
-            counter -= 1;
+    std::size_t victim = 0;
+    bool found = false;
+    for (std::size_t way = 0; way < ways_; ++way) {
+        if (ownerValid_[base + way] && owners_[base + way] == addr) {
+            victim = way;
+            found = true;
+            break;
+        }
     }
+    if (!found) {
+        bool evicting = true;
+        for (std::size_t way = 0; way < ways_; ++way) {
+            if (!ownerValid_[base + way]) {
+                victim = way;
+                evicting = false;
+                break;
+            }
+            if (lastUse_[base + way] < lastUse_[base + victim])
+                victim = way;
+        }
+        if (evicting)
+            replacements_ += 1;
+        ownerValid_[base + victim] = true;
+        owners_[base + victim] = addr;
+        counters_[base + victim] = initialCounter();
+    }
+    train(counters_[base + victim], taken);
+    lastUse_[base + victim] = ++tick_;
 }
 
 void
 BranchTargetBuffer::reset()
 {
-    std::fill(counters_.begin(), counters_.end(), 1);
+    std::fill(counters_.begin(), counters_.end(), initialCounter());
     std::fill(ownerValid_.begin(), ownerValid_.end(), false);
+    std::fill(lastUse_.begin(), lastUse_.end(), 0);
+    tick_ = 0;
     lookups_ = 0;
     replacements_ = 0;
 }

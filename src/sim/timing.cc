@@ -11,9 +11,13 @@ namespace predilp
 CycleModel::CycleModel(const StaticIndex &index,
                        const SimConfig &config)
     : index_(index), config_(config),
-      icache_(config.cacheSizeBytes, config.cacheLineBytes),
-      dcache_(config.cacheSizeBytes, config.cacheLineBytes),
-      btb_(config.btbEntries), scoreboard_(index)
+      icache_(config.cacheSizeBytes, config.cacheLineBytes,
+              config.cacheAssociativity),
+      dcache_(config.cacheSizeBytes, config.cacheLineBytes,
+              config.cacheAssociativity),
+      btb_(config.btbEntries, config.btbAssociativity,
+           config.predictor),
+      scoreboard_(index)
 {
     // Price everything interned so far up front; the fused path
     // extends on demand as new static instructions appear.

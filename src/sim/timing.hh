@@ -25,29 +25,13 @@
 
 #include "sched/machine.hh"
 #include "sim/cache.hh"
+#include "sim/config.hh"
 #include "sim/scoreboard.hh"
 #include "support/stats_registry.hh"
 #include "trace/trace.hh"
 
 namespace predilp
 {
-
-/** Complete simulation configuration. */
-struct SimConfig
-{
-    MachineConfig machine;
-
-    /** Perfect caches (Figures 8-10) or 64K real caches (Fig. 11). */
-    bool perfectCaches = true;
-
-    std::int64_t cacheSizeBytes = 64 * 1024;
-    std::int64_t cacheLineBytes = 64;
-    int cacheMissPenalty = 12;
-    std::size_t btbEntries = 1024;
-
-    /** Fuel limit forwarded to the emulator. */
-    std::uint64_t maxDynInstrs = 2'000'000'000ull;
-};
 
 /** Results of one simulated run. */
 struct SimResult
@@ -141,8 +125,8 @@ class CycleModel
     const SimConfig config_;
     std::vector<int> latencies_; ///< dense, indexed by static id.
     std::vector<std::uint8_t> classes_; ///< LatencyClass per id.
-    DirectMappedCache icache_;
-    DirectMappedCache dcache_;
+    SetAssocCache icache_;
+    SetAssocCache dcache_;
     BranchTargetBuffer btb_;
     RegScoreboard scoreboard_;
     long cycle_ = 0;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <vector>
 
 #include "store/sha256.hh"
@@ -617,7 +618,8 @@ ArtifactStore::load(const std::string &key)
 
 bool
 ArtifactStore::save(const std::string &key,
-                    const TraceBuffer &buffer)
+                    const TraceBuffer &buffer,
+                    const std::string &provenanceJson)
 {
     if (mode_ != StoreMode::ReadWrite)
         return false;
@@ -653,7 +655,41 @@ ArtifactStore::save(const std::string &key,
         return false;
     }
     writes_.fetch_add(1, std::memory_order_relaxed);
+
+    // The informational sidecar rides the same temp+rename protocol;
+    // a refusal leaves the (already published) artifact intact.
+    if (!provenanceJson.empty()) {
+        const std::string provPath = path + ".prov.json";
+        const std::string provTemp =
+            provPath + ".tmp." + std::to_string(::getpid()) + "." +
+            std::to_string(
+                tempSeq.fetch_add(1, std::memory_order_relaxed));
+        std::ofstream out(provTemp,
+                          std::ios::binary | std::ios::trunc);
+        if (out) {
+            out << provenanceJson;
+            out.close();
+            if (out) {
+                StoreLock lock(dir_);
+                fs::rename(provTemp, provPath, ec);
+            }
+            if (!out || ec)
+                fs::remove(provTemp, ec);
+        }
+    }
     return true;
+}
+
+std::string
+ArtifactStore::loadProvenance(const std::string &key) const
+{
+    std::ifstream in(objectPath(key) + ".prov.json",
+                     std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream content;
+    content << in.rdbuf();
+    return content.str();
 }
 
 void

@@ -116,8 +116,21 @@ class ArtifactStore
      * atomically rename into place under the store's advisory flock.
      * No-op (returning false) in read-only mode; never throws — a
      * filesystem refusal degrades to a cold cache, not a failure.
+     *
+     * A non-empty @p provenanceJson is published the same way (temp
+     * + rename) as a sidecar at objectPath(key) + ".prov.json". The
+     * sidecar is informational — never read on the load path, never
+     * checksummed — so the binary artifact format (and the CI cache
+     * key that mirrors formatVersion) is unaffected.
      */
-    bool save(const std::string &key, const TraceBuffer &buffer);
+    bool save(const std::string &key, const TraceBuffer &buffer,
+              const std::string &provenanceJson = "");
+
+    /**
+     * The provenance sidecar published with @p key's artifact, or ""
+     * when none exists (older artifacts, or sidecar write refused).
+     */
+    std::string loadProvenance(const std::string &key) const;
 
     /** Final on-disk path of @p key's artifact (for tests/GC). */
     std::string objectPath(const std::string &key) const;

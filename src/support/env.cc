@@ -1,0 +1,35 @@
+#include "support/env.hh"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "support/logging.hh"
+
+namespace predilp
+{
+
+EnvConfig
+EnvConfig::fromEnvironment()
+{
+    EnvConfig config;
+    if (const char *dir = std::getenv("PREDILP_STORE");
+        dir != nullptr && dir[0] != '\0') {
+        config.storeDir = dir;
+    }
+    if (const char *mode = std::getenv("PREDILP_STORE_MODE"))
+        config.storeReadOnly = std::string_view(mode) == "ro";
+    if (const char *env = std::getenv("PREDILP_THREADS")) {
+        int parsed = std::atoi(env);
+        if (parsed > 0) {
+            config.threads = parsed;
+        } else {
+            warn("ignoring invalid PREDILP_THREADS value '" +
+                 std::string(env) + "'");
+        }
+    }
+    if (const char *emu = std::getenv("PREDILP_EMU"))
+        config.emuBackend = emu;
+    return config;
+}
+
+} // namespace predilp

@@ -1,0 +1,541 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/diag.hh"
+
+namespace predilp
+{
+
+namespace
+{
+
+[[noreturn]] void
+jsonError(std::size_t pos, const std::string &what)
+{
+    throw FatalError(detail::formatMessage("json: at byte ", pos,
+                                           ": ", what));
+}
+
+/** Recursive-descent parser over the full document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            jsonError(pos_, "trailing characters after document");
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            jsonError(pos_, "unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            jsonError(pos_, detail::formatMessage(
+                                "expected '", c, "', found '",
+                                text_[pos_], "'"));
+        ++pos_;
+    }
+
+    bool
+    consumeLiteral(const char *lit)
+    {
+        std::size_t len = 0;
+        while (lit[len] != '\0')
+            ++len;
+        if (text_.compare(pos_, len, lit) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+            if (consumeLiteral("true"))
+                return JsonValue::makeBool(true);
+            jsonError(pos_, "bad literal");
+          case 'f':
+            if (consumeLiteral("false"))
+                return JsonValue::makeBool(false);
+            jsonError(pos_, "bad literal");
+          case 'n':
+            if (consumeLiteral("null"))
+                return JsonValue();
+            jsonError(pos_, "bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            if (peek() != '"')
+                jsonError(pos_, "expected object key");
+            std::string key = parseString();
+            expect(':');
+            for (const auto &[existing, value] : members) {
+                (void)value;
+                if (existing == key)
+                    jsonError(pos_, "duplicate object key '" + key +
+                                        "'");
+            }
+            members.emplace_back(std::move(key), parseValue());
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                break;
+            if (c != ',')
+                jsonError(pos_ - 1, "expected ',' or '}'");
+        }
+        return JsonValue::makeObject(std::move(members));
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            items.push_back(parseValue());
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                break;
+            if (c != ',')
+                jsonError(pos_ - 1, "expected ',' or ']'");
+        }
+        return JsonValue::makeArray(std::move(items));
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                jsonError(pos_, "unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                jsonError(pos_, "unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    jsonError(pos_, "truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        jsonError(pos_, "bad \\u escape digit");
+                }
+                // Only the escapes our own emitters produce (control
+                // characters) are supported; reject surrogates.
+                if (code > 0x7f)
+                    jsonError(pos_,
+                              "non-ASCII \\u escape unsupported");
+                out.push_back(static_cast<char>(code));
+                break;
+              }
+              default:
+                jsonError(pos_, "unknown escape");
+            }
+        }
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        skipWs();
+        std::size_t start = pos_;
+        bool isDouble = false;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                ++pos_;
+            } else if (c == '.' || c == 'e' || c == 'E' ||
+                       c == '+' || c == '-') {
+                if (c == '.' || c == 'e' || c == 'E')
+                    isDouble = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            jsonError(start, "expected a value");
+        std::string lex = text_.substr(start, pos_ - start);
+        errno = 0;
+        if (isDouble) {
+            char *end = nullptr;
+            double value = std::strtod(lex.c_str(), &end);
+            if (end == nullptr || *end != '\0')
+                jsonError(start, "malformed number '" + lex + "'");
+            return JsonValue::makeDouble(value);
+        }
+        char *end = nullptr;
+        long long value = std::strtoll(lex.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || errno == ERANGE)
+            jsonError(start, "malformed integer '" + lex + "'");
+        return JsonValue::makeInt(value);
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+const char *
+kindName(JsonValue::Kind kind)
+{
+    switch (kind) {
+      case JsonValue::Kind::Null:
+        return "null";
+      case JsonValue::Kind::Bool:
+        return "bool";
+      case JsonValue::Kind::Int:
+        return "integer";
+      case JsonValue::Kind::Double:
+        return "double";
+      case JsonValue::Kind::String:
+        return "string";
+      case JsonValue::Kind::Array:
+        return "array";
+      case JsonValue::Kind::Object:
+        return "object";
+    }
+    return "?";
+}
+
+[[noreturn]] void
+kindError(JsonValue::Kind have, const char *want)
+{
+    throw FatalError(detail::formatMessage("json: expected ", want,
+                                           ", found ",
+                                           kindName(have)));
+}
+
+void
+dumpTo(std::ostream &os, const JsonValue &v)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        return;
+      case JsonValue::Kind::Bool:
+        os << (v.asBool() ? "true" : "false");
+        return;
+      case JsonValue::Kind::Int:
+        os << v.asInt();
+        return;
+      case JsonValue::Kind::Double:
+        os << jsonDouble(v.asDouble());
+        return;
+      case JsonValue::Kind::String:
+        os << '"' << jsonEscape(v.asString()) << '"';
+        return;
+      case JsonValue::Kind::Array: {
+        os << '[';
+        bool first = true;
+        for (const JsonValue &item : v.items()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            dumpTo(os, item);
+        }
+        os << ']';
+        return;
+      }
+      case JsonValue::Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, value] : v.members()) {
+            if (!first)
+                os << ", ";
+            first = false;
+            os << '"' << jsonEscape(key) << "\": ";
+            dumpTo(os, value);
+        }
+        os << '}';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        kindError(kind_, "bool");
+    return bool_;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (kind_ != Kind::Int)
+        kindError(kind_, "integer");
+    return int_;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind_ == Kind::Int)
+        return static_cast<double>(int_);
+    if (kind_ != Kind::Double)
+        kindError(kind_, "number");
+    return double_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        kindError(kind_, "string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    if (kind_ != Kind::Array)
+        kindError(kind_, "array");
+    return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (kind_ != Kind::Object)
+        kindError(kind_, "object");
+    return members_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[name, value] : members()) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    if (v == nullptr)
+        throw FatalError("json: missing key '" + key + "'");
+    return *v;
+}
+
+std::string
+JsonValue::dump() const
+{
+    std::ostringstream os;
+    dumpTo(os, *this);
+    return os.str();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Bool;
+    out.bool_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeInt(std::int64_t v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Int;
+    out.int_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeDouble(double v)
+{
+    JsonValue out;
+    out.kind_ = Kind::Double;
+    out.double_ = v;
+    return out;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue out;
+    out.kind_ = Kind::String;
+    out.string_ = std::move(v);
+    return out;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue out;
+    out.kind_ = Kind::Array;
+    out.items_ = std::move(items);
+    return out;
+}
+
+JsonValue
+JsonValue::makeObject(
+    std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue out;
+    out.kind_ = Kind::Object;
+    out.members_ = std::move(members);
+    return out;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonDouble(double value)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    std::string text = os.str();
+    if (text.find('.') == std::string::npos &&
+        text.find('e') == std::string::npos &&
+        text.find('E') == std::string::npos &&
+        text.find("inf") == std::string::npos &&
+        text.find("nan") == std::string::npos) {
+        text += ".0";
+    }
+    return text;
+}
+
+} // namespace predilp

@@ -1,8 +1,6 @@
 #include "support/thread_pool.hh"
 
-#include <cstdlib>
-#include <string>
-
+#include "support/env.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -21,13 +19,8 @@ resolveThreadCount(int requested)
 {
     if (requested > 0)
         return requested;
-    if (const char *env = std::getenv("PREDILP_THREADS")) {
-        int parsed = std::atoi(env);
-        if (parsed > 0)
-            return parsed;
-        warn("ignoring invalid PREDILP_THREADS value '" +
-             std::string(env) + "'");
-    }
+    if (int env = EnvConfig::fromEnvironment().threads; env > 0)
+        return env;
     unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
 }

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * EvalRequest tests: the serializable request surface round-trips
+ * through canonical JSON, rejects unknown keys, digests stably, and
+ * evaluate(EvalRequest) produces exactly what the deprecated
+ * SuiteConfig shims produce for equivalent inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "driver/evaluator.hh"
+#include "support/diag.hh"
+
+namespace predilp
+{
+namespace
+{
+
+EvalRequest
+nonDefaultRequest()
+{
+    EvalRequest request;
+    request.workloads = {"cmp", "wc"};
+    request.models = {Model::FullPred, Model::Superblock};
+    request.sim.machine = issue4Branch1();
+    request.sim.perfectCaches = false;
+    request.sim.btbEntries = 256;
+    request.sim.predictor = BranchPredictor::OneBit;
+    request.ablation.orTree = false;
+    request.scale = 2;
+    return request;
+}
+
+void
+expectResultsEq(const std::vector<BenchmarkResult> &a,
+                const std::vector<BenchmarkResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_EQ(a[i].baseCycles, b[i].baseCycles);
+        ASSERT_EQ(a[i].models.size(), b[i].models.size());
+        for (const auto &[model, sim] : a[i].models) {
+            const SimResult &other = b[i].models.at(model);
+            EXPECT_EQ(sim.cycles, other.cycles);
+            EXPECT_EQ(sim.dynInstrs, other.dynInstrs);
+            EXPECT_EQ(sim.mispredicts, other.mispredicts);
+            EXPECT_EQ(sim.icacheMisses, other.icacheMisses);
+            EXPECT_EQ(sim.dcacheMisses, other.dcacheMisses);
+            EXPECT_EQ(sim.exitValue, other.exitValue);
+            EXPECT_EQ(sim.output, other.output);
+        }
+    }
+}
+
+TEST(EvalRequest, JsonRoundTripIsExact)
+{
+    EvalRequest request = nonDefaultRequest();
+    EvalRequest back = EvalRequest::fromJson(
+        JsonValue::parse(request.toJson().dump()));
+    EXPECT_TRUE(back == request);
+    EXPECT_EQ(back.toJson().dump(), request.toJson().dump());
+}
+
+TEST(EvalRequest, UnknownKeysRejected)
+{
+    EXPECT_THROW(EvalRequest::fromJson(
+                     JsonValue::parse("{\"workload\": [\"cmp\"]}")),
+                 FatalError);
+    EXPECT_THROW(EvalRequest::fromJson(JsonValue::parse(
+                     "{\"models\": [\"hyperblock\"]}")),
+                 FatalError);
+    EXPECT_THROW(
+        EvalRequest::fromJson(JsonValue::parse("{\"scale\": 0}")),
+        FatalError);
+}
+
+TEST(EvalRequest, EffectiveModelsExpandsEmptyDefault)
+{
+    EvalRequest request;
+    EXPECT_EQ(request.effectiveModels(),
+              (std::vector<Model>{Model::Superblock, Model::CondMove,
+                                  Model::FullPred}));
+    request.models = {Model::CondMove};
+    EXPECT_EQ(request.effectiveModels(),
+              std::vector<Model>{Model::CondMove});
+}
+
+TEST(EvalRequest, DigestCoversEveryComponent)
+{
+    const EvalRequest base;
+    const std::string baseDigest = base.requestDigest();
+    EXPECT_EQ(baseDigest.substr(0, 3), "v1:");
+    EXPECT_EQ(base.requestDigest(), EvalRequest{}.requestDigest());
+
+    EvalRequest changed = base;
+    changed.workloads = {"cmp"};
+    EXPECT_NE(changed.requestDigest(), baseDigest);
+
+    changed = base;
+    changed.sim.btbEntries = 512;
+    EXPECT_NE(changed.requestDigest(), baseDigest);
+
+    changed = base;
+    changed.ablation.unrolling = false;
+    EXPECT_NE(changed.requestDigest(), baseDigest);
+
+    changed = base;
+    changed.scale = 3;
+    EXPECT_NE(changed.requestDigest(), baseDigest);
+}
+
+TEST(EvalRequest, FromSuiteConfigMapsEveryField)
+{
+    SuiteConfig config;
+    config.machine = issue8Branch2();
+    config.perfectCaches = false;
+    config.ablation.promotion = false;
+    config.scaleMultiplier = 4;
+    config.maxDynInstrs = 1000;
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    EXPECT_EQ(request.sim.machine.branchesPerCycle, 2);
+    EXPECT_FALSE(request.sim.perfectCaches);
+    EXPECT_EQ(request.sim.maxDynInstrs, 1000u);
+    EXPECT_FALSE(request.ablation.promotion);
+    EXPECT_EQ(request.scale, 4);
+    EXPECT_TRUE(request.workloads.empty());
+    EXPECT_TRUE(request.models.empty());
+}
+
+TEST(EvalRequest, EvaluateMatchesDeprecatedShims)
+{
+    const std::vector<std::string> subset = {"cmp", "wc"};
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+
+    SuiteEvaluator modern(1);
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = subset;
+    EvalResponse response = modern.evaluate(request);
+    EXPECT_EQ(response.requestDigest, request.requestDigest());
+
+    SuiteEvaluator legacy(1);
+    expectResultsEq(response.results,
+                    legacy.evaluateSuite(config, subset));
+
+    // The single-workload shim matches the matching response row.
+    const Workload *workload = findWorkload("cmp");
+    ASSERT_NE(workload, nullptr);
+    expectResultsEq({response.results.at(0)},
+                    {legacy.evaluate(*workload, config)});
+}
+
+TEST(EvalRequest, UnknownWorkloadThrows)
+{
+    SuiteEvaluator evaluator(1);
+    EvalRequest request;
+    request.workloads = {"no_such_workload"};
+    EXPECT_THROW(evaluator.evaluate(request), FatalError);
+}
+
+} // namespace
+} // namespace predilp

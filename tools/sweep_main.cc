@@ -1,0 +1,124 @@
+/**
+ * @file
+ * predilp_sweep: the sharded scenario-sweep grid driver CLI.
+ *
+ * Usage:
+ *   predilp_sweep --spec grid.json [--workers N] [--out FILE]
+ *   predilp_sweep --print-spec          # example grid spec
+ *
+ * Reads a declarative grid spec (see src/driver/sweep.hh and
+ * DESIGN.md §6h), expands it into the cross product of cells, shards
+ * the cells across N forked worker processes (round-robin by index),
+ * and writes one consolidated BENCH_sweep.json. Point PREDILP_STORE
+ * at a directory to let the workers share captured traces — a warm
+ * re-run of the same grid then performs zero compiles and captures.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "driver/bench_io.hh"
+#include "driver/sweep.hh"
+#include "support/diag.hh"
+
+namespace
+{
+
+const char *const exampleSpec = R"({
+  "workloads": ["cmp", "wc"],
+  "models": ["superblock", "cond_move", "full_pred"],
+  "scale": 1,
+  "base": {"perfect_caches": true},
+  "axes": {
+    "issue_width": [2, 4, 8],
+    "btb_entries": [256, 1024],
+    "perfect_caches": [true, false]
+  }
+})";
+
+int
+usage(std::ostream &os, int code)
+{
+    os << "usage: predilp_sweep --spec FILE [--workers N] "
+          "[--out FILE]\n"
+          "       predilp_sweep --print-spec\n"
+          "\n"
+          "  --spec FILE    grid spec (JSON; see --print-spec)\n"
+          "  --workers N    forked worker processes (default 1 = "
+          "sequential)\n"
+          "  --out FILE     consolidated report path (default "
+          "BENCH_sweep.json)\n"
+          "  --print-spec   print an example grid spec and exit\n"
+          "\n"
+          "Environment: PREDILP_STORE, PREDILP_STORE_MODE, "
+          "PREDILP_THREADS, PREDILP_EMU\n"
+          "(see EnvConfig in src/support/env.hh) apply to every "
+          "worker.\n";
+    return code;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace predilp;
+
+    std::string specPath;
+    std::string outPath = "BENCH_sweep.json";
+    int workers = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--print-spec") {
+            std::cout << exampleSpec << "\n";
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h")
+            return usage(std::cout, 0);
+        if (arg == "--spec" && i + 1 < argc) {
+            specPath = argv[++i];
+        } else if (arg == "--workers" && i + 1 < argc) {
+            workers = std::atoi(argv[++i]);
+            if (workers < 1) {
+                std::cerr << "--workers must be >= 1\n";
+                return 2;
+            }
+        } else if (arg == "--out" && i + 1 < argc) {
+            outPath = argv[++i];
+        } else {
+            std::cerr << "unknown argument '" << arg << "'\n";
+            return usage(std::cerr, 2);
+        }
+    }
+    if (specPath.empty()) {
+        std::cerr << "missing --spec\n";
+        return usage(std::cerr, 2);
+    }
+
+    try {
+        WallTimer wall;
+        std::ifstream in(specPath, std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot read spec " << specPath << "\n";
+            return 1;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        SweepSpec spec =
+            SweepSpec::fromJson(JsonValue::parse(text.str()));
+
+        SweepOutcome outcome = runSweep(spec, workers, outPath);
+        std::cout << "-- sweep: " << outcome.cells << " cells, "
+                  << outcome.workers << " workers -> "
+                  << outcome.path << "\n";
+        printPhaseTiming(std::cout, outcome.timing, wall.seconds(),
+                         outcome.workers);
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "predilp_sweep: " << e.what() << "\n";
+        return 1;
+    }
+}
