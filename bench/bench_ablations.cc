@@ -33,9 +33,18 @@ double
 meanSpeedup(SuiteEvaluator &evaluator, const std::string &rowName,
             const SuiteConfig &config, Model model)
 {
-    std::vector<double> speedups;
+    // One request per workload, priced as one batch: the row's
+    // traces are each walked once for every pending config.
+    std::vector<EvalRequest> requests;
     for (const Workload &w : allWorkloads()) {
-        BenchmarkResult r = evaluator.evaluate(w, config, {model});
+        EvalRequest request = EvalRequest::fromSuiteConfig(config);
+        request.workloads = {w.name};
+        request.models = {model};
+        requests.push_back(std::move(request));
+    }
+    std::vector<double> speedups;
+    for (EvalResponse &response : evaluator.evaluateBatch(requests)) {
+        BenchmarkResult r = std::move(response.results.at(0));
         speedups.push_back(r.speedup(model));
         r.name = rowName + "/" + r.name;
         allResults.push_back(std::move(r));

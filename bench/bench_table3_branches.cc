@@ -20,7 +20,9 @@ main()
     config.machine = issue8Branch1();
     config.perfectCaches = true;
     SuiteEvaluator evaluator(config.threads);
-    auto results = evaluator.evaluateSuite(config);
+    auto results =
+        evaluator.evaluate(EvalRequest::fromSuiteConfig(config))
+            .results;
     printBranchTable(std::cout, results);
     BenchTiming timing = evaluator.timing();
     printPhaseTiming(std::cout, timing, wall.seconds(),

@@ -21,8 +21,9 @@
 # threaded-vs-interp emulation drift the unit suite might miss.
 #
 # Usage: scripts/bench_json.sh [bench-binary...]; defaults to the
-# Figure 8 benchmark plus the replay- and capture-kernel
-# microbenchmarks. Assumes scripts/tier1.sh already built.
+# Figure 8 benchmark plus the replay-, batched-replay-, and
+# capture-kernel microbenchmarks. Assumes scripts/tier1.sh already
+# built.
 # PREDILP_STORE overrides the store location (default
 # bench-out/store).
 set -euo pipefail
@@ -30,7 +31,7 @@ cd "$(dirname "$0")/.."
 
 benches=("$@")
 if [ "${#benches[@]}" -eq 0 ]; then
-    benches=(bench_fig08_issue8_br1 bench_replay_hot bench_capture_hot)
+    benches=(bench_fig08_issue8_br1 bench_replay_hot bench_replay_batch bench_capture_hot)
 fi
 
 mkdir -p bench-out
@@ -77,6 +78,33 @@ MAX_TRACE_BYTES_PER_ENTRY = 6.0
 MIN_EMULATE_RECORDS_PER_SEC = 60_000_000
 MIN_CAPTURE_SPEEDUP_VS_INTERP = 1.5
 
+# Floors for the replay kernels (benches reporting replay_passes —
+# the evaluator-driven benches time whole phases, not the kernel).
+# The baked static-op metadata table measures ~63-68 Mrec/s
+# single-config on the dev box; the pre-table path measured
+# ~36 Mrec/s, so the floor catches a regression to per-record
+# StaticOp re-derivation (the committed >=1.3x table win) while
+# sitting clear of container noise.
+MIN_REPLAY_RECORDS_PER_SEC = 45_000_000
+
+# Amortized per-config floor for the batched-replay kernel: the
+# acceptance batch mixes real-cache and narrow-machine configs, so
+# per-config throughput sits well below the perfect-cache
+# single-config rate (~7 Mrec/s measured serially on the dev box).
+MIN_REPLAY_BATCH_PER_CONFIG = 4_000_000
+
+# Aggregate batch speedup vs pricing the same configs with
+# sequential replay() calls. The committed contract is >=3x at batch
+# 8, delivered by spreading one lane per pool thread — so it is only
+# enforceable where the pool actually has threads to spread over.
+# With fewer than 4 threads the floor degrades to "batching must not
+# meaningfully lose to sequential": serial amortization alone
+# measures ~1.05-1.15x on a 1-core container, with ~10% run-to-run
+# noise even under best-of-5 timing, so the serial floor sits just
+# below parity.
+MIN_BATCH_SPEEDUP_PARALLEL = 3.0
+MIN_BATCH_SPEEDUP_SERIAL = 0.9
+
 failed = False
 
 
@@ -96,6 +124,35 @@ for path in sys.argv[1:]:
     replays = counters.get("replays", counters.get("replay_passes", 0))
     if replays and "replay_records_per_sec" not in throughput:
         fail(f"{path}: missing throughput.replay_records_per_sec")
+
+    if counters.get("replay_passes", 0):
+        rps = throughput.get("replay_records_per_sec", 0.0)
+        if rps < MIN_REPLAY_RECORDS_PER_SEC:
+            fail(f"{path}: replay_records_per_sec {rps:.3g} below "
+                 f"floor {MIN_REPLAY_RECORDS_PER_SEC:.3g}")
+        else:
+            print(f"ok: {path} replay_records_per_sec {rps:.3g} "
+                  f">= {MIN_REPLAY_RECORDS_PER_SEC:.3g}")
+
+    if "replay_batch_records_per_sec_per_config" in throughput:
+        per_config = throughput["replay_batch_records_per_sec_per_config"]
+        if per_config < MIN_REPLAY_BATCH_PER_CONFIG:
+            fail(f"{path}: replay_batch_records_per_sec_per_config "
+                 f"{per_config:.3g} below floor "
+                 f"{MIN_REPLAY_BATCH_PER_CONFIG:.3g}")
+        else:
+            print(f"ok: {path} replay_batch per-config {per_config:.3g} "
+                  f">= {MIN_REPLAY_BATCH_PER_CONFIG:.3g}")
+        threads = counters.get("pool_threads", 1)
+        floor = (MIN_BATCH_SPEEDUP_PARALLEL if threads >= 4
+                 else MIN_BATCH_SPEEDUP_SERIAL)
+        speedup = throughput.get("batch_speedup_vs_sequential", 0.0)
+        if speedup < floor:
+            fail(f"{path}: batch_speedup_vs_sequential {speedup:.2f} "
+                 f"below floor {floor} ({threads} pool threads)")
+        else:
+            print(f"ok: {path} batch_speedup_vs_sequential "
+                  f"{speedup:.2f} >= {floor} ({threads} pool threads)")
 
     records = counters.get("captured_records",
                            counters.get("trace_records", 0))

@@ -13,6 +13,11 @@
 # fresh store) and requires the "cells" array to be byte-identical to
 # the sharded run's — the sweep's merge contract.
 #
+# Batching pass: re-runs the sharded sweep with --no-batch (cell-by-
+# cell evaluation instead of one batched replay pass per trace) and
+# requires the merged cells to be byte-identical to the batched
+# run's — the replayBatch pricing contract.
+#
 # Warm pass: re-runs the sharded sweep against the store the cold
 # pass populated and requires zero compiles and zero captures: every
 # trace must come off disk.
@@ -140,6 +145,28 @@ if sharded["cells"] != seq["cells"]:
           file=sys.stderr)
     sys.exit(1)
 print("ok: 2-worker cells identical to sequential run")
+EOF
+
+echo "== batching pass (--no-batch vs batched) =="
+PREDILP_STORE="${PREDILP_STORE}-nobatch" \
+    ../build/tools/predilp_sweep --spec sweep_grid.json --workers 2 \
+    --no-batch --out BENCH_sweep_nobatch.json
+rm -rf "${PREDILP_STORE}-nobatch"
+
+python3 - BENCH_sweep_sharded.json BENCH_sweep_nobatch.json <<'EOF'
+import json
+import sys
+
+batched_path, nobatch_path = sys.argv[1:3]
+with open(batched_path) as f:
+    batched = json.load(f)
+with open(nobatch_path) as f:
+    nobatch = json.load(f)
+if batched["cells"] != nobatch["cells"]:
+    print("error: batched cells differ from the --no-batch run",
+          file=sys.stderr)
+    sys.exit(1)
+print("ok: batched replay cells identical to --no-batch run")
 EOF
 
 echo "== warm sharded pass =="

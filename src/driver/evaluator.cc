@@ -1,6 +1,7 @@
 #include "driver/evaluator.hh"
 
 #include <sstream>
+#include <unordered_set>
 
 #include "driver/reproducer.hh"
 #include "support/env.hh"
@@ -488,40 +489,144 @@ SuiteEvaluator::evaluate(const EvalRequest &request)
     return response;
 }
 
-BenchmarkResult
-SuiteEvaluator::evaluate(const Workload &workload,
-                         const SuiteConfig &config)
+void
+SuiteEvaluator::seedResult(const std::string &rkey, SimResult result)
 {
-    EvalRequest request = EvalRequest::fromSuiteConfig(config);
-    request.workloads = {workload.name};
-    return evaluate(request).results.at(0);
+    std::promise<SimResult> promise;
+    std::shared_future<SimResult> future =
+        promise.get_future().share();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // Never overwrite: a concurrent evaluate() may already own
+        // (or have finished) this key; its value is equally valid.
+        if (!results_.emplace(rkey, future).second)
+            return;
+    }
+    promise.set_value(std::move(result));
 }
 
-BenchmarkResult
-SuiteEvaluator::evaluate(const Workload &workload,
-                         const SuiteConfig &config,
-                         const std::vector<Model> &models)
+std::vector<EvalResponse>
+SuiteEvaluator::evaluateBatch(const std::vector<EvalRequest> &requests)
 {
-    EvalRequest request = EvalRequest::fromSuiteConfig(config);
-    request.workloads = {workload.name};
-    request.models = models;
-    return evaluate(request).results.at(0);
-}
+    /**
+     * One trace's worth of pending work: every not-yet-priced
+     * SimConfig whose cell maps to the same trace key, plus the
+     * identity needed to produce that trace. Configs within a group
+     * differ only in non-machine axes (or belong to different
+     * requests sharing a machine) — trace keys are machine-only.
+     */
+    struct BatchGroup
+    {
+        const Workload *workload = nullptr;
+        const EvalRequest *request = nullptr;
+        Model model = Model::Superblock;
+        MachineConfig machine;
+        std::string input;
+        std::string tkey;
+        std::vector<std::string> rkeys;
+        std::vector<SimConfig> configs;
+    };
 
-std::vector<BenchmarkResult>
-SuiteEvaluator::evaluateSuite(const SuiteConfig &config)
-{
-    return evaluate(EvalRequest::fromSuiteConfig(config)).results;
-}
+    // --- plan: enumerate cells, dedup by result key, group by
+    // trace key (deterministic first-appearance order) ---
+    std::vector<BatchGroup> groups;
+    std::unordered_map<std::string, std::size_t> groupIndex;
+    std::unordered_set<std::string> plannedRkeys;
+    for (const EvalRequest &request : requests) {
+        std::vector<const Workload *> selected;
+        if (request.workloads.empty()) {
+            for (const Workload &workload : allWorkloads())
+                selected.push_back(&workload);
+        } else {
+            for (const std::string &name : request.workloads) {
+                // Unknown names throw from the assembly-phase
+                // evaluate() below, where the error is attributable
+                // to its request; the planner just skips them.
+                if (const Workload *workload = findWorkload(name))
+                    selected.push_back(workload);
+            }
+        }
+        const std::vector<Model> models = request.effectiveModels();
+        for (const Workload *workload : selected) {
+            std::string input = workload->makeInput(
+                workload->defaultScale * request.scale);
+            for (std::size_t i = 0; i < models.size() + 1; ++i) {
+                const bool baseline = i == 0;
+                const Model model =
+                    baseline ? Model::Superblock : models[i - 1];
+                SimConfig sim = request.sim;
+                if (baseline)
+                    sim.machine = issue1();
+                std::string tkey =
+                    traceKey(*workload, request, model, sim.machine,
+                             sim.maxDynInstrs);
+                std::string rkey = tkey + "##" + sim.configDigest();
+                if (!plannedRkeys.insert(rkey).second)
+                    continue;
+                {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    if (results_.find(rkey) != results_.end())
+                        continue;
+                }
+                auto [it, inserted] =
+                    groupIndex.emplace(tkey, groups.size());
+                if (inserted) {
+                    groups.push_back(BatchGroup{
+                        workload, &request, model, sim.machine,
+                        input, std::move(tkey), {}, {}});
+                }
+                BatchGroup &group = groups[it->second];
+                group.rkeys.push_back(std::move(rkey));
+                group.configs.push_back(sim);
+            }
+        }
+    }
 
-std::vector<BenchmarkResult>
-SuiteEvaluator::evaluateSuite(
-    const SuiteConfig &config,
-    const std::vector<std::string> &onlyNames)
-{
-    EvalRequest request = EvalRequest::fromSuiteConfig(config);
-    request.workloads = onlyNames;
-    return evaluate(request).results;
+    // --- execute: trace-major batch passes. Each group maps its
+    // trace once and prices every pending config against it. ---
+    auto runGroup = [&](const BatchGroup &group,
+                        ThreadPool *lanePool) {
+        try {
+            TracePtr trace = traceFor(
+                *group.workload, *group.request, group.model,
+                group.machine, group.input,
+                group.configs.front().maxDynInstrs, group.tkey);
+            std::vector<SimResult> priced;
+            {
+                PhaseTimer timer(replayTime_);
+                priced = replayBatch(*trace, group.configs, lanePool);
+            }
+            replays_.fetch_add(priced.size(),
+                               std::memory_order_relaxed);
+            replayedRecords_.fetch_add(trace->size() * priced.size(),
+                                       std::memory_order_relaxed);
+            for (std::size_t i = 0; i < priced.size(); ++i)
+                seedResult(group.rkeys[i], std::move(priced[i]));
+        } catch (...) {
+            // Leave the group unseeded: the assembly pass below
+            // recomputes these cells and applies the failure policy
+            // (strict rethrow or CellError isolation) exactly as the
+            // unbatched path would.
+        }
+    };
+    if (groups.size() == 1) {
+        // A single trace group: parallelism comes from spreading
+        // the batch's lanes across the pool instead.
+        runGroup(groups.front(), &pool_);
+    } else {
+        pool_.parallelFor(groups.size(), [&](std::size_t i) {
+            runGroup(groups[i], nullptr);
+        });
+    }
+
+    // --- assemble: through THE entry point, so ordering, fault
+    // isolation, and response shape are exactly evaluate()'s; every
+    // seeded cell is a result-cache hit. ---
+    std::vector<EvalResponse> responses;
+    responses.reserve(requests.size());
+    for (const EvalRequest &request : requests)
+        responses.push_back(evaluate(request));
+    return responses;
 }
 
 void

@@ -22,8 +22,9 @@
  * EvalRequest and across model cells inside each workload row — with
  * results assembled by index, so output is deterministic and
  * identical for every thread count. evaluate(const EvalRequest&) is
- * the single entry point; the SuiteConfig overloads are deprecated
- * shims over it.
+ * the single entry point; evaluateBatch() amortizes many requests by
+ * grouping their cells by trace key and pricing each trace's configs
+ * in one replayBatch() pass.
  */
 
 #ifndef PREDILP_DRIVER_EVALUATOR_HH
@@ -140,21 +141,23 @@ class SuiteEvaluator
     EvalResponse evaluate(const EvalRequest &request);
 
     /**
-     * Deprecated shims over evaluate(EvalRequest) for the legacy
-     * SuiteConfig surface; kept for one PR while external callers
-     * migrate. New code should build an EvalRequest (or go through
-     * the evaluateWorkload/evaluateSuite wrappers in report.hh).
+     * Batched evaluation of many requests: plan every cell up front,
+     * group the pending work by trace key — trace keys are
+     * machine-only by design, so cells that vary only cache/BTB/
+     * predictor axes share a group, as do the 1-issue baseline
+     * denominators of a whole sweep — then dispatch trace-major
+     * replayBatch() passes across the pool. Each captured trace is
+     * loaded and walked once for *all* of its pending configs
+     * instead of once per cell. The priced results seed the result
+     * cache and responses are assembled through evaluate(), so the
+     * output is bit-identical to calling evaluate() per request,
+     * index-aligned with @p requests. A group that fails during the
+     * batch phase is left unseeded; the assembly pass recomputes it
+     * and applies the failure policy exactly as the unbatched path
+     * would.
      */
-    BenchmarkResult evaluate(const Workload &workload,
-                             const SuiteConfig &config);
-    BenchmarkResult evaluate(const Workload &workload,
-                             const SuiteConfig &config,
-                             const std::vector<Model> &models);
-    std::vector<BenchmarkResult>
-    evaluateSuite(const SuiteConfig &config);
-    std::vector<BenchmarkResult>
-    evaluateSuite(const SuiteConfig &config,
-                  const std::vector<std::string> &onlyNames);
+    std::vector<EvalResponse>
+    evaluateBatch(const std::vector<EvalRequest> &requests);
 
     /**
      * Drop all cached TraceBuffers (priced SimResults stay cached).
@@ -222,6 +225,13 @@ class SuiteEvaluator
                          const MachineConfig &machine,
                          const SimConfig &sim,
                          const std::string &input);
+
+    /**
+     * Publish a batch-priced result under @p rkey as an
+     * already-ready cache entry; a no-op when the key is present
+     * (another thread computed or seeded it first).
+     */
+    void seedResult(const std::string &rkey, SimResult result);
 
     /**
      * One workload's row of @p request: the baseline denominator

@@ -12,14 +12,17 @@ BenchmarkResult
 evaluateWorkload(const Workload &workload, const SuiteConfig &config)
 {
     SuiteEvaluator evaluator(config.threads);
-    return evaluator.evaluate(workload, config);
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = {workload.name};
+    return evaluator.evaluate(request).results.at(0);
 }
 
 std::vector<BenchmarkResult>
 evaluateSuite(const SuiteConfig &config)
 {
     SuiteEvaluator evaluator(config.threads);
-    return evaluator.evaluateSuite(config);
+    return evaluator.evaluate(EvalRequest::fromSuiteConfig(config))
+        .results;
 }
 
 void

@@ -12,6 +12,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <unordered_map>
 
 #include "driver/bench_io.hh"
 #include "support/diag.hh"
@@ -304,19 +305,80 @@ crossoverSummary(const SweepSpec &spec,
     return JsonValue::makeArray(std::move(axisEntries));
 }
 
-/** Evaluate one shard (every index % stride == shard) in order. */
-std::pair<std::vector<JsonValue>, BenchTiming>
-runShard(const std::vector<SweepCell> &cells, int shard, int stride)
+// ---- Trace-affine sharding ----
+
+/**
+ * Key identifying which captured traces a cell replays: its request
+ * with every replay-only SimConfig knob (BTB, predictor, caches)
+ * scrubbed to the default. Capture depends only on workloads,
+ * models, ablation, scale, the machine model, and the fuel limit —
+ * exactly what survives the scrub — so two cells with equal keys
+ * replay the same traces.
+ */
+std::string
+traceGroupKey(const EvalRequest &request)
 {
+    EvalRequest scrubbed = request;
+    SimConfig sim;
+    sim.machine = request.sim.machine;
+    sim.maxDynInstrs = request.sim.maxDynInstrs;
+    scrubbed.sim = sim;
+    return scrubbed.requestDigest();
+}
+
+/**
+ * Shard index per cell: trace groups, numbered in first-appearance
+ * (grid) order, are dealt round-robin to shards, so every cell
+ * sharing a trace set lands on one worker and a single batched
+ * replay pass prices all of them. Deterministic, so every forked
+ * worker computes the identical assignment independently.
+ */
+std::vector<int>
+shardAssignment(const std::vector<SweepCell> &cells, int stride)
+{
+    std::vector<int> shardOf(cells.size(), 0);
+    std::unordered_map<std::string, int> groupOf;
+    for (const SweepCell &cell : cells) {
+        auto [it, inserted] = groupOf.emplace(
+            traceGroupKey(cell.request),
+            static_cast<int>(groupOf.size()));
+        shardOf[cell.index] = it->second % stride;
+    }
+    return shardOf;
+}
+
+/** Evaluate one shard's cells in grid order. With @p batch the whole
+ * shard is priced by one evaluateBatch call (each trace streamed
+ * once for all configs that replay it); without, cells are evaluated
+ * one request at a time. Both produce identical cell objects. */
+std::pair<std::vector<JsonValue>, BenchTiming>
+runShard(const std::vector<SweepCell> &cells, int shard, int stride,
+         bool batch)
+{
+    const std::vector<int> shardOf = shardAssignment(cells, stride);
+    std::vector<const SweepCell *> mine;
+    for (const SweepCell &cell : cells) {
+        if (shardOf[cell.index] == shard)
+            mine.push_back(&cell);
+    }
     SuiteEvaluator evaluator;
     std::vector<JsonValue> rendered;
-    for (const SweepCell &cell : cells) {
-        if (static_cast<int>(cell.index % static_cast<std::size_t>(
-                                              stride)) != shard) {
-            continue;
+    rendered.reserve(mine.size());
+    if (batch) {
+        std::vector<EvalRequest> requests;
+        requests.reserve(mine.size());
+        for (const SweepCell *cell : mine)
+            requests.push_back(cell->request);
+        std::vector<EvalResponse> responses =
+            evaluator.evaluateBatch(requests);
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            rendered.push_back(cellToJson(*mine[i], responses[i]));
+    } else {
+        for (const SweepCell *cell : mine) {
+            rendered.push_back(
+                cellToJson(*cell,
+                           evaluator.evaluate(cell->request)));
         }
-        rendered.push_back(
-            cellToJson(cell, evaluator.evaluate(cell.request)));
     }
     return {std::move(rendered), evaluator.timing()};
 }
@@ -330,10 +392,11 @@ workerFilePath(const std::string &dir, int worker)
 /** Child-process body: evaluate the shard, write the result file. */
 [[noreturn]] void
 runWorkerChild(const std::vector<SweepCell> &cells, int worker,
-               int workers, const std::string &dir)
+               int workers, bool batch, const std::string &dir)
 {
     try {
-        auto [rendered, timing] = runShard(cells, worker, workers);
+        auto [rendered, timing] =
+            runShard(cells, worker, workers, batch);
         JsonValue doc = JsonValue::makeObject({
             {"worker", JsonValue::makeInt(worker)},
             {"timing", timingToJson(timing)},
@@ -448,7 +511,7 @@ SweepSpec::expandGrid() const
 
 SweepOutcome
 runSweep(const SweepSpec &spec, int workers,
-         const std::string &outPath)
+         const std::string &outPath, bool batch)
 {
     const auto started = std::chrono::steady_clock::now();
     const std::vector<SweepCell> cells = spec.expandGrid();
@@ -463,7 +526,8 @@ runSweep(const SweepSpec &spec, int workers,
     }
 
     if (effectiveWorkers == 1) {
-        auto [cellsJson, shardTiming] = runShard(cells, 0, 1);
+        auto [cellsJson, shardTiming] =
+            runShard(cells, 0, 1, batch);
         rendered = std::move(cellsJson);
         timing = shardTiming;
     } else {
@@ -484,8 +548,10 @@ runSweep(const SweepSpec &spec, int workers,
                 throw FatalError(std::string("fork failed: ") +
                                  std::strerror(errno));
             }
-            if (pid == 0)
-                runWorkerChild(cells, w, effectiveWorkers, dir);
+            if (pid == 0) {
+                runWorkerChild(cells, w, effectiveWorkers, batch,
+                               dir);
+            }
             pids.push_back(pid);
         }
         std::string failures;

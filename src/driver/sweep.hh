@@ -8,8 +8,15 @@
  * a complete, serializable EvalRequest.
  *
  * runSweep() executes the grid either sequentially (one in-process
- * SuiteEvaluator) or sharded across N forked worker processes. Cells
- * are assigned round-robin (index % workers); every worker opens the
+ * SuiteEvaluator) or sharded across N forked worker processes.
+ * Sharding is trace-affine: cells are grouped by which captured
+ * traces they replay (the request minus its replay-only BTB/
+ * predictor/cache knobs) and the groups are dealt round-robin to
+ * workers, so no two workers ever capture or replay the same trace.
+ * Each worker prices its whole shard with one
+ * SuiteEvaluator::evaluateBatch call — every trace is streamed once
+ * for all of the shard's configs (pass batch=false to evaluate cell
+ * by cell instead; the output is identical). Every worker opens the
  * same flock-safe ArtifactStore (via PREDILP_STORE), so captured
  * traces are shared across the fleet and a warm re-run of the same
  * grid performs zero compiles and zero captures. Workers report
@@ -110,11 +117,15 @@ struct SweepOutcome
 /**
  * Execute @p spec with @p workers processes (<= 1 = sequential,
  * in-process) and write the consolidated report to @p outPath
- * ("" skips the file). Worker failures, duplicate cells, and
+ * ("" skips the file). @p batch prices each shard with one
+ * evaluateBatch call (one streaming pass per trace for all its
+ * configs) instead of cell-by-cell evaluate; both modes produce a
+ * byte-identical cells array. Worker failures, duplicate cells, and
  * missing cells throw FatalError.
  */
 SweepOutcome runSweep(const SweepSpec &spec, int workers,
-                      const std::string &outPath);
+                      const std::string &outPath,
+                      bool batch = true);
 
 } // namespace predilp
 

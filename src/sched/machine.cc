@@ -12,7 +12,13 @@ MachineConfig::latencyOf(const Instruction &instr) const
 int
 MachineConfig::latencyOf(Opcode op) const
 {
-    switch (opcodeInfo(op).latency) {
+    return latencyOfClass(opcodeInfo(op).latency);
+}
+
+int
+MachineConfig::latencyOfClass(LatencyClass cls) const
+{
+    switch (cls) {
       case LatencyClass::IntAlu: return latIntAlu;
       case LatencyClass::IntMul: return latIntMul;
       case LatencyClass::IntDiv: return latIntDiv;

@@ -44,6 +44,14 @@ struct MachineConfig
      * replay path price instructions without IR pointers.
      */
     int latencyOf(Opcode op) const;
+
+    /**
+     * @return the latency of class @p cls. The class is the whole
+     * story — latencyOf(op) is latencyOfClass(opcodeInfo(op).latency)
+     * — so the replay hot path prices records through a 9-entry
+     * per-class table instead of a per-static-instruction one.
+     */
+    int latencyOfClass(LatencyClass cls) const;
 };
 
 /** Preset: the paper's 8-issue, 1-branch configuration. */

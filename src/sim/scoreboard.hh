@@ -21,6 +21,7 @@
 #define PREDILP_SIM_SCOREBOARD_HH
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -36,11 +37,21 @@ class RegScoreboard
   public:
     /** Size every class's table from @p index's register bounds. */
     explicit RegScoreboard(const StaticIndex &index)
+        : RegScoreboard(std::array<int, 3>{
+              index.regBound(RegClass::Int),
+              index.regBound(RegClass::Float),
+              index.regBound(RegClass::Pred)})
+    {}
+
+    /**
+     * Size every class's table from explicit per-class bounds (Int,
+     * Float, Pred order) — the batched-replay path, where bounds
+     * travel with the shared ReplayTable instead of the index.
+     */
+    explicit RegScoreboard(const std::array<int, 3> &regBounds)
     {
-        for (RegClass cls :
-             {RegClass::Int, RegClass::Float, RegClass::Pred}) {
-            board(cls).resize(index.regBound(cls));
-        }
+        for (std::size_t cls = 0; cls < boards_.size(); ++cls)
+            boards_[cls].resize(regBounds[cls]);
     }
 
     /** Cycle @p reg becomes ready; 0 when untouched this epoch. */
@@ -179,7 +190,7 @@ class RegScoreboard
         return b.ready[i];
     }
 
-    ClassBoard boards_[3];
+    std::array<ClassBoard, 3> boards_;
     std::uint32_t epoch_ = 1;
 };
 

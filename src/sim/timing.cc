@@ -3,14 +3,63 @@
 #include <algorithm>
 
 #include "support/logging.hh"
+#include "support/thread_pool.hh"
 #include "trace/replay.hh"
 
 namespace predilp
 {
 
+StaticOpRow
+makeStaticOpRow(const StaticOp &op)
+{
+    StaticOpRow row;
+    row.addr = op.addr;
+    row.guard = op.guard;
+    row.dest = op.dest;
+    row.regBegin = op.regBegin;
+    row.srcRegCount = op.srcRegCount;
+    row.predDestCount = op.predDestCount;
+    row.cls = static_cast<std::uint8_t>(opcodeInfo(op.op).latency);
+    row.kind = static_cast<std::uint8_t>(op.kind);
+    row.traits = static_cast<std::uint8_t>(
+        (op.isBranch ? rowIsBranch : 0) |
+        (op.isLoad ? rowIsLoad : 0) | (op.isStore ? rowIsStore : 0) |
+        (op.isPredAll ? rowIsPredAll : 0));
+    return row;
+}
+
+ReplayTable::ReplayTable(const StaticIndex &index)
+    : regPool_(index.regPool().data()),
+      regBounds_{index.regBound(RegClass::Int),
+                 index.regBound(RegClass::Float),
+                 index.regBound(RegClass::Pred)}
+{
+    rows_.reserve(index.size());
+    for (const StaticOp &op : index.ops())
+        rows_.push_back(makeStaticOpRow(op));
+}
+
+namespace
+{
+
+/** Bake a SimConfig's per-LatencyClass latency table. */
+std::array<int, 9>
+bakeLatencies(const MachineConfig &machine)
+{
+    std::array<int, 9> lat{};
+    for (std::size_t cls = 0; cls < lat.size(); ++cls) {
+        lat[cls] = machine.latencyOfClass(
+            static_cast<LatencyClass>(cls));
+    }
+    return lat;
+}
+
+} // namespace
+
 CycleModel::CycleModel(const StaticIndex &index,
                        const SimConfig &config)
-    : index_(index), config_(config),
+    : index_(&index), config_(config),
+      latByClass_(bakeLatencies(config.machine)),
       icache_(config.cacheSizeBytes, config.cacheLineBytes,
               config.cacheAssociativity),
       dcache_(config.cacheSizeBytes, config.cacheLineBytes,
@@ -19,48 +68,56 @@ CycleModel::CycleModel(const StaticIndex &index,
            config.predictor),
       scoreboard_(index)
 {
-    // Price everything interned so far up front; the fused path
+    // Bake everything interned so far up front; the fused path
     // extends on demand as new static instructions appear.
-    latencies_.reserve(index_.size());
-    classes_.reserve(index_.size());
-    while (latencies_.size() < index_.size()) {
-        Opcode op =
-            index_.op(static_cast<std::uint32_t>(latencies_.size()))
-                .op;
-        latencies_.push_back(config_.machine.latencyOf(op));
-        classes_.push_back(
-            static_cast<std::uint8_t>(opcodeInfo(op).latency));
-    }
+    if (index.size() > 0)
+        extendRows(index.size() - 1);
 }
 
-int
-CycleModel::latencyFor(std::uint32_t staticId)
-{
-    while (latencies_.size() <= staticId) {
-        Opcode op =
-            index_.op(static_cast<std::uint32_t>(latencies_.size()))
-                .op;
-        latencies_.push_back(config_.machine.latencyOf(op));
-        classes_.push_back(
-            static_cast<std::uint8_t>(opcodeInfo(op).latency));
-    }
-    return latencies_[staticId];
-}
+CycleModel::CycleModel(const ReplayTable &table,
+                       const SimConfig &config)
+    : rows_(table.rows()), rowCount_(table.size()),
+      regPool_(table.regPool()), config_(config),
+      latByClass_(bakeLatencies(config.machine)),
+      icache_(config.cacheSizeBytes, config.cacheLineBytes,
+              config.cacheAssociativity),
+      dcache_(config.cacheSizeBytes, config.cacheLineBytes,
+              config.cacheAssociativity),
+      btb_(config.btbEntries, config.btbAssociativity,
+           config.predictor),
+      scoreboard_(table.regBounds())
+{}
 
 void
-CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
-                     std::int64_t memAddr)
+CycleModel::extendRows(std::uint32_t staticId)
 {
-    const StaticOp &op = index_.op(staticId);
+    panicIf(index_ == nullptr,
+            "static id ", staticId,
+            " outside the shared ReplayTable (", rowCount_,
+            " rows): replay-mode models cannot bake new rows");
+    while (ownedRows_.size() <= staticId) {
+        ownedRows_.push_back(makeStaticOpRow(index_->op(
+            static_cast<std::uint32_t>(ownedRows_.size()))));
+    }
+    rows_ = ownedRows_.data();
+    rowCount_ = ownedRows_.size();
+    // Interning may have grown (reallocated) the index's register
+    // pool since the last bake; re-anchor the base pointer.
+    regPool_ = index_->regPool().data();
+}
+
+inline void
+CycleModel::priceRecord(const StaticOpRow &row, std::uint32_t flags,
+                        std::int64_t memAddr)
+{
     const bool nullified = (flags & traceNullified) != 0;
-    const bool hasMemAddr = (flags & traceHasMemAddr) != 0;
     result_.dynInstrs += 1;
     if (nullified)
         result_.nullified += 1;
 
     // --- fetch: instruction cache ---
     if (!config_.perfectCaches) {
-        if (!icache_.access(op.addr)) {
+        if (!icache_.access(row.addr)) {
             result_.icacheMisses += 1;
             advanceTo(cycle_ + config_.cacheMissPenalty);
         }
@@ -68,13 +125,13 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
 
     // --- operand readiness (register interlocks) ---
     long t = cycle_;
-    if (op.guard.valid())
-        t = std::max(t, scoreboard_.readyAt(op.guard));
+    if (row.guard.valid())
+        t = std::max(t, scoreboard_.readyAt(row.guard));
     if (!nullified) {
         // A squashed instruction is suppressed at decode and never
         // reads its data operands.
-        const Reg *srcs = index_.regs(op);
-        for (std::uint16_t i = 0; i < op.srcRegCount; ++i)
+        const Reg *srcs = regPool_ + row.regBegin;
+        for (std::uint16_t i = 0; i < row.srcRegCount; ++i)
             t = std::max(t, scoreboard_.readyAt(srcs[i]));
         // OR/AND-type defines merge with the old value, but
         // same-sense accumulations issue simultaneously (wired-OR,
@@ -83,8 +140,9 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
     advanceTo(t);
 
     // --- issue slot allocation ---
+    const bool isBranch = (row.traits & rowIsBranch) != 0;
     while (slots_ >= config_.machine.issueWidth ||
-           (op.isBranch &&
+           (isBranch &&
             branchSlots_ >= config_.machine.branchesPerCycle)) {
         if (slots_ >= config_.machine.issueWidth)
             widthStallCycles_ += 1;
@@ -93,34 +151,43 @@ CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
         advanceTo(cycle_ + 1);
     }
     slots_ += 1;
-    if (op.isBranch)
+    if (isBranch)
         branchSlots_ += 1;
 
     // --- execution / destination readiness ---
-    int latency = latencyFor(staticId);
-    issuedByClass_[classes_[staticId]] += 1;
+    int latency = latByClass_[row.cls];
+    issuedByClass_[row.cls] += 1;
     if (!nullified) {
-        if (op.isLoad) {
+        if ((row.traits & rowIsLoad) != 0) {
             result_.loads += 1;
-            if (!config_.perfectCaches && hasMemAddr &&
+            if (!config_.perfectCaches &&
+                (flags & traceHasMemAddr) != 0 &&
                 !dcache_.access(memAddr)) {
                 result_.dcacheMisses += 1;
                 latency += config_.cacheMissPenalty;
             }
-        } else if (op.isStore) {
+        } else if ((row.traits & rowIsStore) != 0) {
             result_.stores += 1;
-            if (!config_.perfectCaches && hasMemAddr &&
+            if (!config_.perfectCaches &&
+                (flags & traceHasMemAddr) != 0 &&
                 !dcache_.writeAccess(memAddr)) {
                 result_.dcacheMisses += 1;
                 // Write-through with a write buffer: no stall.
             }
         }
-        setReady(op, cycle_ + latency);
+        setReady(row, cycle_ + latency);
     }
 
     // --- control ---
-    if (!nullified && op.isBranch)
-        handleControl(op, (flags & traceTaken) != 0);
+    if (!nullified && isBranch)
+        handleControl(row, (flags & traceTaken) != 0);
+}
+
+void
+CycleModel::onRecord(std::uint32_t staticId, std::uint32_t flags,
+                     std::int64_t memAddr)
+{
+    priceRecord(row(staticId), flags, memAddr);
 }
 
 void
@@ -129,14 +196,24 @@ CycleModel::onChunk(const TraceEntry *entries, std::size_t count,
 {
     // One bounds check per chunk instead of two per record; the
     // address run was decoded once by the ChunkCursor, so the only
-    // per-record memory-stream work left is a pointer bump.
+    // per-record memory-stream work left is a pointer bump. The
+    // addrs == nullptr variant skips even that: perfect-cache
+    // configs never read the address, so flagged entries price
+    // against zero.
+    if (addrs == nullptr) {
+        for (std::size_t i = 0; i < count; ++i) {
+            const TraceEntry entry = entries[i];
+            priceRecord(row(entry.staticId()), entry.flags(), 0);
+        }
+        return;
+    }
     for (std::size_t i = 0; i < count; ++i) {
         const TraceEntry entry = entries[i];
         const std::uint32_t flags = entry.flags();
         std::int64_t memAddr = 0;
         if ((flags & traceHasMemAddr) != 0)
             memAddr = *addrs++;
-        onRecord(entry.staticId(), flags, memAddr);
+        priceRecord(row(entry.staticId()), flags, memAddr);
     }
 }
 
@@ -187,17 +264,17 @@ CycleModel::finish(std::int64_t exitValue, std::string output)
 }
 
 void
-CycleModel::setReady(const StaticOp &op, long when)
+CycleModel::setReady(const StaticOpRow &row, long when)
 {
-    if (op.dest.valid())
-        scoreboard_.setDest(op.dest, when);
-    const Reg *predDests = index_.regs(op) + op.srcRegCount;
-    for (std::uint16_t i = 0; i < op.predDestCount; ++i) {
+    if (row.dest.valid())
+        scoreboard_.setDest(row.dest, when);
+    const Reg *predDests = regPool_ + row.regBegin + row.srcRegCount;
+    for (std::uint16_t i = 0; i < row.predDestCount; ++i) {
         // Accumulated predicates become ready when the *latest*
         // contribution completes.
         scoreboard_.accumulate(predDests[i], when);
     }
-    if (op.isPredAll) {
+    if ((row.traits & rowIsPredAll) != 0) {
         // Whole-file write: conservatively mark every predicate
         // register known so far.
         scoreboard_.setAllPred(when);
@@ -224,19 +301,19 @@ CycleModel::drain()
 }
 
 void
-CycleModel::handleControl(const StaticOp &op, bool taken)
+CycleModel::handleControl(const StaticOpRow &row, bool taken)
 {
     // A taken transfer redirects fetch: its target instructions
     // issue from the next cycle (they were not in this fetch
     // group). Mispredictions additionally cost the 2-cycle
     // penalty of §4.1. Correctly-predicted not-taken branches
     // are free beyond their branch slot.
-    switch (op.kind) {
+    switch (static_cast<StaticOp::Kind>(row.kind)) {
       case StaticOp::Kind::CondBranch: {
         result_.branches += 1;
         result_.condBranches += 1;
-        bool predicted = btb_.predictTaken(op.addr);
-        btb_.update(op.addr, taken);
+        bool predicted = btb_.predictTaken(row.addr);
+        btb_.update(row.addr, taken);
         if (predicted != taken) {
             result_.mispredicts += 1;
             advanceTo(cycle_ + 1 + config_.machine.mispredictPenalty);
@@ -289,6 +366,38 @@ class InlineSink : public TraceSink
     CycleModel model_;
 };
 
+/**
+ * Price one lane of configs with a single pass over the trace. The
+ * address side stream is decoded only when some lane member models
+ * real caches, and handed only to those members.
+ */
+void
+replayLane(const TraceBuffer &trace, const ReplayTable &table,
+           std::span<const SimConfig> configs, SimResult *out)
+{
+    std::vector<CycleModel> models;
+    models.reserve(configs.size());
+    bool needAddrs = false;
+    for (const SimConfig &config : configs) {
+        models.emplace_back(table, config);
+        needAddrs = needAddrs || models.back().readsAddresses();
+    }
+    TraceBuffer::ChunkCursor cursor(trace, needAddrs);
+    const TraceEntry *entries = nullptr;
+    std::size_t count = 0;
+    const std::int64_t *addrs = nullptr;
+    while (cursor.next(entries, count, addrs)) {
+        for (CycleModel &model : models) {
+            model.onChunk(entries, count,
+                          model.readsAddresses() ? addrs : nullptr);
+        }
+    }
+    for (std::size_t i = 0; i < models.size(); ++i) {
+        out[i] = models[i].finish(trace.run().exitValue,
+                                  trace.run().output);
+    }
+}
+
 } // namespace
 
 SimResult
@@ -307,14 +416,48 @@ simulate(const Program &prog, const std::string &input,
 SimResult
 replay(const TraceBuffer &trace, const SimConfig &config)
 {
-    CycleModel model(trace.index(), config);
-    TraceBuffer::ChunkCursor cursor(trace);
-    const TraceEntry *entries = nullptr;
-    std::size_t count = 0;
-    const std::int64_t *addrs = nullptr;
-    while (cursor.next(entries, count, addrs))
-        model.onChunk(entries, count, addrs);
-    return model.finish(trace.run().exitValue, trace.run().output);
+    ReplayTable table(trace.index());
+    SimResult result;
+    replayLane(trace, table, std::span<const SimConfig>(&config, 1),
+               &result);
+    return result;
+}
+
+std::vector<SimResult>
+replayBatch(const TraceBuffer &trace,
+            std::span<const SimConfig> configs, ThreadPool *pool)
+{
+    std::vector<SimResult> results(configs.size());
+    if (configs.empty())
+        return results;
+    ReplayTable table(trace.index());
+
+    // Lane sizing: with no pool (or a 1-thread pool) one lane takes
+    // the whole batch, maximizing cursor/decode amortization; with a
+    // pool the batch is split evenly into one lane per usable
+    // thread, so aggregate throughput scales with cores while every
+    // lane still streams each chunk once for all its configs.
+    std::size_t laneWidth = configs.size();
+    if (pool != nullptr && pool->threadCount() > 1) {
+        const std::size_t laneCount =
+            std::min(configs.size(),
+                     static_cast<std::size_t>(pool->threadCount()));
+        laneWidth = (configs.size() + laneCount - 1) / laneCount;
+    }
+    const std::size_t lanes =
+        (configs.size() + laneWidth - 1) / laneWidth;
+    if (lanes == 1) {
+        replayLane(trace, table, configs, results.data());
+        return results;
+    }
+    pool->parallelFor(lanes, [&](std::size_t lane) {
+        const std::size_t begin = lane * laneWidth;
+        const std::size_t count =
+            std::min(laneWidth, configs.size() - begin);
+        replayLane(trace, table, configs.subspan(begin, count),
+                   results.data() + begin);
+    });
+    return results;
 }
 
 } // namespace predilp

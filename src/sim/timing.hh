@@ -13,6 +13,15 @@
  * pass (no trace materialized), and replay() (trace/replay.hh)
  * prices a previously captured TraceBuffer. Both yield bit-identical
  * SimResults for the same program, input, and configuration.
+ *
+ * Replay additionally batches: replayBatch() streams each trace
+ * chunk once and advances N independent CycleModels against it, so
+ * the chunk walk, the varint address-side-stream decode, and the
+ * trace's memory traffic are paid once per trace instead of once per
+ * configuration. All replay models share one ReplayTable — a packed,
+ * machine-independent static-op metadata table baked from the
+ * StaticIndex — and price latencies through a 9-entry per-class
+ * table, so the per-record hot path touches exactly one row.
  */
 
 #ifndef PREDILP_SIM_TIMING_HH
@@ -20,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,6 +42,8 @@
 
 namespace predilp
 {
+
+class ThreadPool;
 
 /** Results of one simulated run. */
 struct SimResult
@@ -70,26 +82,98 @@ struct SimResult
     }
 };
 
+/** StaticOpRow trait bits (machine-independent classification). */
+constexpr std::uint8_t rowIsBranch = 1u << 0;
+constexpr std::uint8_t rowIsLoad = 1u << 1;
+constexpr std::uint8_t rowIsStore = 1u << 2;
+constexpr std::uint8_t rowIsPredAll = 1u << 3;
+
+/**
+ * One packed row of a ReplayTable: everything the pricing hot path
+ * reads per record, flattened into a single contiguous array indexed
+ * by static id. Compared to StaticOp this bakes in the opcode's
+ * LatencyClass ordinal (`cls`) — the only opcode property pricing
+ * needs — so the per-record path is one row load plus a 9-entry
+ * per-class latency table lookup, instead of a StaticOp load, a
+ * parallel classes_[] load, and a lazily-grown latencies_[] load.
+ * StaticOp itself stays unchanged: it is serialized in the artifact
+ * store's on-disk format.
+ */
+struct StaticOpRow
+{
+    std::int64_t addr = 0; ///< fetch address (I-cache / BTB key).
+    Reg guard;             ///< invalid when unguarded.
+    Reg dest;              ///< invalid when no register result.
+    std::uint32_t regBegin = 0;      ///< offset into the reg pool.
+    std::uint16_t srcRegCount = 0;   ///< register sources.
+    std::uint16_t predDestCount = 0; ///< pred dests (after sources).
+    std::uint8_t cls = 0;    ///< LatencyClass ordinal.
+    std::uint8_t kind = 0;   ///< StaticOp::Kind ordinal.
+    std::uint8_t traits = 0; ///< rowIs* bits.
+};
+
+/** Bake the pricing row of one interned static op. */
+StaticOpRow makeStaticOpRow(const StaticOp &op);
+
+/**
+ * Pre-baked static-op metadata for replay: the packed row array, the
+ * register-operand pool, and the per-class register bounds, built
+ * once per StaticIndex and shared read-only by every CycleModel in a
+ * batch. Holds a pointer into @p index's register pool, so the index
+ * (in practice: the TraceBuffer that owns it) must outlive the
+ * table. Build cost is O(static ops) — noise next to any replay.
+ */
+class ReplayTable
+{
+  public:
+    explicit ReplayTable(const StaticIndex &index);
+
+    const StaticOpRow *rows() const { return rows_.data(); }
+    std::size_t size() const { return rows_.size(); }
+
+    /** Pooled register operands (srcs then pred dests per row). */
+    const Reg *regPool() const { return regPool_; }
+
+    /** Per-class register bounds (Int, Float, Pred order). */
+    const std::array<int, 3> &regBounds() const { return regBounds_; }
+
+  private:
+    std::vector<StaticOpRow> rows_;
+    const Reg *regPool_ = nullptr;
+    std::array<int, 3> regBounds_{};
+};
+
 /**
  * The in-order pipeline pricing model. Stateless about *how* records
  * are produced: feed it interned records via onRecord() — from the
  * live emulator (simulate()) or a captured buffer (replay()) — then
  * collect the SimResult with finish().
  *
- * Decode information comes from the StaticIndex; per-machine
- * instruction latencies are computed once per static instruction and
- * memoized in a dense table, so the per-record path performs no map
- * lookups and never touches IR data structures.
+ * Decode information is read from packed StaticOpRows. The replay
+ * constructor borrows them from a shared ReplayTable (complete up
+ * front, zero per-model bake cost); the fused constructor bakes an
+ * owned copy that extends on demand as simulate() interns new static
+ * instructions. Per-machine latencies live in a 9-entry per-class
+ * table, so the per-record path performs no map lookups and never
+ * touches IR data structures.
  */
 class CycleModel
 {
   public:
     /**
-     * @param index decode tables; may still be growing (the fused
-     * simulate() path interns lazily), so it is consulted by value
-     * index on every record and latencies extend on demand.
+     * Fused-pipeline mode. @p index may still be growing (the fused
+     * simulate() path interns lazily), so the owned row table
+     * extends on demand as new static ids appear.
      */
     CycleModel(const StaticIndex &index, const SimConfig &config);
+
+    /**
+     * Replay mode: rows come from @p table, shared read-only across
+     * every model of a batch. The table must cover all ids the trace
+     * replays (always true for a table baked from the trace's own
+     * index) and must outlive the model.
+     */
+    CycleModel(const ReplayTable &table, const SimConfig &config);
 
     /** Price one dynamic record. */
     void onRecord(std::uint32_t staticId, std::uint32_t flags,
@@ -100,31 +184,56 @@ class CycleModel
      * replay hot path. @p addrs is the span's pre-decoded absolute
      * address run: one address per traceHasMemAddr-flagged entry, in
      * entry order (TraceBuffer::ChunkCursor produces exactly this).
-     * Behaviour is record-for-record identical to calling onRecord.
+     * When this model never reads addresses (perfect caches), pass
+     * addrs == nullptr to skip the address-run walk; flagged entries
+     * then price with a zero address, which such configs never
+     * observe. Behaviour is record-for-record identical to calling
+     * onRecord.
      */
     void onChunk(const TraceEntry *entries, std::size_t count,
                  const std::int64_t *addrs);
+
+    /** @return true when pricing reads memory addresses. */
+    bool readsAddresses() const { return !config_.perfectCaches; }
 
     /** Finalize: attach the functional run's outcome. */
     SimResult finish(std::int64_t exitValue, std::string output);
 
   private:
-    int latencyFor(std::uint32_t staticId);
-    void setReady(const StaticOp &op, long when);
+    /** Row of @p staticId, baking fused-mode rows on demand. */
+    const StaticOpRow &
+    row(std::uint32_t staticId)
+    {
+        if (staticId >= rowCount_) [[unlikely]]
+            extendRows(staticId);
+        return rows_[staticId];
+    }
+
+    void extendRows(std::uint32_t staticId);
+    void priceRecord(const StaticOpRow &row, std::uint32_t flags,
+                     std::int64_t memAddr);
+    void setReady(const StaticOpRow &row, long when);
     void advanceTo(long target);
     void drain();
-    void handleControl(const StaticOp &op, bool taken);
+    void handleControl(const StaticOpRow &row, bool taken);
 
     static constexpr std::size_t numLatencyClasses = 9;
 
-    const StaticIndex &index_;
+    /** Fused mode only: the (possibly growing) interner. */
+    const StaticIndex *index_ = nullptr;
+    /** Fused mode only: owned rows, extended on demand. */
+    std::vector<StaticOpRow> ownedRows_;
+    /** Active row table (owned or borrowed) and its register pool. */
+    const StaticOpRow *rows_ = nullptr;
+    std::size_t rowCount_ = 0;
+    const Reg *regPool_ = nullptr;
     /**
      * Stored by value: callers routinely build a SimConfig inline
      * (or on a worker's stack) and the model must outlive it.
      */
     const SimConfig config_;
-    std::vector<int> latencies_; ///< dense, indexed by static id.
-    std::vector<std::uint8_t> classes_; ///< LatencyClass per id.
+    /** Machine latency per LatencyClass ordinal. */
+    std::array<int, numLatencyClasses> latByClass_{};
     SetAssocCache icache_;
     SetAssocCache dcache_;
     BranchTargetBuffer btb_;
@@ -149,6 +258,25 @@ class CycleModel
  */
 SimResult simulate(const Program &prog, const std::string &input,
                    const SimConfig &config);
+
+/**
+ * Price @p trace under every configuration in @p configs with one
+ * pass over the trace: each chunk is fetched (and its address side
+ * stream decoded) once, then every model prices it while it is
+ * cache-resident. Results are index-aligned with @p configs and
+ * bit-identical to calling replay() per config. When no config in
+ * the batch models real caches, the varint side stream is never
+ * decoded at all.
+ *
+ * @param pool optional: spread the batch across worker threads,
+ * one lane per usable thread (each lane walks the trace
+ * independently; chunk decode is then paid once per lane), so
+ * aggregate throughput scales with cores. Pass nullptr to price the
+ * whole batch as a single lane on the calling thread.
+ */
+std::vector<SimResult> replayBatch(const TraceBuffer &trace,
+                                   std::span<const SimConfig> configs,
+                                   ThreadPool *pool = nullptr);
 
 } // namespace predilp
 

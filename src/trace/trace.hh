@@ -650,12 +650,20 @@ class TraceBuffer
      * absolute-address run (one address per flagged entry, in entry
      * order). The address buffer is reused between steps and is
      * valid until the next call.
+     *
+     * Pass decodeAddrs = false when no consumer reads memory
+     * addresses (every config in the batch models perfect caches):
+     * the varint side stream is skipped entirely — not even scanned —
+     * and next() yields addrs == nullptr. Entry flags are untouched,
+     * so pricing is bit-identical; the only observable difference is
+     * that side-stream corruption goes undiagnosed on such passes.
      */
     class ChunkCursor
     {
       public:
-        explicit ChunkCursor(const TraceBuffer &buffer)
-            : buffer_(buffer)
+        explicit ChunkCursor(const TraceBuffer &buffer,
+                             bool decodeAddrs = true)
+            : buffer_(buffer), decodeAddrs_(decodeAddrs)
         {}
 
         /** @return false at end of trace. */
@@ -668,6 +676,11 @@ class TraceBuffer
             const ChunkView view = buffer_.chunk(chunk_);
             entries = view.entries;
             count = view.entryCount;
+            if (!decodeAddrs_) {
+                addrs = nullptr;
+                chunk_ += 1;
+                return true;
+            }
             const std::uint32_t n = view.memCount;
             addrBuf_.clear();
             addrBuf_.reserve(n);
@@ -689,6 +702,7 @@ class TraceBuffer
       private:
         const TraceBuffer &buffer_;
         std::size_t chunk_ = 0;
+        const bool decodeAddrs_;
         std::int64_t prevAddr_ = 0;
         std::vector<std::int64_t> addrBuf_;
     };

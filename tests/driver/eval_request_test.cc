@@ -2,8 +2,8 @@
  * @file
  * EvalRequest tests: the serializable request surface round-trips
  * through canonical JSON, rejects unknown keys, digests stably, and
- * evaluate(EvalRequest) produces exactly what the deprecated
- * SuiteConfig shims produce for equivalent inputs.
+ * evaluate(EvalRequest) produces exactly what the report.hh
+ * SuiteConfig convenience wrappers produce for equivalent inputs.
  */
 
 #include <gtest/gtest.h>
@@ -128,27 +128,24 @@ TEST(EvalRequest, FromSuiteConfigMapsEveryField)
     EXPECT_TRUE(request.models.empty());
 }
 
-TEST(EvalRequest, EvaluateMatchesDeprecatedShims)
+TEST(EvalRequest, EvaluateMatchesSuiteConfigWrappers)
 {
-    const std::vector<std::string> subset = {"cmp", "wc"};
     SuiteConfig config;
     config.machine = issue8Branch1();
+    config.threads = 1;
 
     SuiteEvaluator modern(1);
     EvalRequest request = EvalRequest::fromSuiteConfig(config);
-    request.workloads = subset;
+    request.workloads = {"cmp"};
     EvalResponse response = modern.evaluate(request);
     EXPECT_EQ(response.requestDigest, request.requestDigest());
 
-    SuiteEvaluator legacy(1);
-    expectResultsEq(response.results,
-                    legacy.evaluateSuite(config, subset));
-
-    // The single-workload shim matches the matching response row.
+    // The report.hh convenience wrappers go through the same entry
+    // point and must agree cell for cell.
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
     expectResultsEq({response.results.at(0)},
-                    {legacy.evaluate(*workload, config)});
+                    {evaluateWorkload(*workload, config)});
 }
 
 TEST(EvalRequest, UnknownWorkloadThrows)

@@ -29,6 +29,34 @@ smallConfig()
     return config;
 }
 
+EvalRequest
+requestFor(const SuiteConfig &config,
+           std::vector<std::string> workloads = {},
+           std::vector<Model> models = {})
+{
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = std::move(workloads);
+    request.models = std::move(models);
+    return request;
+}
+
+std::vector<BenchmarkResult>
+evalSuite(SuiteEvaluator &evaluator, const SuiteConfig &config,
+          const std::vector<std::string> &names)
+{
+    return evaluator.evaluate(requestFor(config, names)).results;
+}
+
+BenchmarkResult
+evalOne(SuiteEvaluator &evaluator, const Workload &workload,
+        const SuiteConfig &config, std::vector<Model> models = {})
+{
+    return evaluator
+        .evaluate(
+            requestFor(config, {workload.name}, std::move(models)))
+        .results.at(0);
+}
+
 void
 expectResultsEq(const std::vector<BenchmarkResult> &a,
                 const std::vector<BenchmarkResult> &b)
@@ -63,8 +91,8 @@ TEST(SuiteEvaluator, ThreadCountDoesNotChangeResults)
     SuiteEvaluator parallel(4);
     EXPECT_EQ(serial.threadCount(), 1);
     EXPECT_EQ(parallel.threadCount(), 4);
-    auto a = serial.evaluateSuite(config, subset);
-    auto b = parallel.evaluateSuite(config, subset);
+    auto a = evalSuite(serial, config, subset);
+    auto b = evalSuite(parallel, config, subset);
     expectResultsEq(a, b);
     // Order follows the requested names, not completion order.
     ASSERT_EQ(a.size(), subset.size());
@@ -76,12 +104,12 @@ TEST(SuiteEvaluator, RepeatHitsResultCache)
 {
     SuiteConfig config = smallConfig();
     SuiteEvaluator evaluator(1);
-    auto first = evaluator.evaluateSuite(config, subset);
+    auto first = evalSuite(evaluator, config, subset);
     BenchTiming cold = evaluator.timing();
     EXPECT_GT(cold.compiles, 0u);
     EXPECT_EQ(cold.resultCacheHits, 0u);
 
-    auto second = evaluator.evaluateSuite(config, subset);
+    auto second = evalSuite(evaluator, config, subset);
     BenchTiming warm = evaluator.timing();
     expectResultsEq(first, second);
     // The repeat did no new work: every cell was a result-cache hit.
@@ -99,10 +127,10 @@ TEST(SuiteEvaluator, TracesReusedAcrossSimConfigs)
     real.perfectCaches = false;
 
     SuiteEvaluator evaluator(1);
-    evaluator.evaluateSuite(perfect, subset);
+    evalSuite(evaluator, perfect, subset);
     BenchTiming cold = evaluator.timing();
 
-    evaluator.evaluateSuite(real, subset);
+    evalSuite(evaluator, real, subset);
     BenchTiming warm = evaluator.timing();
     // Real caches change only the pricing: no recompilation or
     // re-emulation, every cell replayed from the cached trace.
@@ -120,7 +148,7 @@ TEST(SuiteEvaluator, ModelSubsetEvaluatesOnlyThatModel)
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
     BenchmarkResult r =
-        evaluator.evaluate(*workload, config, {Model::FullPred});
+        evalOne(evaluator, *workload, config, {Model::FullPred});
     EXPECT_EQ(r.models.size(), 1u);
     EXPECT_GT(r.baseCycles, 0u);
     EXPECT_GT(r.speedup(Model::FullPred), 0.0);
@@ -132,12 +160,12 @@ TEST(SuiteEvaluator, ReleaseTracesKeepsResults)
 {
     SuiteConfig config = smallConfig();
     SuiteEvaluator evaluator(1);
-    auto first = evaluator.evaluateSuite(config, subset);
+    auto first = evalSuite(evaluator, config, subset);
     EXPECT_GT(evaluator.timing().traceBytes, 0u);
     evaluator.releaseTraces();
     EXPECT_EQ(evaluator.timing().traceBytes, 0u);
     // Priced results survive the trace drop.
-    auto second = evaluator.evaluateSuite(config, subset);
+    auto second = evalSuite(evaluator, config, subset);
     expectResultsEq(first, second);
     // Per workload: 4 capturing emulations + 1 reference run.
     EXPECT_EQ(evaluator.timing().captures, first.size() * 5);
@@ -147,7 +175,7 @@ TEST(SuiteEvaluator, UnknownWorkloadPanics)
 {
     SuiteConfig config = smallConfig();
     SuiteEvaluator evaluator(1);
-    EXPECT_ANY_THROW(evaluator.evaluateSuite(config, {"nope"}));
+    EXPECT_ANY_THROW(evalSuite(evaluator, config, {"nope"}));
 }
 
 TEST(SuiteEvaluator, StrictModePropagatesTypedTrapThroughPool)
@@ -163,7 +191,7 @@ TEST(SuiteEvaluator, StrictModePropagatesTypedTrapThroughPool)
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
     try {
-        evaluator.evaluate(*workload, tiny, {Model::FullPred});
+        evalOne(evaluator, *workload, tiny, {Model::FullPred});
         FAIL() << "expected EmuTrap";
     } catch (const EmuTrap &trap) {
         EXPECT_EQ(trap.kind(), TrapKind::FuelExhausted);
@@ -182,7 +210,7 @@ TEST(SuiteEvaluator, FailedComputationIsEvictedForRetry)
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
     EXPECT_THROW(
-        evaluator.evaluate(*workload, tiny, {Model::FullPred}),
+        evalOne(evaluator, *workload, tiny, {Model::FullPred}),
         EmuTrap);
     // The model compile lands before the capture traps, so a real
     // retry recompiles; a poisoned cache would instead resolve the
@@ -190,7 +218,7 @@ TEST(SuiteEvaluator, FailedComputationIsEvictedForRetry)
     const BenchTiming cold = evaluator.timing();
     EXPECT_GT(cold.compiles, 0u);
     EXPECT_THROW(
-        evaluator.evaluate(*workload, tiny, {Model::FullPred}),
+        evalOne(evaluator, *workload, tiny, {Model::FullPred}),
         EmuTrap);
     const BenchTiming warm = evaluator.timing();
     EXPECT_GT(warm.compiles, cold.compiles);
@@ -215,7 +243,7 @@ TEST(SuiteEvaluator, IsolatedTrapCellDegradesToErrorAndReproducer)
 
     // Every cell traps, but evaluate() completes and reports each
     // failure as a structured record with a readable reproducer.
-    BenchmarkResult result = evaluator.evaluate(*workload, tiny);
+    BenchmarkResult result = evalOne(evaluator, *workload, tiny);
     EXPECT_EQ(result.errors.size(), 4u);
     for (const CellError &error : result.errors) {
         EXPECT_EQ(error.workload, "cmp");
@@ -233,10 +261,10 @@ TEST(SuiteEvaluator, IsolatedTrapCellDegradesToErrorAndReproducer)
     // bit-identically to a fresh strict evaluator: the failed
     // cells neither poisoned the caches nor leaked into results.
     SuiteConfig normal = smallConfig();
-    BenchmarkResult ok = evaluator.evaluate(*workload, normal);
+    BenchmarkResult ok = evalOne(evaluator, *workload, normal);
     EXPECT_TRUE(ok.errors.empty());
     SuiteEvaluator fresh(1);
-    BenchmarkResult expected = fresh.evaluate(*workload, normal);
+    BenchmarkResult expected = evalOne(fresh, *workload, normal);
     EXPECT_EQ(ok.baseCycles, expected.baseCycles);
     ASSERT_EQ(ok.models.size(), expected.models.size());
     for (const auto &[model, sim] : ok.models) {
@@ -264,8 +292,9 @@ TEST(SuiteEvaluator, EqualCellKeysGetDistinctReproducerFiles)
 
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
-    BenchmarkResult result = evaluator.evaluate(
-        *workload, tiny, {Model::FullPred, Model::FullPred});
+    BenchmarkResult result = evalOne(
+        evaluator, *workload, tiny,
+        {Model::FullPred, Model::FullPred});
     ASSERT_EQ(result.errors.size(), 3u);
 
     std::vector<std::string> paths;
@@ -281,6 +310,63 @@ TEST(SuiteEvaluator, EqualCellKeysGetDistinctReproducerFiles)
     }
 }
 
+TEST(SuiteEvaluator, EvaluateBatchMatchesSequentialEvaluation)
+{
+    // A batch over requests that differ only in non-machine axes
+    // must price trace-major (one capture pass per trace, many
+    // configs per walk) and still return responses bit-identical to
+    // evaluating each request on a fresh evaluator.
+    std::vector<EvalRequest> requests;
+    for (int btbEntries : {256, 1024}) {
+        for (bool perfect : {true, false}) {
+            EvalRequest request =
+                requestFor(smallConfig(), subset);
+            request.sim.perfectCaches = perfect;
+            request.sim.btbEntries = btbEntries;
+            requests.push_back(std::move(request));
+        }
+    }
+
+    SuiteEvaluator batched(2);
+    std::vector<EvalResponse> fromBatch =
+        batched.evaluateBatch(requests);
+    ASSERT_EQ(fromBatch.size(), requests.size());
+
+    SuiteEvaluator sequential(1);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        EvalResponse expected = sequential.evaluate(requests[i]);
+        EXPECT_EQ(fromBatch[i].requestDigest,
+                  expected.requestDigest);
+        expectResultsEq(fromBatch[i].results, expected.results);
+    }
+
+    // Trace-once across the whole batch: the four configurations
+    // share one set of captures (4 capturing cells + 1 reference
+    // per workload), and every cell was replayed exactly once.
+    BenchTiming timing = batched.timing();
+    EXPECT_EQ(timing.captures, subset.size() * 5);
+    EXPECT_EQ(timing.replays,
+              requests.size() * subset.size() * 4);
+}
+
+TEST(SuiteEvaluator, EvaluateBatchSeedsResultCache)
+{
+    // The assembly pass must find every batch-priced cell in the
+    // result cache: cells = 4 per workload per request, all hits.
+    std::vector<EvalRequest> requests;
+    EvalRequest real = requestFor(smallConfig(), subset);
+    real.sim.perfectCaches = false;
+    requests.push_back(requestFor(smallConfig(), subset));
+    requests.push_back(std::move(real));
+
+    SuiteEvaluator evaluator(1);
+    evaluator.evaluateBatch(requests);
+    BenchTiming timing = evaluator.timing();
+    EXPECT_EQ(timing.resultCacheHits,
+              requests.size() * subset.size() * 4);
+    EXPECT_EQ(timing.replays, requests.size() * subset.size() * 4);
+}
+
 TEST(SuiteEvaluator, VerifyEachPassPolicyMatchesDefaultResults)
 {
     // Running the verifier after every pass is purely observational:
@@ -293,8 +379,8 @@ TEST(SuiteEvaluator, VerifyEachPassPolicyMatchesDefaultResults)
     SuiteEvaluator plain(1);
     const Workload *workload = findWorkload("cmp");
     ASSERT_NE(workload, nullptr);
-    BenchmarkResult a = verifying.evaluate(*workload, config);
-    BenchmarkResult b = plain.evaluate(*workload, config);
+    BenchmarkResult a = evalOne(verifying, *workload, config);
+    BenchmarkResult b = evalOne(plain, *workload, config);
     EXPECT_EQ(a.baseCycles, b.baseCycles);
     ASSERT_EQ(a.models.size(), b.models.size());
     for (const auto &[model, sim] : a.models)

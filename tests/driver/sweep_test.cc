@@ -130,6 +130,26 @@ TEST(Sweep, ShardedRunMatchesSequentialByteForByte)
     // machines the sequential evaluator's in-process cache shares.)
     EXPECT_EQ(sharded.cellsJson, sequential.cellsJson);
     EXPECT_GE(sharded.timing.compiles, sequential.timing.compiles);
+    // Trace-affine sharding: cells replaying the same traces stay on
+    // one worker, so the fleet captures each model trace exactly
+    // once (only the shared 1-issue baseline is duplicated). Naive
+    // index % workers sharding would double every capture here.
+    EXPECT_LT(sharded.timing.captures,
+              2 * sequential.timing.captures);
+}
+
+TEST(Sweep, BatchedAndUnbatchedRunsAreByteIdentical)
+{
+    // Batched shard pricing (one streaming pass per trace for all
+    // its configs) must be indistinguishable from cell-by-cell
+    // evaluation in the merged report — and must not do extra
+    // capture or compile work to get there.
+    SweepSpec spec = smallSpec();
+    SweepOutcome batched = runSweep(spec, 2, "");
+    SweepOutcome unbatched = runSweep(spec, 2, "", false);
+    EXPECT_EQ(batched.cellsJson, unbatched.cellsJson);
+    EXPECT_EQ(batched.timing.captures, unbatched.timing.captures);
+    EXPECT_EQ(batched.timing.compiles, unbatched.timing.compiles);
 }
 
 TEST(Sweep, WorkerCountClampsToCellCount)

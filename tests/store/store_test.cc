@@ -292,7 +292,9 @@ TEST(ArtifactStore, WarmEvaluatorSkipsAllCompileAndEmulation)
     // Cold process: everything misses, every trace is published.
     SuiteEvaluator cold(1);
     cold.setPolicy(policy);
-    BenchmarkResult first = cold.evaluate(*workload, config);
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = {workload->name};
+    BenchmarkResult first = cold.evaluate(request).results.at(0);
     BenchTiming coldTiming = cold.timing();
     EXPECT_GT(coldTiming.compiles, 0u);
     EXPECT_GT(coldTiming.captures, 0u);
@@ -306,7 +308,8 @@ TEST(ArtifactStore, WarmEvaluatorSkipsAllCompileAndEmulation)
     // results are bit-identical.
     SuiteEvaluator warm(1);
     warm.setPolicy(policy);
-    BenchmarkResult second = warm.evaluate(*workload, config);
+    BenchmarkResult second =
+        warm.evaluate(request).results.at(0);
     BenchTiming warmTiming = warm.timing();
     EXPECT_EQ(warmTiming.compiles, 0u);
     EXPECT_EQ(warmTiming.prefixCompiles, 0u);

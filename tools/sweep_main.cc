@@ -8,7 +8,9 @@
  *
  * Reads a declarative grid spec (see src/driver/sweep.hh and
  * DESIGN.md §6h), expands it into the cross product of cells, shards
- * the cells across N forked worker processes (round-robin by index),
+ * the cells across N forked worker processes (trace-affine: cells
+ * replaying the same captured traces stay on one worker, and each
+ * worker prices its shard with one batched replay pass per trace),
  * and writes one consolidated BENCH_sweep.json. Point PREDILP_STORE
  * at a directory to let the workers share captured traces — a warm
  * re-run of the same grid then performs zero compiles and captures.
@@ -43,7 +45,7 @@ int
 usage(std::ostream &os, int code)
 {
     os << "usage: predilp_sweep --spec FILE [--workers N] "
-          "[--out FILE]\n"
+          "[--out FILE] [--no-batch]\n"
           "       predilp_sweep --print-spec\n"
           "\n"
           "  --spec FILE    grid spec (JSON; see --print-spec)\n"
@@ -51,6 +53,10 @@ usage(std::ostream &os, int code)
           "sequential)\n"
           "  --out FILE     consolidated report path (default "
           "BENCH_sweep.json)\n"
+          "  --no-batch     evaluate cell by cell instead of one "
+          "batched replay\n"
+          "                 pass per trace (identical output; for "
+          "comparison/CI)\n"
           "  --print-spec   print an example grid spec and exit\n"
           "\n"
           "Environment: PREDILP_STORE, PREDILP_STORE_MODE, "
@@ -70,6 +76,7 @@ main(int argc, char **argv)
     std::string specPath;
     std::string outPath = "BENCH_sweep.json";
     int workers = 1;
+    bool batch = true;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--print-spec") {
@@ -88,6 +95,8 @@ main(int argc, char **argv)
             }
         } else if (arg == "--out" && i + 1 < argc) {
             outPath = argv[++i];
+        } else if (arg == "--no-batch") {
+            batch = false;
         } else {
             std::cerr << "unknown argument '" << arg << "'\n";
             return usage(std::cerr, 2);
@@ -110,7 +119,8 @@ main(int argc, char **argv)
         SweepSpec spec =
             SweepSpec::fromJson(JsonValue::parse(text.str()));
 
-        SweepOutcome outcome = runSweep(spec, workers, outPath);
+        SweepOutcome outcome =
+            runSweep(spec, workers, outPath, batch);
         std::cout << "-- sweep: " << outcome.cells << " cells, "
                   << outcome.workers << " workers -> "
                   << outcome.path << "\n";
