@@ -39,6 +39,16 @@ export PREDILP_STORE="${PREDILP_STORE:-$PWD/bench-out/store}"
 export PREDILP_STORE_MODE="${PREDILP_STORE_MODE:-rw}"
 cd bench-out
 
+# Under fault injection the perf floors are meaningless (delay
+# faults inflate wall time, degradation rungs re-emulate on purpose),
+# so skip them and the warm zero-work counters — but keep every
+# shape check and every bit-identity contract: injected faults must
+# never change the figures.
+if [ -n "${PREDILP_FAULTS:-}" ]; then
+    echo "== PREDILP_FAULTS='${PREDILP_FAULTS}': perf floors and" \
+        "warm zero-work counters skipped; identity checks kept =="
+fi
+
 run_benches() {
     for bench in "${benches[@]}"; do
         "../build/bench/${bench}"
@@ -61,7 +71,12 @@ done
 
 python3 - "${jsons[@]}" <<'EOF'
 import json
+import os
 import sys
+
+# Perf floors only bind on fault-free runs; see the PREDILP_FAULTS
+# note at the top of this script.
+FLOORS = not os.environ.get("PREDILP_FAULTS")
 
 # Committed thresholds for the packed trace format. Baselines on the
 # old 8-byte format: ~4.2 MB/capture and ~10.8 B/entry; the packed
@@ -114,6 +129,13 @@ def fail(msg):
     print(f"error: {msg}", file=sys.stderr)
 
 
+def floor_fail(msg):
+    if FLOORS:
+        fail(msg)
+    else:
+        print(f"skip (faults armed): {msg}")
+
+
 for path in sys.argv[1:]:
     with open(path) as f:
         timing = json.load(f)["timing"]
@@ -128,7 +150,7 @@ for path in sys.argv[1:]:
     if counters.get("replay_passes", 0):
         rps = throughput.get("replay_records_per_sec", 0.0)
         if rps < MIN_REPLAY_RECORDS_PER_SEC:
-            fail(f"{path}: replay_records_per_sec {rps:.3g} below "
+            floor_fail(f"{path}: replay_records_per_sec {rps:.3g} below "
                  f"floor {MIN_REPLAY_RECORDS_PER_SEC:.3g}")
         else:
             print(f"ok: {path} replay_records_per_sec {rps:.3g} "
@@ -137,7 +159,7 @@ for path in sys.argv[1:]:
     if "replay_batch_records_per_sec_per_config" in throughput:
         per_config = throughput["replay_batch_records_per_sec_per_config"]
         if per_config < MIN_REPLAY_BATCH_PER_CONFIG:
-            fail(f"{path}: replay_batch_records_per_sec_per_config "
+            floor_fail(f"{path}: replay_batch_records_per_sec_per_config "
                  f"{per_config:.3g} below floor "
                  f"{MIN_REPLAY_BATCH_PER_CONFIG:.3g}")
         else:
@@ -148,7 +170,7 @@ for path in sys.argv[1:]:
                  else MIN_BATCH_SPEEDUP_SERIAL)
         speedup = throughput.get("batch_speedup_vs_sequential", 0.0)
         if speedup < floor:
-            fail(f"{path}: batch_speedup_vs_sequential {speedup:.2f} "
+            floor_fail(f"{path}: batch_speedup_vs_sequential {speedup:.2f} "
                  f"below floor {floor} ({threads} pool threads)")
         else:
             print(f"ok: {path} batch_speedup_vs_sequential "
@@ -162,7 +184,7 @@ for path in sys.argv[1:]:
         else:
             bpe = throughput["trace_bytes_per_entry"]
             if bpe > MAX_TRACE_BYTES_PER_ENTRY:
-                fail(f"{path}: trace_bytes_per_entry {bpe:.2f} exceeds "
+                floor_fail(f"{path}: trace_bytes_per_entry {bpe:.2f} exceeds "
                      f"threshold {MAX_TRACE_BYTES_PER_ENTRY}")
     elif not store_hits:
         # A bench that neither captured nor loaded traces did no
@@ -172,14 +194,14 @@ for path in sys.argv[1:]:
     if "speedup_vs_interp" in throughput:
         rps = throughput.get("emulate_records_per_sec", 0.0)
         if rps < MIN_EMULATE_RECORDS_PER_SEC:
-            fail(f"{path}: emulate_records_per_sec {rps:.3g} below "
+            floor_fail(f"{path}: emulate_records_per_sec {rps:.3g} below "
                  f"floor {MIN_EMULATE_RECORDS_PER_SEC:.3g}")
         else:
             print(f"ok: {path} emulate_records_per_sec {rps:.3g} "
                   f">= {MIN_EMULATE_RECORDS_PER_SEC:.3g}")
         speedup = throughput["speedup_vs_interp"]
         if speedup < MIN_CAPTURE_SPEEDUP_VS_INTERP:
-            fail(f"{path}: capture speedup_vs_interp {speedup:.2f} below "
+            floor_fail(f"{path}: capture speedup_vs_interp {speedup:.2f} below "
                  f"floor {MIN_CAPTURE_SPEEDUP_VS_INTERP}")
         else:
             print(f"ok: {path} speedup_vs_interp {speedup:.2f} "
@@ -190,7 +212,7 @@ for path in sys.argv[1:]:
     if captures and captured_bytes:
         per_capture = captured_bytes / captures
         if per_capture > MAX_TRACE_BYTES_PER_CAPTURE:
-            fail(f"{path}: {per_capture:.0f} trace bytes/capture exceeds "
+            floor_fail(f"{path}: {per_capture:.0f} trace bytes/capture exceeds "
                  f"threshold {MAX_TRACE_BYTES_PER_CAPTURE}")
         else:
             print(f"ok: {path} trace bytes/capture {per_capture:.0f} "
@@ -210,7 +232,13 @@ run_benches
 
 python3 - "${jsons[@]}" <<'EOF'
 import json
+import os
 import sys
+
+# Injected faults legitimately break the warm zero-work contract
+# (quarantine-and-recompute re-emulates on purpose); the figure
+# bit-identity contract below still binds.
+ZERO_WORK = not os.environ.get("PREDILP_FAULTS")
 
 failed = False
 
@@ -219,6 +247,13 @@ def fail(msg):
     global failed
     failed = True
     print(f"error: {msg}", file=sys.stderr)
+
+
+def zero_work_fail(msg):
+    if ZERO_WORK:
+        fail(msg)
+    else:
+        print(f"skip (faults armed): {msg}")
 
 
 asserted = 0
@@ -238,17 +273,17 @@ for path in sys.argv[1:]:
     counters = timing.get("counters", {})
     phases = timing.get("phases", {})
     if store.get("miss", 0) != 0:
-        fail(f"{path}: warm run missed the store "
-             f"({store['miss']} misses)")
+        zero_work_fail(f"{path}: warm run missed the store "
+                       f"({store['miss']} misses)")
     if counters.get("compiles", 0) != 0:
-        fail(f"{path}: warm run compiled "
-             f"({counters['compiles']} compiles)")
+        zero_work_fail(f"{path}: warm run compiled "
+                       f"({counters['compiles']} compiles)")
     if counters.get("captures", 0) != 0:
-        fail(f"{path}: warm run emulated "
-             f"({counters['captures']} captures)")
+        zero_work_fail(f"{path}: warm run emulated "
+                       f"({counters['captures']} captures)")
     if phases.get("emulate_seconds", 0.0) != 0.0:
-        fail(f"{path}: warm run spent "
-             f"{phases['emulate_seconds']}s in emulation")
+        zero_work_fail(f"{path}: warm run spent "
+                       f"{phases['emulate_seconds']}s in emulation")
 
     with open(f"cold/{path}") as f:
         cold = json.load(f)

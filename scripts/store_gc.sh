@@ -20,6 +20,16 @@ if [ ! -d "${STORE_DIR}" ]; then
     exit 0
 fi
 
+# Hold the store's advisory lock (the same ${STORE_DIR}/.lock that
+# StoreLock in src/store/store.cc flocks around publish, quarantine,
+# and repair) for the whole sweep, so GC never deletes an artifact a
+# live writer is mid-publishing or mid-repairing.
+exec 9>"${STORE_DIR}/.lock"
+if ! flock -w 300 9; then
+    echo "store-gc: could not acquire ${STORE_DIR}/.lock in 300s" >&2
+    exit 1
+fi
+
 # Quarantined artifacts have already been repaired by recompute;
 # keeping them only burns cache space.
 if [ -d "${STORE_DIR}/quarantine" ]; then

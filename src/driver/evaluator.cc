@@ -5,6 +5,7 @@
 
 #include "driver/reproducer.hh"
 #include "support/env.hh"
+#include "support/faultpoint.hh"
 #include "support/logging.hh"
 
 namespace predilp
@@ -264,6 +265,7 @@ SuiteEvaluator::traceFor(const Workload &workload,
             std::unique_ptr<Program> prog;
             {
                 PhaseTimer timer(compileTime_);
+                FAULT_POINT("eval.compile");
                 // Each compile records into its own registry (the
                 // worker owns it, unsynchronized); the additive
                 // merge below makes the aggregate independent of
@@ -286,16 +288,40 @@ SuiteEvaluator::traceFor(const Workload &workload,
                     decodedKey(workload, request, model, machine));
             }
             std::unique_ptr<TraceBuffer> buffer;
+            bool capturedThreaded = threaded;
             {
                 PhaseTimer timer(captureTime_);
-                buffer = threaded
-                             ? captureDecoded(*decoded, input, fuel)
-                             : capture(*prog, input, fuel,
-                                       EmuBackend::Interp);
+                if (threaded) {
+                    try {
+                        buffer = captureDecoded(*decoded, input,
+                                                fuel);
+                    } catch (const Error &e) {
+                        // Degradation ladder, rung 1: a trap in the
+                        // threaded engine retries on the interpreter
+                        // oracle — slower, architecturally
+                        // identical, so the published trace (and
+                        // every cell priced from it) is unchanged.
+                        warn(detail::formatMessage(
+                            "threaded capture failed for ",
+                            workload.name, " (",
+                            classifyException(
+                                std::current_exception()),
+                            ": ", e.what(),
+                            "); retrying on the interpreter"));
+                        backendFallbacks_.fetch_add(
+                            1, std::memory_order_relaxed);
+                        capturedThreaded = false;
+                        buffer = capture(*prog, input, fuel,
+                                         EmuBackend::Interp);
+                    }
+                } else {
+                    buffer = capture(*prog, input, fuel,
+                                     EmuBackend::Interp);
+                }
                 captures_.fetch_add(1, std::memory_order_relaxed);
             }
             auto &backendRecords =
-                threaded ? threadedRecords_ : interpRecords_;
+                capturedThreaded ? threadedRecords_ : interpRecords_;
             backendRecords.fetch_add(buffer->size(),
                                      std::memory_order_relaxed);
             RunResult reference = referenceFor(
@@ -385,6 +411,7 @@ SuiteEvaluator::cellResult(const Workload &workload,
             TracePtr trace =
                 traceFor(workload, request, model, machine, input,
                          sim.maxDynInstrs, tkey);
+            FAULT_POINT("eval.replay");
             PhaseTimer timer(replayTime_);
             replays_.fetch_add(1, std::memory_order_relaxed);
             replayedRecords_.fetch_add(
@@ -587,6 +614,7 @@ SuiteEvaluator::evaluateBatch(const std::vector<EvalRequest> &requests)
     auto runGroup = [&](const BatchGroup &group,
                         ThreadPool *lanePool) {
         try {
+            FAULT_POINT("eval.replay.batch");
             TracePtr trace = traceFor(
                 *group.workload, *group.request, group.model,
                 group.machine, group.input,
@@ -603,10 +631,18 @@ SuiteEvaluator::evaluateBatch(const std::vector<EvalRequest> &requests)
             for (std::size_t i = 0; i < priced.size(); ++i)
                 seedResult(group.rkeys[i], std::move(priced[i]));
         } catch (...) {
-            // Leave the group unseeded: the assembly pass below
-            // recomputes these cells and applies the failure policy
-            // (strict rethrow or CellError isolation) exactly as the
-            // unbatched path would.
+            // Degradation ladder, rung 2: leave the group unseeded.
+            // The assembly pass below recomputes these cells
+            // sequentially through cellResult() and applies the
+            // failure policy (strict rethrow or CellError isolation)
+            // exactly as the unbatched path would. Counted and
+            // warned so a batch that silently lost its amortization
+            // is visible in the merged timing.
+            batchFallbacks_.fetch_add(1, std::memory_order_relaxed);
+            warn(detail::formatMessage(
+                "batch group for trace '", group.tkey, "' failed (",
+                classifyException(std::current_exception()),
+                "); falling back to sequential recompute"));
         }
     };
     if (groups.size() == 1) {
@@ -681,6 +717,10 @@ SuiteEvaluator::timing() const
         threadedRecords_.load(std::memory_order_relaxed);
     timing.interpRecords =
         interpRecords_.load(std::memory_order_relaxed);
+    timing.backendFallbacks =
+        backendFallbacks_.load(std::memory_order_relaxed);
+    timing.batchFallbacks =
+        batchFallbacks_.load(std::memory_order_relaxed);
     if (store_ != nullptr) {
         timing.storeHits = store_->hits();
         timing.storeMisses = store_->misses();

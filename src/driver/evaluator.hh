@@ -80,6 +80,10 @@ struct BenchTiming
     std::uint64_t decodedBytes = 0; ///< resident decoded-program bytes.
     std::uint64_t threadedRecords = 0; ///< records emulated threaded.
     std::uint64_t interpRecords = 0; ///< records emulated interpreted.
+    /// Threaded captures retried on the interpreter oracle.
+    std::uint64_t backendFallbacks = 0;
+    /// Batch groups that fell back to sequential recompute.
+    std::uint64_t batchFallbacks = 0;
 };
 
 /**
@@ -277,6 +281,8 @@ class SuiteEvaluator
     std::atomic<std::uint64_t> decodedBytes_{0};
     std::atomic<std::uint64_t> threadedRecords_{0};
     std::atomic<std::uint64_t> interpRecords_{0};
+    std::atomic<std::uint64_t> backendFallbacks_{0};
+    std::atomic<std::uint64_t> batchFallbacks_{0};
 
     /** Merged per-compile pass stats (internally synchronized). */
     StatsRegistry compileStats_;

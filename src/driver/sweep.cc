@@ -1,5 +1,6 @@
 #include "driver/sweep.hh"
 
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -12,10 +13,15 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "driver/bench_io.hh"
 #include "support/diag.hh"
+#include "support/env.hh"
+#include "support/faultpoint.hh"
+#include "support/logging.hh"
 
 namespace predilp
 {
@@ -66,6 +72,8 @@ constexpr CounterField counterFields[] = {
     {"decoded_bytes", &BenchTiming::decodedBytes},
     {"threaded_records", &BenchTiming::threadedRecords},
     {"interp_records", &BenchTiming::interpRecords},
+    {"backend_fallbacks", &BenchTiming::backendFallbacks},
+    {"batch_fallbacks", &BenchTiming::batchFallbacks},
 };
 
 constexpr SecondsField secondsFields[] = {
@@ -217,13 +225,17 @@ cellToJson(const SweepCell &cell, const EvalResponse &response)
     });
 }
 
-/** Mean of the named speedup leaf across a cell's benchmarks. */
+/** Mean of the named speedup leaf across a cell's benchmarks.
+ * Degraded cells carry no "benchmarks" key and contribute nothing. */
 bool
 meanSpeedup(const JsonValue &cell, const char *model, double &mean)
 {
+    const JsonValue *benchmarks = cell.find("benchmarks");
+    if (benchmarks == nullptr)
+        return false;
     double sum = 0;
     std::size_t count = 0;
-    for (const JsonValue &bench : cell.at("benchmarks").items()) {
+    for (const JsonValue &bench : benchmarks->items()) {
         if (const JsonValue *m = bench.at("models").find(model)) {
             if (const JsonValue *s = m->find("speedup")) {
                 sum += s->asDouble();
@@ -395,6 +407,7 @@ runWorkerChild(const std::vector<SweepCell> &cells, int worker,
                int workers, bool batch, const std::string &dir)
 {
     try {
+        FAULT_POINT("sweep.worker.start");
         auto [rendered, timing] =
             runShard(cells, worker, workers, batch);
         JsonValue doc = JsonValue::makeObject({
@@ -403,9 +416,21 @@ runWorkerChild(const std::vector<SweepCell> &cells, int worker,
             {"cells",
              JsonValue::makeArray(std::move(rendered))},
         });
+        std::string payload = doc.dump() + "\n";
+        // A torn publish leaves a truncated result file the parent
+        // must reject at merge time and re-deal to a fresh worker.
+        switch (faultpoints::poll("sweep.worker.publish")) {
+          case faultpoints::FaultAction::ShortWrite:
+            payload.resize(payload.size() / 2);
+            break;
+          case faultpoints::FaultAction::Throw:
+            throw FaultInjectedError("sweep.worker.publish");
+          default:
+            break;
+        }
         std::ofstream out(workerFilePath(dir, worker),
                           std::ios::binary | std::ios::trunc);
-        out << doc.dump() << "\n";
+        out << payload;
         out.close();
         // _exit: never run the parent's atexit/static destructors
         // (gtest handlers, stream flushes) in the child.
@@ -419,6 +444,117 @@ runWorkerChild(const std::vector<SweepCell> &cells, int worker,
                   << " failed: unknown exception\n";
         _exit(2);
     }
+}
+
+// ---- Worker supervision (self-healing forked path) ----
+
+/** Human-readable waitpid status: "exit N" or "signal N (Name)". */
+std::string
+describeStatus(int status)
+{
+    if (WIFEXITED(status))
+        return "exit " + std::to_string(WEXITSTATUS(status));
+    if (WIFSIGNALED(status)) {
+        const int sig = WTERMSIG(status);
+        const char *name = ::strsignal(sig);
+        return "signal " + std::to_string(sig) + " (" +
+               (name != nullptr ? name : "?") + ")";
+    }
+    return "status " + std::to_string(status);
+}
+
+/**
+ * Parse and validate one worker result file: well-formed JSON with
+ * worker/timing/cells members, claiming the right worker id, and
+ * containing exactly the cells of its shard, each once. Any
+ * violation — including the truncated file a killed or torn publish
+ * leaves behind — is returned as a failure reason (and the shard is
+ * retried); "" means @p doc is valid. Validating per worker file
+ * rather than per merged array means every duplicate, foreign, or
+ * omitted cell is attributed to the process that produced it.
+ */
+std::string
+parseWorkerDoc(const std::string &path, int worker,
+               const std::vector<std::size_t> &expected,
+               JsonValue &doc)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "result file missing";
+    std::ostringstream content;
+    content << in.rdbuf();
+    try {
+        doc = JsonValue::parse(content.str());
+    } catch (const std::exception &e) {
+        return std::string(
+                   "truncated or unparseable result file (") +
+               e.what() + ")";
+    }
+    const JsonValue *who = doc.find("worker");
+    const JsonValue *timing = doc.find("timing");
+    const JsonValue *cellsJson = doc.find("cells");
+    if (who == nullptr || timing == nullptr ||
+        cellsJson == nullptr) {
+        return "result file lacks worker/timing/cells members";
+    }
+    if (who->asInt() != worker) {
+        return "result file claims worker " +
+               std::to_string(who->asInt());
+    }
+    std::unordered_set<std::size_t> seen;
+    for (const JsonValue &cell : cellsJson->items()) {
+        const JsonValue *idx = cell.find("index");
+        if (idx == nullptr)
+            return "cell without an index";
+        std::int64_t raw = idx->asInt();
+        if (raw < 0)
+            return "cell index out of range: " +
+                   std::to_string(raw);
+        std::size_t index = static_cast<std::size_t>(raw);
+        if (std::find(expected.begin(), expected.end(), index) ==
+            expected.end()) {
+            return "cell " + std::to_string(index) +
+                   " not owned by this shard";
+        }
+        if (!seen.insert(index).second)
+            return "duplicate cell " + std::to_string(index);
+    }
+    if (seen.size() != expected.size()) {
+        for (std::size_t index : expected) {
+            if (seen.find(index) == seen.end())
+                return "omitted cell " + std::to_string(index);
+        }
+    }
+    return "";
+}
+
+/**
+ * The record a cell degrades to when its shard exhausted every
+ * attempt: same identity members as a healthy cell (index, axes,
+ * digests) but "degraded": true and an "error" object carrying the
+ * last failure's full attribution instead of "benchmarks".
+ */
+JsonValue
+degradedCellJson(const SweepCell &cell, int worker,
+                 const std::string &error)
+{
+    std::vector<std::pair<std::string, JsonValue>> axes;
+    for (const auto &[name, value] : cell.axisValues)
+        axes.emplace_back(name, value);
+    return JsonValue::makeObject({
+        {"index", JsonValue::makeInt(
+                      static_cast<std::int64_t>(cell.index))},
+        {"axes", JsonValue::makeObject(std::move(axes))},
+        {"request_digest",
+         JsonValue::makeString(cell.request.requestDigest())},
+        {"config_digest",
+         JsonValue::makeString(cell.request.sim.configDigest())},
+        {"degraded", JsonValue::makeBool(true)},
+        {"error", JsonValue::makeObject({
+                      {"worker", JsonValue::makeInt(worker)},
+                      {"message", JsonValue::makeString(error)},
+                  })},
+    });
 }
 
 } // namespace
@@ -511,13 +647,20 @@ SweepSpec::expandGrid() const
 
 SweepOutcome
 runSweep(const SweepSpec &spec, int workers,
-         const std::string &outPath, bool batch)
+         const std::string &outPath, bool batch,
+         const SweepHealPolicy &heal)
 {
+    // Arm PREDILP_FAULTS here, before any fork: the fire-state page
+    // is MAP_SHARED, so "once" spans the whole worker tree and a
+    // retried shard runs clean after the fault fired.
+    faultpoints::armFromEnv();
     const auto started = std::chrono::steady_clock::now();
     const std::vector<SweepCell> cells = spec.expandGrid();
 
     std::vector<JsonValue> rendered;
     BenchTiming timing;
+    int workerRetries = 0;
+    std::size_t degradedCells = 0;
     int effectiveWorkers = std::max(1, workers);
     if (effectiveWorkers > 1 &&
         cells.size() < static_cast<std::size_t>(effectiveWorkers)) {
@@ -533,7 +676,19 @@ runSweep(const SweepSpec &spec, int workers,
     } else {
         // Shard across forked workers sharing the flock-safe
         // artifact store (each child opens it independently via the
-        // environment, like any other predilp process would).
+        // environment, like any other predilp process would). The
+        // parent supervises: watchdog kills, death detection, and
+        // bounded-backoff retries on fresh workers. Retried shards
+        // reproduce their cells byte-identically (deterministic
+        // evaluation + atomic store publish), so a sweep that loses
+        // workers converges to the clean run's report.
+        SweepHealPolicy policy = heal;
+        policy.maxAttempts = std::max(1, policy.maxAttempts);
+        if (policy.watchdogSec <= 0) {
+            policy.watchdogSec =
+                EnvConfig::fromEnvironment().sweepWatchdogSec;
+        }
+
         char tmpl[] = "/tmp/predilp-sweep-XXXXXX";
         const char *dirc = ::mkdtemp(tmpl);
         if (dirc == nullptr) {
@@ -541,8 +696,36 @@ runSweep(const SweepSpec &spec, int workers,
                              std::strerror(errno));
         }
         const std::string dir = dirc;
-        std::vector<pid_t> pids;
-        for (int w = 0; w < effectiveWorkers; ++w) {
+
+        const std::vector<int> shardOf =
+            shardAssignment(cells, effectiveWorkers);
+        std::vector<std::vector<std::size_t>> owned(
+            static_cast<std::size_t>(effectiveWorkers));
+        for (const SweepCell &cell : cells) {
+            owned[static_cast<std::size_t>(shardOf[cell.index])]
+                .push_back(cell.index);
+        }
+
+        using Clock = std::chrono::steady_clock;
+        struct ShardState
+        {
+            pid_t pid = -1;
+            int attempts = 0;
+            bool running = false;
+            bool done = false; ///< valid result file merged.
+            bool dead = false; ///< attempt budget exhausted.
+            Clock::time_point deadline{};  ///< watchdog (running).
+            Clock::time_point nextStart{}; ///< backoff (waiting).
+            JsonValue doc;
+            std::string lastError;
+        };
+        std::vector<ShardState> shards(
+            static_cast<std::size_t>(effectiveWorkers));
+
+        auto spawn = [&](int w) {
+            ShardState &s = shards[static_cast<std::size_t>(w)];
+            std::error_code ec;
+            fs::remove(workerFilePath(dir, w), ec); // stale attempt
             pid_t pid = ::fork();
             if (pid < 0) {
                 throw FatalError(std::string("fork failed: ") +
@@ -552,71 +735,133 @@ runSweep(const SweepSpec &spec, int workers,
                 runWorkerChild(cells, w, effectiveWorkers, batch,
                                dir);
             }
-            pids.push_back(pid);
+            s.pid = pid;
+            s.attempts += 1;
+            s.running = true;
+            if (policy.watchdogSec > 0) {
+                s.deadline =
+                    Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            policy.watchdogSec));
+            }
+        };
+
+        auto fail = [&](int w, const std::string &why) {
+            ShardState &s = shards[static_cast<std::size_t>(w)];
+            s.running = false;
+            s.lastError = "worker " + std::to_string(w) + " (pid " +
+                          std::to_string(s.pid) + ", attempt " +
+                          std::to_string(s.attempts) + "/" +
+                          std::to_string(policy.maxAttempts) +
+                          ", shard file " + workerFilePath(dir, w) +
+                          "): " + why;
+            if (s.attempts >= policy.maxAttempts) {
+                s.dead = true;
+                warn("sweep: giving up on " + s.lastError);
+                return;
+            }
+            const double backoff =
+                policy.backoffSec *
+                static_cast<double>(1 << (s.attempts - 1));
+            s.nextStart =
+                Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(backoff));
+            workerRetries += 1;
+            warn("sweep: retrying " + s.lastError);
+        };
+
+        for (int w = 0; w < effectiveWorkers; ++w)
+            spawn(w);
+        while (true) {
+            bool allSettled = true;
+            const auto now = Clock::now();
+            for (int w = 0; w < effectiveWorkers; ++w) {
+                ShardState &s =
+                    shards[static_cast<std::size_t>(w)];
+                if (s.done || s.dead)
+                    continue;
+                if (s.running) {
+                    int status = 0;
+                    pid_t r = ::waitpid(s.pid, &status, WNOHANG);
+                    if (r == s.pid) {
+                        if (WIFEXITED(status) &&
+                            WEXITSTATUS(status) == 0) {
+                            std::string err = parseWorkerDoc(
+                                workerFilePath(dir, w), w,
+                                owned[static_cast<std::size_t>(w)],
+                                s.doc);
+                            if (err.empty())
+                                s.done = true;
+                            else
+                                fail(w, err);
+                            s.running = false;
+                        } else {
+                            fail(w, describeStatus(status));
+                        }
+                    } else if (r < 0) {
+                        fail(w, std::string("waitpid failed: ") +
+                                    std::strerror(errno));
+                    } else if (policy.watchdogSec > 0 &&
+                               now >= s.deadline) {
+                        ::kill(s.pid, SIGKILL);
+                        ::waitpid(s.pid, &status, 0);
+                        fail(w, "watchdog timeout after " +
+                                    std::to_string(
+                                        policy.watchdogSec) +
+                                    "s (SIGKILL)");
+                    }
+                } else if (now >= s.nextStart) {
+                    spawn(w); // backoff elapsed: fresh worker.
+                }
+                if (!s.done && !s.dead)
+                    allSettled = false;
+            }
+            if (allSettled)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
         }
-        std::string failures;
-        for (int w = 0; w < effectiveWorkers; ++w) {
-            int status = 0;
-            if (::waitpid(pids[static_cast<std::size_t>(w)],
-                          &status, 0) < 0 ||
-                !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-                failures += " worker " + std::to_string(w);
+
+        if (!policy.degradeCells) {
+            std::string failures;
+            for (const ShardState &s : shards) {
+                if (s.dead)
+                    failures += "\n  " + s.lastError;
+            }
+            if (!failures.empty()) {
+                throw FatalError(
+                    "sweep workers failed permanently:" +
+                    failures);
             }
         }
-        if (!failures.empty())
-            throw FatalError("sweep workers failed:" + failures);
 
-        // Merge: parse every worker file, sum timing, and collect
-        // cells; then validate completeness.
+        // Merge: every done shard's validated cells (per-file
+        // validation already guaranteed exactly-once ownership);
+        // every dead shard's cells degrade to attributed records.
         std::vector<const JsonValue *> byIndex(cells.size(),
                                                nullptr);
-        std::vector<JsonValue> workerDocs;
-        workerDocs.reserve(
-            static_cast<std::size_t>(effectiveWorkers));
-        for (int w = 0; w < effectiveWorkers; ++w) {
-            std::ifstream in(workerFilePath(dir, w),
-                             std::ios::binary);
-            if (!in) {
-                throw FatalError("missing sweep worker file for "
-                                 "worker " +
-                                 std::to_string(w));
-            }
-            std::ostringstream content;
-            content << in.rdbuf();
-            workerDocs.push_back(JsonValue::parse(content.str()));
-            mergeTiming(
-                timing,
-                timingFromJson(workerDocs.back().at("timing")));
-        }
-        for (const JsonValue &doc : workerDocs) {
-            for (const JsonValue &cell :
-                 doc.at("cells").items()) {
-                std::int64_t index = cell.at("index").asInt();
-                if (index < 0 ||
-                    static_cast<std::size_t>(index) >=
-                        cells.size()) {
-                    throw FatalError(
-                        "sweep cell index out of range: " +
-                        std::to_string(index));
-                }
-                auto &slot =
-                    byIndex[static_cast<std::size_t>(index)];
-                if (slot != nullptr) {
-                    throw FatalError("duplicate sweep cell " +
-                                     std::to_string(index));
-                }
-                slot = &cell;
-            }
-        }
-        for (std::size_t i = 0; i < byIndex.size(); ++i) {
-            if (byIndex[i] == nullptr) {
-                throw FatalError("missing sweep cell " +
-                                 std::to_string(i));
-            }
+        for (const ShardState &s : shards) {
+            if (!s.done)
+                continue;
+            mergeTiming(timing, timingFromJson(s.doc.at("timing")));
+            for (const JsonValue &cell : s.doc.at("cells").items())
+                byIndex[static_cast<std::size_t>(
+                    cell.at("index").asInt())] = &cell;
         }
         rendered.reserve(cells.size());
-        for (const JsonValue *cell : byIndex)
-            rendered.push_back(*cell);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (byIndex[i] != nullptr) {
+                rendered.push_back(*byIndex[i]);
+                continue;
+            }
+            const int w = shardOf[i];
+            degradedCells += 1;
+            rendered.push_back(degradedCellJson(
+                cells[i], w,
+                shards[static_cast<std::size_t>(w)].lastError));
+        }
         std::error_code ec;
         fs::remove_all(dir, ec); // best-effort cleanup.
     }
@@ -624,6 +869,8 @@ runSweep(const SweepSpec &spec, int workers,
     SweepOutcome outcome;
     outcome.cells = cells.size();
     outcome.workers = effectiveWorkers;
+    outcome.workerRetries = workerRetries;
+    outcome.degradedCells = degradedCells;
     outcome.timing = timing;
     outcome.cellsJson =
         JsonValue::makeArray(rendered).dump();
@@ -642,6 +889,10 @@ runSweep(const SweepSpec &spec, int workers,
         os << "{\n  \"bench\": \"sweep\",\n"
            << "  \"workers\": " << effectiveWorkers << ",\n"
            << "  \"cell_count\": " << cells.size() << ",\n"
+           // Always present (0 on clean runs), so report consumers
+           // can assert on them without probing for the keys.
+           << "  \"worker_retries\": " << workerRetries << ",\n"
+           << "  \"degraded_cells\": " << degradedCells << ",\n"
            << "  \"timing\": "
            << timingSnapshot(timing, wallSeconds,
                              effectiveWorkers)

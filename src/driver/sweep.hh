@@ -32,6 +32,21 @@
  * code and route them through JsonValue's canonical dump, and
  * StatsSnapshot's number formatting survives the worker-file
  * round trip losslessly.
+ *
+ * Self-healing (SweepHealPolicy): the forked path supervises its
+ * workers instead of trusting them. A per-shard watchdog SIGKILLs a
+ * worker that exceeds its deadline; death (signal, nonzero exit, or
+ * a truncated/short/unparseable result file) is detected and
+ * attributed (pid, exit status, shard file), and the shard is
+ * re-dealt to a fresh worker with bounded exponential backoff, up to
+ * maxAttempts total tries. Because cell evaluation is deterministic
+ * and the artifact store publishes via temp+rename under a lock, a
+ * retried shard reproduces its cells byte-identically — so a sweep
+ * that loses workers to crashes converges to the same report as a
+ * clean run. Shards that exhaust their attempts become per-cell
+ * degraded records ({"degraded": true, "error": {...}} instead of
+ * "benchmarks") when degradeCells is set, or throw FatalError when
+ * it is not.
  */
 
 #ifndef PREDILP_DRIVER_SWEEP_HH
@@ -97,11 +112,40 @@ struct SweepSpec
     std::vector<SweepCell> expandGrid() const;
 };
 
+/** How the forked sweep path supervises and heals its workers. */
+struct SweepHealPolicy
+{
+    /**
+     * Total tries per shard (first run + retries). 1 disables
+     * retry: the first failure is final.
+     */
+    int maxAttempts = 3;
+    /**
+     * Kill a worker that runs longer than this many seconds and
+     * retry its shard. <= 0 reads PREDILP_SWEEP_WATCHDOG_SEC (and
+     * disables the watchdog when that is unset too).
+     */
+    double watchdogSec = 0;
+    /**
+     * When a shard exhausts maxAttempts: true renders its cells as
+     * degraded records and finishes the sweep; false throws
+     * FatalError with the last failure's attribution.
+     */
+    bool degradeCells = true;
+    /** First retry delay; doubles per subsequent attempt. */
+    double backoffSec = 0.1;
+};
+
 /** What one sweep run produced. */
 struct SweepOutcome
 {
     std::size_t cells = 0;
     int workers = 1;
+    /** Worker re-forks performed by the healing supervisor. */
+    int workerRetries = 0;
+    /** Cells rendered as degraded records (shards that never
+     * produced a valid result file within their attempt budget). */
+    std::size_t degradedCells = 0;
     /** Timing merged additively across all workers (or the one
      * sequential evaluator). */
     BenchTiming timing;
@@ -120,12 +164,17 @@ struct SweepOutcome
  * ("" skips the file). @p batch prices each shard with one
  * evaluateBatch call (one streaming pass per trace for all its
  * configs) instead of cell-by-cell evaluate; both modes produce a
- * byte-identical cells array. Worker failures, duplicate cells, and
- * missing cells throw FatalError.
+ * byte-identical cells array. Worker failures are retried per
+ * @p heal; a duplicate, missing, or out-of-range cell in a worker's
+ * result file counts as that worker's failure and is attributed to
+ * it (pid, exit status, shard file). Arms PREDILP_FAULTS (once per
+ * process) before forking, so armed fault state is shared with every
+ * worker.
  */
 SweepOutcome runSweep(const SweepSpec &spec, int workers,
                       const std::string &outPath,
-                      bool batch = true);
+                      bool batch = true,
+                      const SweepHealPolicy &heal = {});
 
 } // namespace predilp
 

@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "store/sha256.hh"
+#include "support/faultpoint.hh"
 #include "support/logging.hh"
+#include "support/retry.hh"
 
 namespace predilp
 {
@@ -475,12 +477,25 @@ class MappedFile
 std::shared_ptr<MappedFile>
 mapFile(const std::string &path, bool &exists)
 {
-    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) {
+    // EINTR on open is a hiccup, not a cold artifact: retry with
+    // backoff before reporting a miss.
+    int fd = -1;
+    if (!retryIo([&] {
+            fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+            return fd >= 0;
+        })) {
         exists = errno != ENOENT;
         return nullptr;
     }
     exists = true;
+    if (faultpoints::poll("store.load.mmap") !=
+        faultpoints::FaultAction::None) {
+        // Injected mapping failure: behave exactly as if the kernel
+        // refused the mmap — present-but-unmappable, which the
+        // caller quarantines and recomputes.
+        ::close(fd);
+        return nullptr;
+    }
     struct stat st{};
     if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
         ::close(fd);
@@ -530,6 +545,29 @@ class StoreLock
 };
 
 std::atomic<std::uint64_t> tempSeq{0};
+
+/**
+ * Write all @p size bytes to @p fd, retrying transient errno
+ * (EINTR/EAGAIN) with bounded backoff and resuming after partial
+ * writes. @return false (errno set) on a non-transient failure or
+ * exhausted retries.
+ */
+bool
+writeAll(int fd, const std::uint8_t *data, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        ssize_t n = -1;
+        if (!retryIo([&] {
+                n = ::write(fd, data + done, size - done);
+                return n >= 0;
+            })) {
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
 
 } // namespace
 
@@ -590,6 +628,14 @@ ArtifactStore::load(const std::string &key)
         return nullptr;
     }
     try {
+        if (faultpoints::poll("store.load.validate") !=
+            faultpoints::FaultAction::None) {
+            // Injected validation failure takes the same exit as a
+            // checksum mismatch, so quarantine-and-recompute runs
+            // against a byte-perfect artifact on demand.
+            throw TraceCorruptError(
+                "injected fault at store.load.validate");
+        }
         ParsedArtifact parsed =
             parseArtifact(mapping->bytes(), mapping->size());
         StaticIndex index(std::move(parsed.ops),
@@ -630,27 +676,58 @@ ArtifactStore::save(const std::string &key,
         return false;
 
     std::vector<std::uint8_t> bytes = serializeArtifact(buffer);
+    // A torn write publishes a truncated image the loader must catch
+    // on checksum; a thrown write degrades to a cold cache.
+    std::size_t publishBytes = bytes.size();
+    switch (faultpoints::poll("store.publish.write")) {
+      case faultpoints::FaultAction::ShortWrite:
+        publishBytes /= 2;
+        break;
+      case faultpoints::FaultAction::Throw:
+        return false;
+      default:
+        break;
+    }
     const std::string temp =
         path + ".tmp." + std::to_string(::getpid()) + "." +
         std::to_string(
             tempSeq.fetch_add(1, std::memory_order_relaxed));
     {
-        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-        if (!out)
+        int fd = -1;
+        if (!retryIo([&] {
+                fd = ::open(temp.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                            0644);
+                return fd >= 0;
+            })) {
             return false;
-        out.write(reinterpret_cast<const char *>(bytes.data()),
-                  static_cast<std::streamsize>(bytes.size()));
-        out.close();
-        if (!out) {
+        }
+        bool staged = writeAll(fd, bytes.data(), publishBytes);
+        // Flush before publish: rename must never expose a file the
+        // kernel could still lose the tail of on a crash.
+        if (staged)
+            staged = retryIo([&] { return ::fsync(fd) == 0; });
+        ::close(fd);
+        if (!staged) {
             fs::remove(temp, ec);
             return false;
         }
     }
+    // Crash here (via the fault point) dies with the staged temp on
+    // disk but the canonical path untouched — the exact mid-publish
+    // window the GC and retrying readers must tolerate.
+    if (faultpoints::poll("store.publish.rename") !=
+        faultpoints::FaultAction::None) {
+        fs::remove(temp, ec);
+        return false;
+    }
+    bool renamed = false;
     {
         StoreLock lock(dir_);
-        fs::rename(temp, path, ec);
+        renamed = retryIo(
+            [&] { return ::rename(temp.c_str(), path.c_str()) == 0; });
     }
-    if (ec) {
+    if (!renamed) {
         fs::remove(temp, ec);
         return false;
     }

@@ -1,5 +1,9 @@
 #include "support/diag.hh"
 
+#include <new>
+
+#include "support/faultpoint.hh"
+
 namespace predilp
 {
 
@@ -27,7 +31,7 @@ std::string
 classifyException(std::exception_ptr ep) noexcept
 {
     if (!ep)
-        return "unknown";
+        return "UnknownError";
     try {
         std::rethrow_exception(ep);
     } catch (const CompileError &) {
@@ -40,14 +44,24 @@ classifyException(std::exception_ptr ep) noexcept
         return "DivergenceError";
     } catch (const TraceCorruptError &) {
         return "TraceCorruptError";
+    } catch (const FaultInjectedError &) {
+        return "FaultInjectedError";
     } catch (const FatalError &) {
         return "FatalError";
     } catch (const Error &) {
         return "Error";
     } catch (const PanicError &) {
         return "PanicError";
+    } catch (const std::bad_alloc &) {
+        // Out-of-memory is a resource condition, not a logic bug:
+        // give harnesses a label they can retry/degrade on.
+        return "ResourceError";
+    } catch (const std::length_error &) {
+        // vector::resize past max_size throws this instead of
+        // bad_alloc; same resource-exhaustion class.
+        return "ResourceError";
     } catch (...) {
-        return "unknown";
+        return "UnknownError";
     }
 }
 

@@ -193,8 +193,13 @@ class TraceCorruptError : public Error
 /**
  * Map an in-flight exception to its stable taxonomy label:
  * "CompileError", "VerifyError", "EmuTrap", "DivergenceError",
- * "TraceCorruptError", "FatalError", "PanicError", "Error", or
- * "unknown". Used for structured failure records; never throws.
+ * "TraceCorruptError", "FaultInjectedError", "FatalError",
+ * "PanicError", or "Error" for the predilp hierarchy. Exceptions
+ * from outside it get typed labels too instead of escaping the
+ * evaluator thread pool unclassified: "ResourceError" for
+ * std::bad_alloc (and length_error, its resize-time twin), and
+ * "UnknownError" for everything else. Used for structured failure
+ * records; never throws.
  */
 std::string classifyException(std::exception_ptr ep) noexcept;
 

@@ -29,6 +29,22 @@ EnvConfig::fromEnvironment()
     }
     if (const char *emu = std::getenv("PREDILP_EMU"))
         config.emuBackend = emu;
+    if (const char *faults = std::getenv("PREDILP_FAULTS");
+        faults != nullptr && faults[0] != '\0') {
+        config.faultSpec = faults;
+    }
+    if (const char *env =
+            std::getenv("PREDILP_SWEEP_WATCHDOG_SEC")) {
+        char *end = nullptr;
+        double parsed = std::strtod(env, &end);
+        if (end != nullptr && *end == '\0' && parsed > 0) {
+            config.sweepWatchdogSec = parsed;
+        } else {
+            warn("ignoring invalid PREDILP_SWEEP_WATCHDOG_SEC "
+                 "value '" +
+                 std::string(env) + "'");
+        }
+    }
     return config;
 }
 

@@ -17,6 +17,14 @@
  *   PREDILP_EMU         emulator backend: "interp" forces the
  *                       switch-dispatch interpreter; default is the
  *                       pre-decoded threaded engine.
+ *   PREDILP_FAULTS      deterministic fault-injection spec (see
+ *                       support/faultpoint.hh for the grammar);
+ *                       unset/empty = no fault points armed.
+ *   PREDILP_SWEEP_WATCHDOG_SEC
+ *                       per-shard watchdog for the forked sweep
+ *                       driver, in seconds; <= 0 or unparsable
+ *                       values are warned about and ignored
+ *                       (keeping the built-in default).
  *
  * fromEnvironment() re-reads the environment on every call (tests
  * setenv() between constructions); callers that want one-time
@@ -46,6 +54,12 @@ struct EnvConfig
 
     /** Raw PREDILP_EMU value ("" when unset). */
     std::string emuBackend;
+
+    /** Raw PREDILP_FAULTS spec ("" when unset). */
+    std::string faultSpec;
+
+    /** Validated PREDILP_SWEEP_WATCHDOG_SEC (0 = unset = default). */
+    double sweepWatchdogSec = 0;
 
     /** Read (and validate) the current environment. */
     static EnvConfig fromEnvironment();

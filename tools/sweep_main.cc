@@ -25,6 +25,7 @@
 #include "driver/bench_io.hh"
 #include "driver/sweep.hh"
 #include "support/diag.hh"
+#include "support/faultpoint.hh"
 
 namespace
 {
@@ -46,7 +47,10 @@ usage(std::ostream &os, int code)
 {
     os << "usage: predilp_sweep --spec FILE [--workers N] "
           "[--out FILE] [--no-batch]\n"
-          "       predilp_sweep --print-spec\n"
+          "                     [--retries N] [--watchdog-sec S] "
+          "[--no-degrade]\n"
+          "       predilp_sweep --print-spec | "
+          "--list-fault-points\n"
           "\n"
           "  --spec FILE    grid spec (JSON; see --print-spec)\n"
           "  --workers N    forked worker processes (default 1 = "
@@ -57,12 +61,26 @@ usage(std::ostream &os, int code)
           "batched replay\n"
           "                 pass per trace (identical output; for "
           "comparison/CI)\n"
+          "  --retries N    retry a failed shard up to N times on "
+          "fresh workers\n"
+          "                 (default 2; 0 disables retry)\n"
+          "  --watchdog-sec S  SIGKILL and retry a worker running "
+          "longer than S\n"
+          "                 seconds (default: "
+          "PREDILP_SWEEP_WATCHDOG_SEC, else off)\n"
+          "  --no-degrade   fail the sweep when a shard exhausts "
+          "its retries,\n"
+          "                 instead of emitting degraded cell "
+          "records\n"
           "  --print-spec   print an example grid spec and exit\n"
+          "  --list-fault-points  print every PREDILP_FAULTS point "
+          "name and exit\n"
           "\n"
           "Environment: PREDILP_STORE, PREDILP_STORE_MODE, "
-          "PREDILP_THREADS, PREDILP_EMU\n"
-          "(see EnvConfig in src/support/env.hh) apply to every "
-          "worker.\n";
+          "PREDILP_THREADS, PREDILP_EMU,\n"
+          "PREDILP_FAULTS, PREDILP_SWEEP_WATCHDOG_SEC (see EnvConfig "
+          "in src/support/env.hh)\n"
+          "apply to every worker.\n";
     return code;
 }
 
@@ -77,10 +95,18 @@ main(int argc, char **argv)
     std::string outPath = "BENCH_sweep.json";
     int workers = 1;
     bool batch = true;
+    SweepHealPolicy heal;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--print-spec") {
             std::cout << exampleSpec << "\n";
+            return 0;
+        }
+        if (arg == "--list-fault-points") {
+            for (const std::string &name :
+                 faultpoints::knownPoints()) {
+                std::cout << name << "\n";
+            }
             return 0;
         }
         if (arg == "--help" || arg == "-h")
@@ -97,6 +123,21 @@ main(int argc, char **argv)
             outPath = argv[++i];
         } else if (arg == "--no-batch") {
             batch = false;
+        } else if (arg == "--retries" && i + 1 < argc) {
+            int retries = std::atoi(argv[++i]);
+            if (retries < 0) {
+                std::cerr << "--retries must be >= 0\n";
+                return 2;
+            }
+            heal.maxAttempts = retries + 1;
+        } else if (arg == "--watchdog-sec" && i + 1 < argc) {
+            heal.watchdogSec = std::atof(argv[++i]);
+            if (heal.watchdogSec <= 0) {
+                std::cerr << "--watchdog-sec must be > 0\n";
+                return 2;
+            }
+        } else if (arg == "--no-degrade") {
+            heal.degradeCells = false;
         } else {
             std::cerr << "unknown argument '" << arg << "'\n";
             return usage(std::cerr, 2);
@@ -120,10 +161,16 @@ main(int argc, char **argv)
             SweepSpec::fromJson(JsonValue::parse(text.str()));
 
         SweepOutcome outcome =
-            runSweep(spec, workers, outPath, batch);
+            runSweep(spec, workers, outPath, batch, heal);
         std::cout << "-- sweep: " << outcome.cells << " cells, "
-                  << outcome.workers << " workers -> "
-                  << outcome.path << "\n";
+                  << outcome.workers << " workers";
+        if (outcome.workerRetries > 0)
+            std::cout << ", " << outcome.workerRetries
+                      << " retries";
+        if (outcome.degradedCells > 0)
+            std::cout << ", " << outcome.degradedCells
+                      << " degraded";
+        std::cout << " -> " << outcome.path << "\n";
         printPhaseTiming(std::cout, outcome.timing, wall.seconds(),
                          outcome.workers);
         return 0;
