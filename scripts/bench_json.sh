@@ -55,6 +55,14 @@ run_benches() {
     done
 }
 
+# Archive the previous run's certified result records (if any) before
+# this run republishes over them, so the drift gate below can compare
+# the two runs cell by cell.
+rm -rf results-before
+if [ -d "${PREDILP_STORE}/results" ]; then
+    cp -r "${PREDILP_STORE}/results" results-before
+fi
+
 echo "== cold pass (store: ${PREDILP_STORE}) =="
 run_benches
 
@@ -220,6 +228,19 @@ for path in sys.argv[1:]:
 
 sys.exit(1 if failed else 0)
 EOF
+
+# Certified drift gate: join this run's certified records against the
+# archived previous run by provenance identity. Cells whose digests
+# moved are explained; a cell with identical provenance but different
+# figures is unexplained drift and fails the build (predilp_diff
+# exits 1). First run on a fresh store just seeds the baseline.
+if [ -d results-before ] && [ -d "${PREDILP_STORE}/results" ]; then
+    echo "== certified drift gate (vs previous run) =="
+    ../build/tools/predilp_diff --before results-before \
+        --after "${PREDILP_STORE}/results"
+else
+    echo "== certified drift gate: no previous results; seeding =="
+fi
 
 # Stash the cold JSONs, then rerun against the now-populated store.
 mkdir -p cold

@@ -128,6 +128,18 @@ run_case "torn worker result file" \
 rm -rf "${PREDILP_STORE}"
 run_case "truncated artifact publish" \
     "store.publish.write=once:short-write" 0
+# Provenance sidecar torn at half length (cold store): the artifact
+# lands but its sidecar fails the seal, so the loader must condemn
+# the pair and recompute rather than serve unprovenanced bytes.
+rm -rf "${PREDILP_STORE}"
+run_case "torn provenance sidecar publish" \
+    "store.publish.prov=once:short-write" 0
+# Certified result record torn at half length (cold store): the
+# record fails its seal on read and the next evaluation republishes
+# it; figures never change.
+rm -rf "${PREDILP_STORE}"
+run_case "torn certified result publish" \
+    "store.publish.result=once:short-write" 0
 # Worker hangs 60s at startup; the supervisor watchdog must SIGKILL
 # and retry it (the retry's hit count skips the nth:1 trigger).
 run_case "hung worker reaped by watchdog" \
@@ -155,5 +167,11 @@ for key in ("compiles", "captures"):
 print("ok: warm store serves only validated artifacts "
       "(0 compiles, 0 captures)")
 PYEOF
+
+# ...and the whole store must pass the provenance contract: every
+# artifact parses and carries a sealed, paired sidecar, every
+# certified record passes its seal. Anything the fault matrix tore
+# must have been healed, not left behind.
+build/tools/predilp_diff --verify "${PREDILP_STORE}"
 
 echo "fault-ci: all cases converged byte-identically"

@@ -157,7 +157,14 @@ writeBenchJson(const std::string &benchName,
                << cellSnapshot(r, model, sim).toJson(8)
                << (++m == r.models.size() ? "\n" : ",\n");
         }
-        os << "      }\n    }"
+        // Per-cell provenance digests: what predilp_diff joins on
+        // and cites as evidence when classifying figure drift.
+        std::vector<std::pair<std::string, JsonValue>> provs;
+        for (const auto &[model, prov] : r.provenance)
+            provs.emplace_back(modelKey(model), prov.toJson());
+        os << "      },\n      \"provenance\": "
+           << JsonValue::makeObject(std::move(provs)).dump()
+           << "\n    }"
            << (i + 1 == results.size() ? "\n" : ",\n");
     }
     os << "  ]\n}\n";

@@ -1,0 +1,108 @@
+#include "driver/certified.hh"
+
+#include <sstream>
+
+#include "sim/timing.hh"
+#include "store/sha256.hh"
+
+namespace predilp
+{
+
+JsonValue
+CellProvenance::toJson() const
+{
+    return JsonValue::makeObject({
+        {"workload", JsonValue::makeString(workload)},
+        {"model", JsonValue::makeString(model)},
+        {"scale", JsonValue::makeInt(scale)},
+        {"ablation", JsonValue::makeString(ablation)},
+        {"fuel",
+         JsonValue::makeInt(static_cast<std::int64_t>(fuel))},
+        {"machine", JsonValue::makeString(machine)},
+        {"source_sha256", JsonValue::makeString(sourceSha256)},
+        {"pipeline_digest", JsonValue::makeString(pipelineDigest)},
+        {"config_digest", JsonValue::makeString(configDigest)},
+        {"trace_digest", JsonValue::makeString(traceDigest)},
+    });
+}
+
+std::string
+CellProvenance::identityKey() const
+{
+    std::ostringstream os;
+    os << workload << '|' << model << "|s" << scale << "|a"
+       << ablation << "|f" << fuel << "|m" << machine;
+    return os.str();
+}
+
+std::string
+machineIdentity(const MachineConfig &m)
+{
+    std::ostringstream os;
+    os << m.issueWidth << ',' << m.branchesPerCycle << ','
+       << m.mispredictPenalty << ',' << m.latIntAlu << ','
+       << m.latIntMul << ',' << m.latIntDiv << ',' << m.latFpAlu
+       << ',' << m.latFpDiv << ',' << m.latLoad << ',' << m.latStore
+       << ',' << m.latBranch << ',' << m.latPredDefine;
+    return os.str();
+}
+
+std::string
+passPipelineDigest(Model model, const AblationFlags &ablation)
+{
+    CompileOptions opts;
+    opts.model = model;
+    opts.ablation = ablation.canonicalFor(model);
+    std::ostringstream text;
+    text << "predilp-pipeline-v1\n" << modelKey(model) << '|'
+         << opts.ablation.key() << '\n';
+    for (const std::string &name :
+         buildPassPipeline(opts).passNames())
+        text << name << '\n';
+    return "v1:" + sha256Hex(text.str()).substr(0, 32);
+}
+
+std::string
+certifiedResultKey(const CellProvenance &prov)
+{
+    return sha256Hex(std::string(certSchemaTag) + "\n" +
+                     prov.toJson().dump());
+}
+
+JsonValue
+certifiedFigures(const SimResult &sim)
+{
+    // std::map ordering makes the member order — and therefore the
+    // record bytes — independent of insertion order.
+    std::map<std::string, std::uint64_t> figures(
+        sim.stats.counters());
+    figures["cycles"] = sim.cycles;
+    figures["dyn_instrs"] = sim.dynInstrs;
+    figures["nullified"] = sim.nullified;
+    figures["branches"] = sim.branches;
+    figures["cond_branches"] = sim.condBranches;
+    figures["mispredicts"] = sim.mispredicts;
+    figures["loads"] = sim.loads;
+    figures["stores"] = sim.stores;
+    figures["icache_misses"] = sim.icacheMisses;
+    figures["dcache_misses"] = sim.dcacheMisses;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    members.reserve(figures.size());
+    for (const auto &[name, value] : figures)
+        members.emplace_back(
+            name,
+            JsonValue::makeInt(static_cast<std::int64_t>(value)));
+    return JsonValue::makeObject(std::move(members));
+}
+
+JsonValue
+certifiedRecord(const CellProvenance &prov, const SimResult &sim)
+{
+    return JsonValue::makeObject({
+        {"schema", JsonValue::makeString(certSchemaTag)},
+        {"provenance", prov.toJson()},
+        {"figures", certifiedFigures(sim)},
+    });
+}
+
+} // namespace predilp

@@ -3,7 +3,9 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "driver/certified.hh"
 #include "driver/reproducer.hh"
+#include "store/sha256.hh"
 #include "support/env.hh"
 #include "support/faultpoint.hh"
 #include "support/logging.hh"
@@ -31,13 +33,10 @@ makeCompileOptions(const EvalRequest &request, Model model,
 std::string
 machineKey(const MachineConfig &m)
 {
-    std::ostringstream os;
-    os << m.issueWidth << ',' << m.branchesPerCycle << ','
-       << m.mispredictPenalty << ',' << m.latIntAlu << ','
-       << m.latIntMul << ',' << m.latIntDiv << ',' << m.latFpAlu
-       << ',' << m.latFpDiv << ',' << m.latLoad << ',' << m.latStore
-       << ',' << m.latBranch << ',' << m.latPredDefine;
-    return os.str();
+    // Shared with the certified records' machine identity so a cell
+    // in the store and a cell in a cache key name the same machine
+    // by the same string.
+    return machineIdentity(m);
 }
 
 /**
@@ -81,6 +80,49 @@ traceKey(const Workload &workload, const EvalRequest &request,
 {
     return decodedKey(workload, request, model, machine) + "|f" +
            std::to_string(fuel);
+}
+
+/**
+ * Full provenance of one priced cell. A pure function of
+ * (workload, request, model, sim), so the BENCH/sweep emitters and
+ * the certified records in the store agree on every digest.
+ */
+CellProvenance
+cellProvenance(const Workload &workload, const EvalRequest &request,
+               Model model, const SimConfig &sim)
+{
+    CellProvenance prov;
+    prov.workload = workload.name;
+    prov.model = modelKey(model);
+    prov.scale = request.scale;
+    prov.ablation = flagsKey(request, model);
+    prov.fuel = sim.maxDynInstrs;
+    prov.machine = machineIdentity(sim.machine);
+    prov.sourceSha256 = sha256Hex(workload.source);
+    prov.pipelineDigest = passPipelineDigest(model, request.ablation);
+    prov.configDigest = sim.configDigest();
+    prov.traceDigest = ArtifactStore::keyFor(
+        workload.source, traceKey(workload, request, model,
+                                  sim.machine, sim.maxDynInstrs));
+    return prov;
+}
+
+/**
+ * Publish the certified record for one freshly priced cell.
+ * Best-effort like save(): a refusal degrades to a thinner result
+ * DB, never a failed evaluation.
+ */
+void
+publishCertified(ArtifactStore *store, const Workload &workload,
+                 const EvalRequest &request, Model model,
+                 const SimConfig &sim, const SimResult &result)
+{
+    if (store == nullptr || store->mode() != StoreMode::ReadWrite)
+        return;
+    CellProvenance prov =
+        cellProvenance(workload, request, model, sim);
+    store->saveResult(certifiedResultKey(prov),
+                      certifiedRecord(prov, result));
 }
 
 } // namespace
@@ -367,6 +409,12 @@ SuiteEvaluator::traceFor(const Workload &workload,
                     {"config_digest",
                      JsonValue::makeString(
                          captureSim.configDigest())},
+                    {"source_sha256",
+                     JsonValue::makeString(
+                         sha256Hex(workload.source))},
+                    {"pipeline_digest",
+                     JsonValue::makeString(passPipelineDigest(
+                         model, request.ablation))},
                     {"records",
                      JsonValue::makeInt(static_cast<std::int64_t>(
                          buffer->size()))},
@@ -412,11 +460,17 @@ SuiteEvaluator::cellResult(const Workload &workload,
                 traceFor(workload, request, model, machine, input,
                          sim.maxDynInstrs, tkey);
             FAULT_POINT("eval.replay");
-            PhaseTimer timer(replayTime_);
-            replays_.fetch_add(1, std::memory_order_relaxed);
-            replayedRecords_.fetch_add(
-                trace->size(), std::memory_order_relaxed);
-            return replay(*trace, sim);
+            SimResult priced;
+            {
+                PhaseTimer timer(replayTime_);
+                replays_.fetch_add(1, std::memory_order_relaxed);
+                replayedRecords_.fetch_add(
+                    trace->size(), std::memory_order_relaxed);
+                priced = replay(*trace, sim);
+            }
+            publishCertified(store_.get(), workload, request, model,
+                             sim, priced);
+            return priced;
         });
 }
 
@@ -486,8 +540,12 @@ SuiteEvaluator::evaluateCells(const Workload &workload,
     });
 
     result.baseCycles = cells[0].cycles;
-    for (std::size_t i = 0; i < models.size(); ++i)
+    for (std::size_t i = 0; i < models.size(); ++i) {
         result.models[models[i]] = std::move(cells[i + 1]);
+        result.provenance[models[i]] =
+            cellProvenance(workload, request, models[i],
+                           request.sim);
+    }
     result.errors = std::move(errors);
     return result;
 }
@@ -628,8 +686,15 @@ SuiteEvaluator::evaluateBatch(const std::vector<EvalRequest> &requests)
                                std::memory_order_relaxed);
             replayedRecords_.fetch_add(trace->size() * priced.size(),
                                        std::memory_order_relaxed);
-            for (std::size_t i = 0; i < priced.size(); ++i)
+            for (std::size_t i = 0; i < priced.size(); ++i) {
+                // Batched cells certify exactly like unbatched ones:
+                // the record's provenance comes from the config that
+                // keyed the cell, not from the group.
+                publishCertified(store_.get(), *group.workload,
+                                 *group.request, group.model,
+                                 group.configs[i], priced[i]);
                 seedResult(group.rkeys[i], std::move(priced[i]));
+            }
         } catch (...) {
             // Degradation ladder, rung 2: leave the group unseeded.
             // The assembly pass below recomputes these cells

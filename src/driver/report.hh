@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "driver/certified.hh"
 #include "driver/pipeline.hh"
 #include "workloads/workloads.hh"
 
@@ -45,6 +46,12 @@ struct BenchmarkResult
     /** Cycle count of the 1-issue Superblock baseline processor. */
     std::uint64_t baseCycles = 0;
     std::map<Model, SimResult> models;
+    /**
+     * Per-model cell provenance: the digests backing this cell's
+     * certified record and predilp_diff's evidence. Filled by
+     * SuiteEvaluator alongside `models` (absent for failed cells).
+     */
+    std::map<Model, CellProvenance> provenance;
     /** Failed cells (empty unless fault isolation caught any). */
     std::vector<CellError> errors;
 

@@ -205,12 +205,16 @@ cellToJson(const SweepCell &cell, const EvalResponse &response)
                 JsonValue::parse(
                     cellSnapshot(result, model, sim).toJson()));
         }
+        std::vector<std::pair<std::string, JsonValue>> provs;
+        for (const auto &[model, prov] : result.provenance)
+            provs.emplace_back(modelKey(model), prov.toJson());
         benchmarks.push_back(JsonValue::makeObject({
             {"name", JsonValue::makeString(result.name)},
             {"base_cycles",
              JsonValue::makeInt(
                  static_cast<std::int64_t>(result.baseCycles))},
             {"models", JsonValue::makeObject(std::move(models))},
+            {"provenance", JsonValue::makeObject(std::move(provs))},
         }));
     }
     return JsonValue::makeObject({
@@ -689,11 +693,18 @@ runSweep(const SweepSpec &spec, int workers,
                 EnvConfig::fromEnvironment().sweepWatchdogSec;
         }
 
-        char tmpl[] = "/tmp/predilp-sweep-XXXXXX";
-        const char *dirc = ::mkdtemp(tmpl);
+        // Worker scratch goes under TMPDIR (via EnvConfig), not a
+        // hardcoded /tmp — sandboxed CI runners and multi-user hosts
+        // point TMPDIR at a private writable directory.
+        const std::string tmplStr =
+            EnvConfig::fromEnvironment().tmpDir +
+            "/predilp-sweep-XXXXXX";
+        std::vector<char> tmpl(tmplStr.begin(), tmplStr.end());
+        tmpl.push_back('\0');
+        const char *dirc = ::mkdtemp(tmpl.data());
         if (dirc == nullptr) {
-            throw FatalError(std::string("mkdtemp failed: ") +
-                             std::strerror(errno));
+            throw FatalError(std::string("mkdtemp failed for ") +
+                             tmplStr + ": " + std::strerror(errno));
         }
         const std::string dir = dirc;
 

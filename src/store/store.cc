@@ -333,6 +333,7 @@ parseArtifact(const std::uint8_t *data, std::size_t size)
     parsed.info.records = parsed.recordCount;
     parsed.info.fileBytes = size;
     parsed.info.checksumOffset = kChecksumOffset;
+    parsed.info.payloadChecksum = checksum;
     parsed.info.entriesOffset = entriesOffset;
     parsed.info.entriesBytes =
         static_cast<std::size_t>(totalEntries * sizeof(TraceEntry));
@@ -569,7 +570,156 @@ writeAll(int fd, const std::uint8_t *data, std::size_t size)
     return true;
 }
 
+/**
+ * Stage @p size bytes at a temp sibling of @p path (POSIX write +
+ * fsync via retryIo), then atomically rename into place under the
+ * store lock of @p dir. The one publish primitive every durable
+ * store file — artifact, sidecar, certified record — goes through.
+ */
+bool
+publishBytesAtomically(const std::string &dir,
+                       const std::string &path,
+                       const std::uint8_t *data, std::size_t size)
+{
+    std::error_code ec;
+    const std::string temp =
+        path + ".tmp." + std::to_string(::getpid()) + "." +
+        std::to_string(
+            tempSeq.fetch_add(1, std::memory_order_relaxed));
+    int fd = -1;
+    if (!retryIo([&] {
+            fd = ::open(temp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+            return fd >= 0;
+        })) {
+        return false;
+    }
+    bool staged = writeAll(fd, data, size);
+    // Flush before publish: rename must never expose a file the
+    // kernel could still lose the tail of on a crash.
+    if (staged)
+        staged = retryIo([&] { return ::fsync(fd) == 0; });
+    ::close(fd);
+    if (!staged) {
+        fs::remove(temp, ec);
+        return false;
+    }
+    bool renamed = false;
+    {
+        StoreLock lock(dir);
+        renamed = retryIo(
+            [&] { return ::rename(temp.c_str(), path.c_str()) == 0; });
+    }
+    if (!renamed) {
+        fs::remove(temp, ec);
+        return false;
+    }
+    return true;
+}
+
+/**
+ * Read the payload checksum straight out of @p path's 32-byte header
+ * (magic-checked, nothing else validated) — enough to test whether a
+ * sidecar's `artifact_checksum` names this artifact.
+ */
+bool
+readHeaderChecksum(const std::string &path, std::uint64_t &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    char header[kHeaderBytes];
+    if (!in.read(header, kHeaderBytes))
+        return false;
+    if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0)
+        return false;
+    out = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        out |= std::uint64_t{static_cast<std::uint8_t>(
+                   header[kChecksumOffset + i])}
+               << (8 * i);
+    return true;
+}
+
+/**
+ * True iff @p sidecar (a sealed sidecar document) records exactly
+ * @p payloadChecksum as its artifact pairing.
+ */
+bool
+sidecarPairs(const JsonValue &sidecar, std::uint64_t payloadChecksum)
+{
+    if (!sidecar.isObject())
+        return false;
+    const JsonValue *recorded = sidecar.find("artifact_checksum");
+    return recorded != nullptr &&
+           recorded->kind() == JsonValue::Kind::String &&
+           recorded->asString() ==
+               artifactChecksumString(payloadChecksum);
+}
+
 } // namespace
+
+std::string
+artifactChecksumString(std::uint64_t checksum)
+{
+    static const char *hex = "0123456789abcdef";
+    std::string out = "fnv1a64:";
+    for (int shift = 60; shift >= 0; shift -= 4)
+        out.push_back(hex[(checksum >> shift) & 0xf]);
+    return out;
+}
+
+JsonValue
+sealRecord(const JsonValue &record)
+{
+    std::vector<std::pair<std::string, JsonValue>> members;
+    if (record.isObject()) {
+        for (const auto &[key, value] : record.members())
+            if (key != "checksum")
+                members.emplace_back(key, value);
+    }
+    const std::string body =
+        JsonValue::makeObject(members).dump();
+    members.emplace_back(
+        "checksum",
+        JsonValue::makeString("sha256:" + sha256Hex(body)));
+    return JsonValue::makeObject(std::move(members));
+}
+
+bool
+sealedRecordValid(const JsonValue &record)
+{
+    if (!record.isObject())
+        return false;
+    const JsonValue *checksum = record.find("checksum");
+    if (checksum == nullptr ||
+        checksum->kind() != JsonValue::Kind::String)
+        return false;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    for (const auto &[key, value] : record.members())
+        if (key != "checksum")
+            members.emplace_back(key, value);
+    const std::string body =
+        JsonValue::makeObject(std::move(members)).dump();
+    return checksum->asString() == "sha256:" + sha256Hex(body);
+}
+
+std::optional<JsonValue>
+readSealedJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        JsonValue doc = JsonValue::parse(text.str());
+        if (sealedRecordValid(doc))
+            return doc;
+    } catch (const std::exception &) {
+        // Torn or truncated record: treated as absent, never served.
+    }
+    return std::nullopt;
+}
 
 ArtifactStore::ArtifactStore(std::string dir, StoreMode mode)
     : dir_(std::move(dir)), mode_(mode)
@@ -638,6 +788,19 @@ ArtifactStore::load(const std::string &key)
         }
         ParsedArtifact parsed =
             parseArtifact(mapping->bytes(), mapping->size());
+        // A sidecar, when present, is load-bearing: it must be a
+        // valid sealed record naming this exact artifact. A torn or
+        // stale sidecar condemns the pair — quarantine moves both
+        // and the recompute republishes them together.
+        std::error_code ec;
+        const std::string provPath = path + ".prov.json";
+        if (fs::exists(provPath, ec)) {
+            std::optional<JsonValue> prov = readSealedJson(provPath);
+            if (!prov ||
+                !sidecarPairs(*prov, parsed.info.payloadChecksum))
+                throw TraceCorruptError(
+                    "provenance sidecar torn or stale");
+        }
         StaticIndex index(std::move(parsed.ops),
                           std::move(parsed.regPool),
                           parsed.regBounds);
@@ -649,7 +812,6 @@ ArtifactStore::load(const std::string &key)
                                std::memory_order_relaxed);
         if (mode_ == StoreMode::ReadWrite) {
             // Touch the artifact so the GC's LRU sweep sees use.
-            std::error_code ec;
             fs::last_write_time(
                 path, fs::file_time_type::clock::now(), ec);
         }
@@ -676,6 +838,13 @@ ArtifactStore::save(const std::string &key,
         return false;
 
     std::vector<std::uint8_t> bytes = serializeArtifact(buffer);
+    // The serialized header already carries the payload checksum;
+    // echo it into the sidecar so readers can prove the pairing.
+    std::uint64_t payloadChecksum = 0;
+    for (std::size_t i = 0; i < 8; ++i)
+        payloadChecksum |= std::uint64_t{bytes[kChecksumOffset + i]}
+                           << (8 * i);
+
     // A torn write publishes a truncated image the loader must catch
     // on checksum; a thrown write degrades to a cold cache.
     std::size_t publishBytes = bytes.size();
@@ -713,6 +882,18 @@ ArtifactStore::save(const std::string &key,
             return false;
         }
     }
+
+    // The sidecar publishes BEFORE the artifact rename: at no kill
+    // point can the canonical artifact exist without durable, sealed
+    // provenance. The reverse window — a fresh sidecar next to a
+    // stale or absent artifact — is closed by the load-path pairing
+    // check on artifact_checksum.
+    if (!provenanceJson.empty() &&
+        !publishProvenance(path, provenanceJson, payloadChecksum)) {
+        fs::remove(temp, ec);
+        return false;
+    }
+
     // Crash here (via the fault point) dies with the staged temp on
     // disk but the canonical path untouched — the exact mid-publish
     // window the GC and retrying readers must tolerate.
@@ -732,41 +913,70 @@ ArtifactStore::save(const std::string &key,
         return false;
     }
     writes_.fetch_add(1, std::memory_order_relaxed);
-
-    // The informational sidecar rides the same temp+rename protocol;
-    // a refusal leaves the (already published) artifact intact.
-    if (!provenanceJson.empty()) {
-        const std::string provPath = path + ".prov.json";
-        const std::string provTemp =
-            provPath + ".tmp." + std::to_string(::getpid()) + "." +
-            std::to_string(
-                tempSeq.fetch_add(1, std::memory_order_relaxed));
-        std::ofstream out(provTemp,
-                          std::ios::binary | std::ios::trunc);
-        if (out) {
-            out << provenanceJson;
-            out.close();
-            if (out) {
-                StoreLock lock(dir_);
-                fs::rename(provTemp, provPath, ec);
-            }
-            if (!out || ec)
-                fs::remove(provTemp, ec);
-        }
-    }
     return true;
+}
+
+bool
+ArtifactStore::publishProvenance(
+    const std::string &path, const std::string &provenanceJson,
+    std::uint64_t payloadChecksum) const
+{
+    JsonValue prov;
+    try {
+        prov = JsonValue::parse(provenanceJson);
+    } catch (const std::exception &) {
+        return false;
+    }
+    if (!prov.isObject())
+        return false;
+    std::vector<std::pair<std::string, JsonValue>> members;
+    for (const auto &[key, value] : prov.members())
+        if (key != "artifact_checksum" && key != "checksum")
+            members.emplace_back(key, value);
+    members.emplace_back(
+        "artifact_checksum",
+        JsonValue::makeString(
+            artifactChecksumString(payloadChecksum)));
+    const std::string payload =
+        sealRecord(JsonValue::makeObject(std::move(members)))
+            .dump() +
+        "\n";
+
+    // A torn sidecar fails the seal on read; a thrown publish aborts
+    // the whole save so the artifact never lands unprovenanced.
+    std::size_t publishBytes = payload.size();
+    switch (faultpoints::poll("store.publish.prov")) {
+      case faultpoints::FaultAction::ShortWrite:
+        publishBytes /= 2;
+        break;
+      case faultpoints::FaultAction::Throw:
+        return false;
+      default:
+        break;
+    }
+    return publishBytesAtomically(
+        dir_, path + ".prov.json",
+        reinterpret_cast<const std::uint8_t *>(payload.data()),
+        publishBytes);
 }
 
 std::string
 ArtifactStore::loadProvenance(const std::string &key) const
 {
-    std::ifstream in(objectPath(key) + ".prov.json",
-                     std::ios::binary);
-    if (!in)
+    const std::string path = objectPath(key);
+    std::optional<JsonValue> prov =
+        readSealedJson(path + ".prov.json");
+    if (!prov)
         return "";
-    std::ostringstream content;
-    content << in.rdbuf();
-    return content.str();
+    // An orphan sidecar (artifact gone) or a stale one (artifact
+    // republished under a writer that died before the sidecar) is
+    // never served: the pairing must verify against the bytes on
+    // disk right now.
+    std::uint64_t payloadChecksum = 0;
+    if (!readHeaderChecksum(path, payloadChecksum) ||
+        !sidecarPairs(*prov, payloadChecksum))
+        return "";
+    return prov->dump() + "\n";
 }
 
 void
@@ -791,6 +1001,63 @@ ArtifactStore::quarantine(const std::string &path) const
     fs::rename(path, qdir / name, ec);
     if (ec)
         fs::remove(path, ec); // last resort: drop it.
+    // The sidecar is condemned with its artifact — provenance must
+    // never outlive the bytes it describes, or a recomputed artifact
+    // could pair with stale provenance.
+    const std::string provPath = path + ".prov.json";
+    ec.clear();
+    fs::rename(provPath, qdir / (name + ".prov.json"), ec);
+    if (ec)
+        fs::remove(provPath, ec);
+}
+
+std::string
+ArtifactStore::resultPath(const std::string &key) const
+{
+    // Same two-level fan-out as objects/, separate root so trace GC
+    // (which evicts *.trc by size) never competes with the small
+    // certified records.
+    return dir_ + "/results/" + key.substr(0, 2) + "/" + key +
+           ".cert.json";
+}
+
+bool
+ArtifactStore::saveResult(const std::string &key,
+                          const JsonValue &record)
+{
+    if (mode_ != StoreMode::ReadWrite)
+        return false;
+    const std::string path = resultPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        return false;
+    const std::string payload = sealRecord(record).dump() + "\n";
+    // A torn record fails its seal on read and is re-published by
+    // the next evaluation of the same cell; a thrown publish just
+    // skips the record.
+    std::size_t publishBytes = payload.size();
+    switch (faultpoints::poll("store.publish.result")) {
+      case faultpoints::FaultAction::ShortWrite:
+        publishBytes /= 2;
+        break;
+      case faultpoints::FaultAction::Throw:
+        return false;
+      default:
+        break;
+    }
+    return publishBytesAtomically(
+        dir_, path,
+        reinterpret_cast<const std::uint8_t *>(payload.data()),
+        publishBytes);
+}
+
+std::string
+ArtifactStore::loadResult(const std::string &key) const
+{
+    std::optional<JsonValue> record =
+        readSealedJson(resultPath(key));
+    return record ? record->dump() + "\n" : "";
 }
 
 StatsSnapshot

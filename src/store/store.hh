@@ -26,6 +26,19 @@
  * reports a miss, so the caller transparently recomputes and
  * re-saves — corrupt artifacts are repaired, never trusted.
  *
+ * Provenance is load-bearing: each artifact's `.prov.json` sidecar
+ * is a sealed record (see sealRecord) carrying the cell's digests
+ * plus the exact payload checksum of the artifact it describes.
+ * Sidecars publish through the same staged write→fsync→rename path
+ * as the artifact — sidecar first, so no crash window can expose a
+ * canonical artifact without durable provenance — and the load path
+ * verifies the pairing: a torn, stale, or mismatched sidecar
+ * condemns the pair to quarantine and the caller recomputes both.
+ *
+ * The store also keeps certified result records (saveResult /
+ * loadResult): sealed JSON under `results/`, one per priced cell,
+ * which `predilp_diff` joins across runs to classify figure drift.
+ *
  * Counters (store.hit / store.miss / store.repair /
  * store.bytes_mapped / store.write) export as a StatsSnapshot
  * through the same observability seam as everything else.
@@ -40,6 +53,7 @@
 #include <optional>
 #include <string>
 
+#include "support/json.hh"
 #include "support/stats_registry.hh"
 #include "trace/trace.hh"
 
@@ -67,6 +81,9 @@ struct ArtifactInfo
     std::size_t fileBytes = 0;
     /** Byte offset of the checksum field inside the header. */
     std::size_t checksumOffset = 0;
+    /** The header's FNV-1a-64 payload checksum — what a paired
+     * `.prov.json` sidecar must echo in `artifact_checksum`. */
+    std::uint64_t payloadChecksum = 0;
     /** Packed TraceEntry stream. */
     std::size_t entriesOffset = 0;
     std::size_t entriesBytes = 0;
@@ -108,32 +125,61 @@ class ArtifactStore
      * but invalid file counts a repair, is quarantined (read-write
      * mode), and reports as a miss so the caller recomputes. On a
      * hit the returned buffer replays out of the file mapping.
+     *
+     * When a `.prov.json` sidecar is present it must be a sealed
+     * record whose `artifact_checksum` names this artifact's payload
+     * checksum; a torn or stale sidecar condemns the pair exactly
+     * like a corrupt artifact (quarantine both, report a miss).
+     * Sidecar-less artifacts load normally.
      */
     std::shared_ptr<const TraceBuffer> load(const std::string &key);
 
     /**
-     * Serialize @p buffer under @p key: stage to a temp file, then
-     * atomically rename into place under the store's advisory flock.
-     * No-op (returning false) in read-only mode; never throws — a
-     * filesystem refusal degrades to a cold cache, not a failure.
+     * Serialize @p buffer under @p key: stage to a temp file (POSIX
+     * write + fsync), then atomically rename into place under the
+     * store's advisory flock. No-op (returning false) in read-only
+     * mode; never throws — a filesystem refusal degrades to a cold
+     * cache, not a failure.
      *
-     * A non-empty @p provenanceJson is published the same way (temp
-     * + rename) as a sidecar at objectPath(key) + ".prov.json". The
-     * sidecar is informational — never read on the load path, never
-     * checksummed — so the binary artifact format (and the CI cache
-     * key that mirrors formatVersion) is unaffected.
+     * A non-empty @p provenanceJson (a JSON object) is stamped with
+     * the artifact's payload checksum (`artifact_checksum`), sealed
+     * (`checksum`), and published through the same staged path as a
+     * sidecar at objectPath(key) + ".prov.json" — *before* the
+     * artifact's own rename, so at no kill point does the canonical
+     * artifact exist without durable provenance. If the sidecar
+     * cannot be published the artifact is not published either.
      */
     bool save(const std::string &key, const TraceBuffer &buffer,
               const std::string &provenanceJson = "");
 
     /**
-     * The provenance sidecar published with @p key's artifact, or ""
-     * when none exists (older artifacts, or sidecar write refused).
+     * The sealed provenance sidecar published with @p key's
+     * artifact, or "" when none exists or it fails validation
+     * (torn envelope, or `artifact_checksum` not matching the
+     * on-disk artifact) — invalid provenance is never served.
      */
     std::string loadProvenance(const std::string &key) const;
 
+    /**
+     * Publish @p record as a sealed certified-result record at
+     * resultPath(key) via the staged write→fsync→rename path.
+     * Read-write mode only. Records are overwritten idempotently —
+     * every evaluation republishes its cells, which self-heals any
+     * torn record left by a crash.
+     */
+    bool saveResult(const std::string &key, const JsonValue &record);
+
+    /**
+     * The sealed certified record at resultPath(key) as one JSON
+     * line, or "" when absent or failing seal validation.
+     */
+    std::string loadResult(const std::string &key) const;
+
     /** Final on-disk path of @p key's artifact (for tests/GC). */
     std::string objectPath(const std::string &key) const;
+
+    /** On-disk path of @p key's certified result record. */
+    std::string resultPath(const std::string &key) const;
 
     /** store.* counters as a snapshot (the StatsRegistry seam). */
     StatsSnapshot stats() const;
@@ -146,6 +192,12 @@ class ArtifactStore
 
   private:
     void quarantine(const std::string &path) const;
+
+    /** Seal @p provenanceJson with @p payloadChecksum and publish it
+     * atomically at @p path + ".prov.json". */
+    bool publishProvenance(const std::string &path,
+                           const std::string &provenanceJson,
+                           std::uint64_t payloadChecksum) const;
 
     std::string dir_;
     StoreMode mode_;
@@ -163,6 +215,30 @@ class ArtifactStore
  */
 std::optional<ArtifactInfo>
 inspectArtifact(const std::string &path);
+
+/**
+ * Seal a JSON object: return a copy with a `checksum` member equal
+ * to "sha256:" + the hex digest of the record's canonical dump with
+ * any existing `checksum` member removed. Sealed records are
+ * self-validating — a reader needs no side channel to detect a torn
+ * or tampered record.
+ */
+JsonValue sealRecord(const JsonValue &record);
+
+/** True iff @p record is an object whose `checksum` member verifies
+ * against the rest of the record (the sealRecord invariant). */
+bool sealedRecordValid(const JsonValue &record);
+
+/**
+ * Read and parse @p path, returning the document only when it is a
+ * valid sealed record; nullopt on missing file, parse error, or seal
+ * mismatch. The one gate every sealed-record consumer goes through.
+ */
+std::optional<JsonValue> readSealedJson(const std::string &path);
+
+/** Canonical sidecar rendering of an artifact payload checksum:
+ * "fnv1a64:" + 16 lowercase hex digits. */
+std::string artifactChecksumString(std::uint64_t checksum);
 
 } // namespace predilp
 

@@ -33,6 +33,13 @@ EnvConfig::fromEnvironment()
         faults != nullptr && faults[0] != '\0') {
         config.faultSpec = faults;
     }
+    if (const char *tmp = std::getenv("TMPDIR");
+        tmp != nullptr && tmp[0] != '\0') {
+        config.tmpDir = tmp;
+        while (config.tmpDir.size() > 1 &&
+               config.tmpDir.back() == '/')
+            config.tmpDir.pop_back();
+    }
     if (const char *env =
             std::getenv("PREDILP_SWEEP_WATCHDOG_SEC")) {
         char *end = nullptr;

@@ -25,6 +25,9 @@
  *                       driver, in seconds; <= 0 or unparsable
  *                       values are warned about and ignored
  *                       (keeping the built-in default).
+ *   TMPDIR              (standard POSIX, not PREDILP_*) scratch
+ *                       directory for the sweep driver's worker
+ *                       files; unset/empty = "/tmp".
  *
  * fromEnvironment() re-reads the environment on every call (tests
  * setenv() between constructions); callers that want one-time
@@ -60,6 +63,10 @@ struct EnvConfig
 
     /** Validated PREDILP_SWEEP_WATCHDOG_SEC (0 = unset = default). */
     double sweepWatchdogSec = 0;
+
+    /** TMPDIR with any trailing slashes stripped ("/tmp" when
+     * unset or empty). */
+    std::string tmpDir = "/tmp";
 
     /** Read (and validate) the current environment. */
     static EnvConfig fromEnvironment();

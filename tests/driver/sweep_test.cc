@@ -236,5 +236,26 @@ TEST(Sweep, ConcurrentSweepsShareOneStore)
     EXPECT_EQ(warm.cellsJson, cold.cellsJson);
 }
 
+TEST(Sweep, ShardedRunRespectsTmpdir)
+{
+    // The sharded supervisor stages shard results under $TMPDIR
+    // (POSIX), not a hardcoded /tmp: an unusable TMPDIR fails fast
+    // with a diagnostic naming the attempted template...
+    const std::string missing =
+        freshDir("sweep-tmpdir") + "/does-not-exist";
+    ASSERT_EQ(setenv("TMPDIR", missing.c_str(), 1), 0);
+    EXPECT_THROW(runSweep(smallSpec(), 2, ""), FatalError);
+
+    // ...and a valid one hosts a normal run.
+    const std::string tmp = freshDir("sweep-tmpdir-ok");
+    ASSERT_EQ(setenv("TMPDIR", tmp.c_str(), 1), 0);
+    SweepOutcome outcome = runSweep(smallSpec(), 2, "");
+    ASSERT_EQ(unsetenv("TMPDIR"), 0);
+    EXPECT_EQ(outcome.cells, 4u);
+    EXPECT_EQ(outcome.degradedCells, 0u);
+    // The staging directory is cleaned up after the merge.
+    EXPECT_TRUE(fs::is_empty(tmp));
+}
+
 } // namespace
 } // namespace predilp

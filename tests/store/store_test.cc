@@ -16,11 +16,16 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "driver/certified.hh"
 #include "driver/evaluator.hh"
 #include "driver/pipeline.hh"
 #include "store/sha256.hh"
 #include "store/store.hh"
+#include "support/faultpoint.hh"
+#include "support/json.hh"
 #include "trace/replay.hh"
 #include "workloads/workloads.hh"
 
@@ -336,6 +341,275 @@ TEST(ArtifactStore, DistinctCellKeysDoNotCollide)
     ASSERT_TRUE(store.save(a, *buffer));
     EXPECT_EQ(store.load(b), nullptr);
     EXPECT_NE(store.load(a), nullptr);
+}
+
+/** Minimal provenance sidecar payload for the tests below. */
+const char *const kProvJson =
+    "{\"workload\": \"cmp\", \"config_digest\": \"v1:test\"}";
+
+TEST(SealedRecord, SealRoundTripAndTamperDetection)
+{
+    JsonValue record = JsonValue::parse(kProvJson);
+    JsonValue sealed = sealRecord(record);
+    EXPECT_TRUE(sealedRecordValid(sealed));
+    // Every member except the seal survives, in order.
+    const auto &members = sealed.members();
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_EQ(members.back().first, "checksum");
+
+    // Any payload change invalidates the seal...
+    std::vector<std::pair<std::string, JsonValue>> tampered;
+    for (const auto &[name, value] : members) {
+        tampered.emplace_back(
+            name, name == "workload" ? JsonValue::makeString("abs")
+                                     : value);
+    }
+    EXPECT_FALSE(sealedRecordValid(
+        JsonValue::makeObject(std::move(tampered))));
+    // ...and an unsealed record never validates.
+    EXPECT_FALSE(sealedRecordValid(record));
+}
+
+TEST(ArtifactStore, SidecarIsSealedAndNamesPayloadChecksum)
+{
+    auto buffer = captureWorkload("cmp");
+    ArtifactStore store(freshDir("store-sidecar"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+
+    const std::string provPath =
+        store.objectPath(key) + ".prov.json";
+    ASSERT_TRUE(fs::exists(provPath));
+    auto sidecar = readSealedJson(provPath);
+    ASSERT_TRUE(sidecar.has_value());
+    const JsonValue *workload = sidecar->find("workload");
+    ASSERT_NE(workload, nullptr);
+    EXPECT_EQ(workload->asString(), "cmp");
+
+    // The sidecar's artifact_checksum matches the artifact header's
+    // payload checksum — the pairing the load path enforces.
+    auto info = inspectArtifact(store.objectPath(key));
+    ASSERT_TRUE(info.has_value());
+    const JsonValue *recorded = sidecar->find("artifact_checksum");
+    ASSERT_NE(recorded, nullptr);
+    EXPECT_EQ(recorded->asString(),
+              artifactChecksumString(info->payloadChecksum));
+    EXPECT_EQ(store.loadProvenance(key),
+              sidecar->dump() + "\n");
+}
+
+TEST(ArtifactStore, QuarantineTakesSidecarAlong)
+{
+    auto buffer = captureWorkload("cmp");
+    const std::string dir = freshDir("store-quarantine-pair");
+    ArtifactStore store(dir, StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+
+    auto info = inspectArtifact(store.objectPath(key));
+    ASSERT_TRUE(info.has_value());
+    flipByte(store.objectPath(key),
+             info->entriesOffset + info->entriesBytes / 2);
+
+    // The corrupt artifact is condemned together with its sidecar:
+    // a stale sidecar must never describe a future recompute.
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.repairs(), 1u);
+    EXPECT_FALSE(fs::exists(store.objectPath(key)));
+    EXPECT_FALSE(
+        fs::exists(store.objectPath(key) + ".prov.json"));
+    EXPECT_EQ(store.loadProvenance(key), "");
+    EXPECT_EQ(fileCount(fs::path(dir) / "quarantine"), 2u);
+
+    // Recompute-and-save restores both halves.
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+    EXPECT_NE(store.load(key), nullptr);
+    EXPECT_NE(store.loadProvenance(key), "");
+}
+
+TEST(ArtifactStore, TornSidecarCondemnsThePairAndHeals)
+{
+    faultpoints::resetForTest();
+    auto buffer = captureWorkload("cmp");
+    const std::string dir = freshDir("store-torn-sidecar");
+    ArtifactStore store(dir, StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+
+    // A short write tears the sidecar mid-publish; the artifact
+    // itself still lands.
+    faultpoints::armFromSpec("store.publish.prov=once:short-write");
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+    faultpoints::resetForTest();
+    ASSERT_TRUE(fs::exists(store.objectPath(key)));
+    ASSERT_TRUE(
+        fs::exists(store.objectPath(key) + ".prov.json"));
+
+    // Torn provenance is never served, and the artifact it fails to
+    // describe is not served either — the pair is quarantined...
+    EXPECT_EQ(store.loadProvenance(key), "");
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.repairs(), 1u);
+    EXPECT_FALSE(fs::exists(store.objectPath(key)));
+    EXPECT_EQ(fileCount(fs::path(dir) / "quarantine"), 2u);
+
+    // ...and a clean republish self-heals.
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+    EXPECT_NE(store.load(key), nullptr);
+    EXPECT_NE(store.loadProvenance(key), "");
+}
+
+TEST(ArtifactStore, SidecarPublishFailureAbortsTheArtifact)
+{
+    faultpoints::resetForTest();
+    auto buffer = captureWorkload("cmp");
+    ArtifactStore store(freshDir("store-sidecar-abort"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+
+    // Sidecar-first ordering: if provenance cannot be made durable,
+    // the artifact must not be published at all.
+    faultpoints::armFromSpec("store.publish.prov=once");
+    EXPECT_FALSE(store.save(key, *buffer, kProvJson));
+    faultpoints::resetForTest();
+    EXPECT_FALSE(fs::exists(store.objectPath(key)));
+    EXPECT_FALSE(
+        fs::exists(store.objectPath(key) + ".prov.json"));
+
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+    EXPECT_NE(store.load(key), nullptr);
+}
+
+TEST(ArtifactStore, StaleSidecarIsRejected)
+{
+    auto buffer = captureWorkload("cmp");
+    const std::string dir = freshDir("store-stale-sidecar");
+    ArtifactStore store(dir, StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+
+    // Forge a correctly sealed sidecar whose artifact_checksum names
+    // a different payload: the seal alone is not enough — it must
+    // pair with *this* artifact.
+    std::vector<std::pair<std::string, JsonValue>> forged;
+    forged.emplace_back("workload", JsonValue::makeString("cmp"));
+    forged.emplace_back(
+        "artifact_checksum",
+        JsonValue::makeString(artifactChecksumString(0xdeadbeef)));
+    std::ofstream out(store.objectPath(key) + ".prov.json",
+                      std::ios::trunc);
+    out << sealRecord(JsonValue::makeObject(std::move(forged)))
+               .dump()
+        << "\n";
+    out.close();
+
+    EXPECT_EQ(store.loadProvenance(key), "");
+    EXPECT_EQ(store.load(key), nullptr);
+    EXPECT_EQ(store.repairs(), 1u);
+    EXPECT_EQ(fileCount(fs::path(dir) / "quarantine"), 2u);
+}
+
+TEST(ArtifactStore, OrphanSidecarIsNeverServed)
+{
+    auto buffer = captureWorkload("cmp");
+    ArtifactStore store(freshDir("store-orphan-sidecar"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+    ASSERT_TRUE(store.save(key, *buffer, kProvJson));
+    fs::remove(store.objectPath(key));
+    EXPECT_EQ(store.loadProvenance(key), "");
+    EXPECT_EQ(store.load(key), nullptr);
+}
+
+TEST(ArtifactStore, CertifiedResultRecordsRoundTripSealed)
+{
+    faultpoints::resetForTest();
+    ArtifactStore store(freshDir("store-results"),
+                        StoreMode::ReadWrite);
+    const std::string key = ArtifactStore::keyFor("src", "cell");
+    JsonValue record = JsonValue::parse(
+        "{\"schema\": \"predilp-cert-v1\", \"figures\":"
+        " {\"cycles\": 42}}");
+
+    EXPECT_EQ(store.loadResult(key), "");
+    ASSERT_TRUE(store.saveResult(key, record));
+    const std::string line = store.loadResult(key);
+    ASSERT_NE(line, "");
+    auto sealed = readSealedJson(store.resultPath(key));
+    ASSERT_TRUE(sealed.has_value());
+    EXPECT_EQ(line, sealed->dump() + "\n");
+
+    // A flipped byte breaks the seal; the record is not served. A
+    // republish (idempotent by design) heals it.
+    flipByte(store.resultPath(key), 10);
+    EXPECT_EQ(store.loadResult(key), "");
+    ASSERT_TRUE(store.saveResult(key, record));
+    EXPECT_NE(store.loadResult(key), "");
+
+    // A torn publish (short write at the fault point) is likewise
+    // rejected on read and healed by republish.
+    faultpoints::armFromSpec(
+        "store.publish.result=once:short-write");
+    ASSERT_TRUE(store.saveResult(key, record));
+    faultpoints::resetForTest();
+    EXPECT_EQ(store.loadResult(key), "");
+    ASSERT_TRUE(store.saveResult(key, record));
+    EXPECT_NE(store.loadResult(key), "");
+
+    // Read-only stores refuse to publish records.
+    ArtifactStore readOnly(freshDir("store-results-ro"),
+                           StoreMode::ReadOnly);
+    EXPECT_FALSE(readOnly.saveResult(key, record));
+}
+
+TEST(ArtifactStore, EvaluatorPublishesCertifiedRecords)
+{
+    const std::string dir = freshDir("store-certified");
+    SuiteConfig config;
+    config.machine = issue8Branch1();
+    config.perfectCaches = true;
+
+    EvalPolicy policy;
+    policy.storeMode = StoreMode::ReadWrite;
+    policy.storeDir = dir;
+    SuiteEvaluator evaluator(1);
+    evaluator.setPolicy(policy);
+    EvalRequest request = EvalRequest::fromSuiteConfig(config);
+    request.workloads = {"cmp"};
+    BenchmarkResult result =
+        evaluator.evaluate(request).results.at(0);
+
+    // One certified record per priced cell — every model plus the
+    // shared 1-issue baseline — all sealed, all carrying the schema
+    // tag and matching the in-memory provenance.
+    ASSERT_FALSE(result.models.empty());
+    EXPECT_EQ(result.provenance.size(), result.models.size());
+    std::size_t records = 0;
+    for (const auto &entry : fs::recursive_directory_iterator(
+             fs::path(dir) / "results")) {
+        if (!entry.is_regular_file())
+            continue;
+        records += 1;
+        auto sealed = readSealedJson(entry.path().string());
+        ASSERT_TRUE(sealed.has_value()) << entry.path();
+        const JsonValue *schema = sealed->find("schema");
+        ASSERT_NE(schema, nullptr);
+        EXPECT_EQ(schema->asString(), certSchemaTag);
+        const JsonValue *prov = sealed->find("provenance");
+        ASSERT_NE(prov, nullptr);
+        EXPECT_TRUE(prov->isObject());
+        const JsonValue *figures = sealed->find("figures");
+        ASSERT_NE(figures, nullptr);
+        EXPECT_TRUE(figures->isObject());
+    }
+    EXPECT_EQ(records, result.models.size() + 1);
+
+    // The records live where the in-memory provenance says.
+    ArtifactStore store(dir, StoreMode::ReadOnly);
+    for (const auto &[model, prov] : result.provenance) {
+        SCOPED_TRACE(modelName(model));
+        EXPECT_NE(store.loadResult(certifiedResultKey(prov)), "");
+    }
 }
 
 } // namespace
